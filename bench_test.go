@@ -1,0 +1,164 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each runs
+// the corresponding experiment driver at quick size and a compressed time
+// scale, and reports the experiment's headline quantity as a custom metric
+// so `go test -bench` output can be compared against the paper's numbers
+// directly. cmd/benchsuite runs the same drivers at full size with rendered
+// tables.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/timescale"
+)
+
+// latencyOpts is used by experiments whose signal is a latency difference
+// (Tables 2-4, Figure 3): an expanded time scale keeps the simulated costs
+// above host scheduling noise.
+func latencyOpts() experiments.Options {
+	return experiments.Options{
+		Quick: true,
+		Seed:  1998,
+		Scale: timescale.Scale{PerSecond: 100 * time.Millisecond},
+	}
+}
+
+// structuralOpts is used by experiments whose signal is structural (hit
+// counts, order-of-magnitude ratios): a compressed scale keeps them fast.
+func structuralOpts() experiments.Options {
+	return experiments.Options{
+		Quick: true,
+		Seed:  1998,
+		Scale: timescale.Scale{PerSecond: 2500 * time.Microsecond},
+	}
+}
+
+// paperSeconds converts a measured duration to paper seconds at a scale.
+func paperSeconds(o experiments.Options, d time.Duration) float64 {
+	return o.Scale.PaperSeconds(d)
+}
+
+// BenchmarkTable1LogAnalysis regenerates Table 1: potential time saving by
+// caching CGI results, on the calibrated synthetic ADL trace.
+func BenchmarkTable1LogAnalysis(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(structuralOpts())
+		saved = res.SavedPercentAt(1)
+	}
+	b.ReportMetric(saved, "saved%@1s")
+}
+
+// BenchmarkTable2FileFetch regenerates Table 2: WebStone file-mix response
+// time for HTTPd, Enterprise, and Swala.
+func BenchmarkTable2FileFetch(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2(latencyOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.SpeedupOverHTTPd(len(res.Clients) - 1)
+	}
+	b.ReportMetric(speedup, "swala-vs-httpd-x")
+}
+
+// BenchmarkFigure3NullCGI regenerates Figure 3: null-CGI response time for
+// the five configurations.
+func BenchmarkFigure3NullCGI(b *testing.B) {
+	var local, remote, exec float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure3(latencyOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		local = paperSeconds(latencyOpts(), res.Mean(experiments.F3SwalaLocal))
+		remote = paperSeconds(latencyOpts(), res.Mean(experiments.F3SwalaRemote))
+		exec = paperSeconds(latencyOpts(), res.Mean(experiments.F3SwalaNoCa))
+	}
+	b.ReportMetric(local, "local-fetch-s")
+	b.ReportMetric(remote, "remote-fetch-s")
+	b.ReportMetric(exec, "cgi-exec-s")
+}
+
+// BenchmarkFigure4MultiNode regenerates Figure 4: multi-node response time
+// with and without cooperative caching.
+func BenchmarkFigure4MultiNode(b *testing.B) {
+	var improvement, speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure4(structuralOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Nodes) - 1
+		improvement = 100 * res.ImprovementAt(last)
+		speedup = res.SpeedupAt(last)
+	}
+	b.ReportMetric(improvement, "cache-improvement-%")
+	b.ReportMetric(speedup, "scaling-speedup-x")
+}
+
+// BenchmarkTable3InsertOverhead regenerates Table 3: insert + broadcast
+// overhead on unique cacheable requests.
+func BenchmarkTable3InsertOverhead(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(latencyOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = 100 * res.MaxRelativeIncrease()
+	}
+	b.ReportMetric(rel, "max-overhead-%")
+}
+
+// BenchmarkTable4DirectoryUpdates regenerates Table 4: replicated directory
+// maintenance overhead under pseudo-server update streams.
+func BenchmarkTable4DirectoryUpdates(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4(latencyOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = 100 * res.MaxRelativeIncrease()
+	}
+	b.ReportMetric(rel, "max-overhead-%")
+}
+
+// BenchmarkTable5HitRatioLarge regenerates Table 5: hit ratios with
+// per-node cache size 2000.
+func BenchmarkTable5HitRatioLarge(b *testing.B) {
+	var coop, standalone float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHitRatio(structuralOpts(), 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Nodes) - 1
+		coop = res.CoopPercentAt(last)
+		standalone = res.StandAlonePercentAt(last)
+	}
+	b.ReportMetric(coop, "coop-%of-bound")
+	b.ReportMetric(standalone, "standalone-%of-bound")
+}
+
+// BenchmarkTable6HitRatioSmall regenerates Table 6: hit ratios with
+// per-node cache size 20.
+func BenchmarkTable6HitRatioSmall(b *testing.B) {
+	var coop, standalone float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHitRatio(structuralOpts(), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Nodes) - 1
+		coop = res.CoopPercentAt(last)
+		standalone = res.StandAlonePercentAt(last)
+	}
+	b.ReportMetric(coop, "coop-%of-bound")
+	b.ReportMetric(standalone, "standalone-%of-bound")
+}

@@ -1,0 +1,164 @@
+// Command benchsuite regenerates every table and figure of the paper's
+// evaluation and prints them side by side with the published shape targets.
+//
+// Usage:
+//
+//	benchsuite                 # run everything at full size
+//	benchsuite -quick          # reduced sizes (seconds instead of minutes)
+//	benchsuite -run table1,figure4
+//	benchsuite -scale 2ms      # 1 paper-second = 2 ms measured
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/timescale"
+)
+
+type experiment struct {
+	name string
+	desc string
+	// scale is the experiment's default time scale (1 paper-second of
+	// simulated service per this much measured time). Latency-difference
+	// experiments use an expanded scale so simulated costs dominate host
+	// scheduling noise; structural experiments (hit counts, large ratios)
+	// use a compressed one to run fast.
+	scale time.Duration
+	run   func(experiments.Options) (string, error)
+}
+
+const (
+	latencyScale    = 100 * time.Millisecond
+	structuralScale = 2500 * time.Microsecond
+)
+
+var suite = []experiment{
+	{"table1", "access-log analysis: potential saving from caching CGI", structuralScale, func(o experiments.Options) (string, error) {
+		return experiments.RunTable1(o).Render(), nil
+	}},
+	{"table2", "file-fetch response time vs clients (HTTPd, Enterprise, Swala)", latencyScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunTable2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"figure3", "null-CGI response time across five configurations", latencyScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"figure4", "multi-node response time with and without cooperative caching", structuralScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunFigure4(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"table3", "insert + broadcast overhead", latencyScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunTable3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"table4", "replicated directory maintenance overhead", latencyScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunTable4(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"table5", "hit ratios, cache size 2000", structuralScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunHitRatio(o, 2000)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"table6", "hit ratios, cache size 20", structuralScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunHitRatio(o, 20)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"policies", "ablation: the five replacement policies", structuralScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunPolicyAblation(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"latency", "sensitivity: cooperative caching vs inter-node latency", latencyScale, func(o experiments.Options) (string, error) {
+		r, err := experiments.RunLatencySweep(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+}
+
+func main() {
+	var (
+		runFlag   = flag.String("run", "", "comma-separated experiment list (default: all)")
+		quick     = flag.Bool("quick", false, "reduced request counts and sweeps")
+		scaleFlag = flag.Duration("scale", 0, "measured duration of one paper second (0 = per-experiment default)")
+		seed      = flag.Int64("seed", 1998, "workload seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range suite {
+			fmt.Printf("  %-8s  %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "" {
+		for _, n := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	fmt.Printf("Swala evaluation suite — quick=%v, seed=%d\n\n", *quick, *seed)
+
+	failed := false
+	for _, e := range suite {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		scale := e.scale
+		if *scaleFlag > 0 {
+			scale = *scaleFlag
+		}
+		opts := experiments.Options{
+			Quick: *quick,
+			Seed:  *seed,
+			Scale: timescale.Scale{PerSecond: scale},
+		}
+		fmt.Printf("=== %s: %s (%s) ===\n", e.name, e.desc, opts.Scale)
+		start := time.Now()
+		out, err := e.run(opts)
+		if err != nil {
+			log.Printf("%s failed: %v", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

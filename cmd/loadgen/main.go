@@ -1,0 +1,73 @@
+// Command loadgen is the WebStone-style load generator: it drives one or
+// more web servers with concurrent client threads and reports response-time
+// statistics.
+//
+// Usage:
+//
+//	loadgen -addrs host1:8080,host2:8080 -clients 16 -requests 100 -mix webstone
+//	loadgen -addrs host1:8080 -clients 24 -requests 100 -uri /cgi-bin/null
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/adltrace"
+	"repro/internal/httpclient"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addrsFlag = flag.String("addrs", "localhost:8080", "comma-separated server addresses; client i targets addrs[i %% len]")
+		clients   = flag.Int("clients", 16, "concurrent client threads")
+		requests  = flag.Int("requests", 100, "requests per client")
+		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), or empty for -uri")
+		uri       = flag.String("uri", "/cgi-bin/null", "URI to request when -mix is empty")
+		seed      = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	var src workload.Source
+	switch *mix {
+	case "webstone":
+		src = workload.FileMixSource(addrs, *requests, *seed)
+	case "adl":
+		// Replay the dynamic portion of a synthetic ADL trace sized to the
+		// requested volume. The target server must mount a cost-aware CGI at
+		// /cgi-bin/adl (swalad's demo mount: -cgi /cgi-bin/=demo).
+		cfg := adltrace.Default()
+		cfg.TotalRequests = *clients * *requests * 5 / 2 // ~41% CGI
+		cfg.Seed = *seed
+		var reqs []workload.TraceRequest
+		for _, rec := range adltrace.Generate(cfg).CGIRequests() {
+			reqs = append(reqs, workload.TraceRequest{URI: rec.URI})
+		}
+		src = workload.SliceSource(addrs, reqs, *clients)
+	case "":
+		src = workload.RepeatSource(addrs, *uri, *requests)
+	default:
+		log.Fatalf("unknown mix %q", *mix)
+	}
+
+	client := httpclient.New(nil)
+	defer client.Close()
+
+	d := &workload.Driver{Client: client, Clients: *clients, Source: src}
+	res := d.Run()
+
+	fmt.Printf("requests: %d   errors: %d   elapsed: %v\n", res.Requests, res.Errors, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f req/s   %.1f KB/s\n", res.Throughput(), res.BytesPerSecond()/1024)
+	if res.Latency.Count > 0 {
+		fmt.Printf("latency: mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+			res.Latency.Mean, res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max)
+	}
+}

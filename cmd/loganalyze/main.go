@@ -1,0 +1,147 @@
+// Command loganalyze reproduces the paper's Section 3 access-log study
+// (Table 1) on the calibrated synthetic Alexandria Digital Library trace, or
+// on a trace file in the simple "CGI|FILE <key> <service-seconds>" format.
+//
+// Usage:
+//
+//	loganalyze                      # synthetic ADL trace, paper thresholds
+//	loganalyze -trace access.log    # analyze a simple trace file
+//	loganalyze -swala access.log    # analyze a swalad -accesslog file
+//	loganalyze -thresholds 0.5,1,2,4,8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/accesslog"
+	"repro/internal/adltrace"
+	"repro/internal/experiments"
+	"repro/internal/loganalysis"
+)
+
+func main() {
+	var (
+		tracePath  = flag.String("trace", "", "simple trace file to analyze ('CGI|FILE key seconds' lines)")
+		swalaPath  = flag.String("swala", "", "swalad extended-CLF access log to analyze")
+		thresholds = flag.String("thresholds", "0.5,1,2,4", "comma-separated time thresholds in seconds")
+		seed       = flag.Int64("seed", 1998, "synthetic trace seed")
+	)
+	flag.Parse()
+
+	ths, err := parseThresholds(*thresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *swalaPath != "" {
+		trace, err := readSwalaLog(*swalaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := trace.Summarize()
+		fmt.Printf("log: %d requests (%d dynamic, %d static), total service %.1f s\n",
+			s.Total, s.CGI, s.Files, s.TotalService)
+		for _, row := range loganalysis.Analyze(trace, ths) {
+			fmt.Println(row)
+		}
+		return
+	}
+
+	if *tracePath == "" {
+		res := experiments.RunTable1(experiments.Options{Seed: *seed})
+		res.Rows = nil // recompute with the requested thresholds below
+		trace := adltrace.Generate(func() adltrace.Config {
+			c := adltrace.Default()
+			c.Seed = *seed
+			return c
+		}())
+		res.Rows = loganalysis.Analyze(trace, ths)
+		fmt.Print(res.Render())
+		return
+	}
+
+	trace, err := readTrace(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range loganalysis.Analyze(trace, ths) {
+		fmt.Println(row)
+	}
+}
+
+func parseThresholds(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// readSwalaLog converts a swalad access log into an analyzable trace. Cache
+// hits are recorded with their (cheap) fetch time, which is exactly what the
+// analysis should see: only "executed" entries carry CGI cost.
+func readSwalaLog(path string) (*adltrace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, err := accesslog.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	trace := &adltrace.Trace{}
+	for _, e := range entries {
+		trace.Records = append(trace.Records, adltrace.Record{
+			Key:     e.Key(),
+			URI:     e.URI,
+			IsCGI:   e.Dynamic(),
+			Service: e.Duration.Seconds(),
+		})
+	}
+	return trace, nil
+}
+
+// readTrace parses "CGI|FILE <key> <service-seconds>" lines.
+func readTrace(path string) (*adltrace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	trace := &adltrace.Trace{}
+	scanner := bufio.NewScanner(f)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'CGI|FILE key seconds'", path, lineNo)
+		}
+		service, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad seconds %q", path, lineNo, fields[2])
+		}
+		trace.Records = append(trace.Records, adltrace.Record{
+			Key:     fields[1],
+			URI:     "/" + fields[1],
+			IsCGI:   strings.EqualFold(fields[0], "CGI"),
+			Service: service,
+		})
+	}
+	return trace, scanner.Err()
+}

@@ -1,0 +1,242 @@
+// Command swalad runs one Swala node: a multi-threaded web server that
+// cooperatively caches CGI results with its peers.
+//
+// Usage:
+//
+//	swalad -id 1 -http :8080 -cluster :9080 \
+//	       -peers 2=host2:9080,3=host3:9080 \
+//	       -mode cooperative -capacity 2000 -policy lru \
+//	       -config cacheability.conf -cachedir /tmp/swala-cache \
+//	       -docs ./htdocs -cgi /cgi-bin/=demo
+//
+// The demo CGI handler serves synthetic dynamic content whose execution
+// time comes from the request's cost=<ms> query parameter; real executables
+// can be mounted with -cgi /cgi-bin/app=/path/to/binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/accesslog"
+	"repro/internal/cacheability"
+	"repro/internal/cgi"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/replacement"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		id        = flag.Uint("id", 1, "node ID (unique in the group)")
+		httpAddr  = flag.String("http", ":8080", "HTTP listen address")
+		cluAddr   = flag.String("cluster", ":9080", "cluster listen address")
+		peersFlag = flag.String("peers", "", "comma-separated id=host:port peer list")
+		modeFlag  = flag.String("mode", "cooperative", "no-cache | stand-alone | cooperative")
+		capacity  = flag.Int("capacity", 2000, "cache capacity in entries (0 = unbounded)")
+		policy    = flag.String("policy", "lru", "replacement policy: lru|fifo|lfu|size|gds")
+		cfgPath   = flag.String("config", "", "cacheability config file (default: cache all CGI, 10m TTL)")
+		cacheDir  = flag.String("cachedir", "", "disk cache directory (default: in-memory store)")
+		docsDir   = flag.String("docs", "", "static document root to serve")
+		cgiMounts = flag.String("cgi", "/cgi-bin/=demo", "comma-separated prefix=program mounts; program 'demo' is the built-in synthetic CGI")
+		cores     = flag.Int("cores", 1, "simulated CPU cores")
+		threads   = flag.Int("threads", 16, "HTTP request threads")
+		watches   = flag.String("watch", "", "comma-separated file=pattern source watches; a change to file invalidates cached keys matching pattern")
+		watchIvl  = flag.Duration("watch-interval", time.Second, "source watch poll interval")
+		accessLog = flag.String("accesslog", "", "write an extended-CLF access log to this file (analyze with loganalyze -swala)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
+
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	cfg := core.Config{
+		NodeID:         uint32(*id),
+		Mode:           mode,
+		Cores:          *cores,
+		CacheCapacity:  *capacity,
+		Policy:         replacement.Kind(*policy),
+		RequestThreads: *threads,
+		Logger:         logger,
+	}
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			logger.Fatalf("config: %v", err)
+		}
+		pol, err := cacheability.Parse(f)
+		f.Close()
+		if err != nil {
+			logger.Fatalf("config: %v", err)
+		}
+		cfg.Cacheability = pol
+	}
+	if *cacheDir != "" {
+		disk, err := store.NewDisk(*cacheDir)
+		if err != nil {
+			logger.Fatalf("cachedir: %v", err)
+		}
+		cfg.Store = disk
+	}
+	var logWriter *accesslog.Writer
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("accesslog: %v", err)
+		}
+		defer f.Close()
+		logWriter = accesslog.NewWriter(f)
+		defer logWriter.Flush()
+		cfg.AccessLog = logWriter
+		// Flush periodically so the log is tail-able while the daemon runs.
+		go func() {
+			for range time.Tick(2 * time.Second) {
+				logWriter.Flush()
+			}
+		}()
+	}
+
+	srv := core.New(cfg)
+
+	if *docsDir != "" {
+		if err := loadDocs(srv, *docsDir); err != nil {
+			logger.Fatalf("docs: %v", err)
+		}
+	}
+	if err := mountCGI(srv, *cgiMounts); err != nil {
+		logger.Fatal(err)
+	}
+
+	if err := srv.Start(*httpAddr, *cluAddr); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("node %d serving HTTP on %s, cluster on %s, mode %s",
+		*id, srv.HTTPAddr(), srv.ClusterAddr(), mode)
+
+	if *peersFlag != "" {
+		for _, spec := range strings.Split(*peersFlag, ",") {
+			idStr, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				logger.Fatalf("bad peer spec %q (want id=host:port)", spec)
+			}
+			peerID, err := strconv.ParseUint(idStr, 10, 32)
+			if err != nil {
+				logger.Fatalf("bad peer id %q", idStr)
+			}
+			if err := srv.ConnectPeer(uint32(peerID), addr); err != nil {
+				logger.Fatalf("peer %s: %v", spec, err)
+			}
+			logger.Printf("connected to peer %d at %s", peerID, addr)
+		}
+	}
+
+	if *watches != "" {
+		mon := monitor.New(srv.Invalidate, *watchIvl, nil)
+		for _, spec := range strings.Split(*watches, ",") {
+			file, pattern, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				logger.Fatalf("bad watch spec %q (want file=pattern)", spec)
+			}
+			if err := mon.Add(monitor.Watch{Path: file, Pattern: pattern}); err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("watching %s -> invalidate %q", file, pattern)
+		}
+		mon.Start()
+		defer mon.Stop()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	snap := srv.Counters()
+	logger.Printf("final counters: %v", snap)
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "no-cache", "nocache":
+		return core.NoCache, nil
+	case "stand-alone", "standalone":
+		return core.StandAlone, nil
+	case "cooperative", "coop":
+		return core.Cooperative, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+// loadDocs registers every regular file under root at its relative URL.
+func loadDocs(srv *core.Server, root string) error {
+	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		urlPath := "/" + filepath.ToSlash(rel)
+		srv.Files().Add(urlPath, typeFor(urlPath), body)
+		return nil
+	})
+}
+
+func typeFor(path string) string {
+	switch filepath.Ext(path) {
+	case ".html", ".htm":
+		return "text/html"
+	case ".txt":
+		return "text/plain"
+	case ".gif":
+		return "image/gif"
+	case ".jpg", ".jpeg":
+		return "image/jpeg"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// mountCGI installs CGI programs: "prefix=demo" mounts the synthetic demo
+// program; "prefix=/path/to/exe" mounts a real executable.
+func mountCGI(srv *core.Server, mounts string) error {
+	for _, m := range strings.Split(mounts, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		prefix, prog, ok := strings.Cut(m, "=")
+		if !ok {
+			return fmt.Errorf("bad cgi mount %q (want prefix=program)", m)
+		}
+		if prog == "demo" {
+			srv.CGI().RegisterPrefix(prefix, &cgi.Synthetic{
+				OutputSize:   2048,
+				PerQueryTime: time.Millisecond,
+			})
+		} else {
+			srv.CGI().RegisterPrefix(prefix, &cgi.Exec{Path: prog})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]core.Mode{
+		"no-cache":    core.NoCache,
+		"nocache":     core.NoCache,
+		"stand-alone": core.StandAlone,
+		"standalone":  core.StandAlone,
+		"cooperative": core.Cooperative,
+		"coop":        core.Cooperative,
+	}
+	for in, want := range cases {
+		got, err := parseMode(in)
+		if err != nil || got != want {
+			t.Fatalf("parseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMode("turbo"); err == nil {
+		t.Fatal("parseMode accepted unknown mode")
+	}
+}
+
+func TestTypeFor(t *testing.T) {
+	cases := map[string]string{
+		"/a/index.html": "text/html",
+		"/a/readme.txt": "text/plain",
+		"/a/logo.gif":   "image/gif",
+		"/a/photo.jpg":  "image/jpeg",
+		"/a/data.bin":   "application/octet-stream",
+	}
+	for in, want := range cases {
+		if got := typeFor(in); got != want {
+			t.Fatalf("typeFor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadDocs(t *testing.T) {
+	root := t.TempDir()
+	os.MkdirAll(filepath.Join(root, "sub"), 0o755)
+	os.WriteFile(filepath.Join(root, "index.html"), []byte("<p>root</p>"), 0o644)
+	os.WriteFile(filepath.Join(root, "sub", "page.txt"), []byte("nested"), 0o644)
+
+	srv := core.New(core.Config{NodeID: 1, Mode: core.NoCache})
+	defer srv.Close()
+	if err := loadDocs(srv, root); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := srv.Files().Get("/index.html")
+	if !ok || string(f.Body) != "<p>root</p>" || f.ContentType != "text/html" {
+		t.Fatalf("index.html = %+v ok=%v", f, ok)
+	}
+	f, ok = srv.Files().Get("/sub/page.txt")
+	if !ok || string(f.Body) != "nested" {
+		t.Fatalf("sub/page.txt = %+v ok=%v", f, ok)
+	}
+}
+
+func TestMountCGI(t *testing.T) {
+	srv := core.New(core.Config{NodeID: 1, Mode: core.NoCache})
+	defer srv.Close()
+	if err := mountCGI(srv, "/cgi-bin/=demo,/real/=/bin/true"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.CGI().Lookup("/cgi-bin/anything"); !ok {
+		t.Fatal("demo mount missing")
+	}
+	if _, ok := srv.CGI().Lookup("/real/prog"); !ok {
+		t.Fatal("exec mount missing")
+	}
+	if err := mountCGI(srv, "no-equals-sign"); err == nil {
+		t.Fatal("bad mount accepted")
+	}
+	// Empty specs are skipped silently.
+	if err := mountCGI(srv, " , "); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Cooperative Caching
+// of Dynamic Content on a Distributed Web Server" (Holmedahl, Smith, Yang;
+// HPDC 1998) — the Swala distributed web server, which caches CGI results on
+// disk, replicates the cache directory across cluster nodes, and serves any
+// node's cached result to any other node.
+//
+// The library lives under internal/ (core is the Swala server; the other
+// packages are the substrates: HTTP stack, cluster protocol, cache
+// directory, replacement policies, workload generators, and the simulated
+// baseline servers). Executables are under cmd/, runnable examples under
+// examples/, and the benchmark suite that regenerates every table and
+// figure of the paper's evaluation is in bench_test.go and cmd/benchsuite.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

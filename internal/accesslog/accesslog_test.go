@@ -1,0 +1,198 @@
+package accesslog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func entry() Entry {
+	return Entry{
+		RemoteHost:  "10.0.0.7",
+		Time:        time.Date(1998, 7, 28, 14, 30, 5, 0, time.UTC),
+		Method:      "GET",
+		URI:         "/cgi-bin/query?zoom=3",
+		Proto:       "HTTP/1.0",
+		Status:      200,
+		Bytes:       2326,
+		Duration:    1500 * time.Millisecond,
+		CacheSource: "local",
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := entry()
+	if err := w.Log(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	got := entries[0]
+	if got.RemoteHost != in.RemoteHost || got.Method != in.Method ||
+		got.URI != in.URI || got.Proto != in.Proto ||
+		got.Status != in.Status || got.Bytes != in.Bytes ||
+		got.CacheSource != in.CacheSource {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	if !got.Time.Equal(in.Time) {
+		t.Fatalf("time = %v, want %v", got.Time, in.Time)
+	}
+	if got.Duration != in.Duration {
+		t.Fatalf("duration = %v, want %v", got.Duration, in.Duration)
+	}
+}
+
+func TestWriterDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Log(Entry{Method: "GET", URI: "/", Proto: "HTTP/1.1", Status: 404})
+	w.Flush()
+	line := buf.String()
+	if !strings.HasPrefix(line, "- - - [") {
+		t.Fatalf("missing host placeholder: %q", line)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(line), " -") {
+		t.Fatalf("missing source placeholder: %q", line)
+	}
+	// Defaults parse back.
+	e, err := ParseLine(strings.TrimSpace(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheSource != "" {
+		t.Fatalf("CacheSource = %q, want empty", e.CacheSource)
+	}
+}
+
+func TestParseClassicCLF(t *testing.T) {
+	// A plain CLF line without the extended fields must parse.
+	line := `127.0.0.1 - - [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326`
+	e, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.URI != "/apache_pb.gif" || e.Status != 200 || e.Bytes != 2326 {
+		t.Fatalf("e = %+v", e)
+	}
+	if e.Duration != 0 || e.CacheSource != "" {
+		t.Fatalf("extended fields should be zero: %+v", e)
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n" +
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 1 0.5 executed` + "\n"
+	entries, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].CacheSource != "executed" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		`h - - [bad-time] "GET / HTTP/1.0" 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET /" 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" abc 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 xyz`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 1 nan`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "unterminated`,
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Fatalf("ParseLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestEntryKeyAndDynamic(t *testing.T) {
+	e := entry()
+	if e.Key() != "GET /cgi-bin/query?zoom=3" {
+		t.Fatalf("Key = %q", e.Key())
+	}
+	if !e.Dynamic() {
+		t.Fatal("CGI entry not dynamic")
+	}
+	static := Entry{Method: "GET", URI: "/index.html"}
+	if static.Dynamic() {
+		t.Fatal("static entry reported dynamic")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				w.Log(entry())
+			}
+		}()
+	}
+	wg.Wait()
+	w.Flush()
+	entries, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the log: %v", err)
+	}
+	if len(entries) != 400 {
+		t.Fatalf("entries = %d, want 400", len(entries))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(status uint16, bytes uint32, millis uint16, pathRaw []byte) bool {
+		path := "/p"
+		for _, c := range pathRaw {
+			path += string(rune('a' + c%26))
+		}
+		in := Entry{
+			RemoteHost: "h",
+			Time:       time.Date(2001, 2, 3, 4, 5, 6, 0, time.UTC),
+			Method:     "GET",
+			URI:        path,
+			Proto:      "HTTP/1.0",
+			Status:     int(status%500) + 100,
+			Bytes:      int(bytes % 1_000_000),
+			Duration:   time.Duration(millis) * time.Millisecond,
+		}
+		var buf bytesBuffer
+		w := NewWriter(&buf)
+		if w.Log(in) != nil || w.Flush() != nil {
+			return false
+		}
+		out, err := ParseLine(strings.TrimSpace(buf.String()))
+		if err != nil {
+			return false
+		}
+		return out.URI == in.URI && out.Status == in.Status &&
+			out.Bytes == in.Bytes && out.Duration == in.Duration
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bytesBuffer avoids importing bytes twice under a different name in the
+// property test.
+type bytesBuffer = bytes.Buffer

@@ -1,0 +1,242 @@
+// Package adltrace generates a synthetic access trace calibrated to the
+// Alexandria Digital Library log the paper analyzes in Section 3 (September–
+// October 1997): 69,337 analyzable requests of which 41.3% are CGI
+// executions; file fetches average 0.03 s while CGI requests average 1.6 s
+// (two orders of magnitude apart); CGI accounts for ~97% of the total
+// 46,156 s of service time; and repetition is concentrated in a few hundred
+// hot CGI requests, so that caching CGI results longer than 1 s would save
+// roughly 29% of total service time with under two hundred cache entries.
+//
+// The original log is not public; this generator reproduces those aggregate
+// statistics with a deterministic, seeded construction so Table 1 can be
+// regenerated and the multi-node experiments can replay a workload with the
+// paper's repetition structure.
+package adltrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Record is one trace entry.
+type Record struct {
+	// Key canonically identifies the request (repeats share a Key).
+	Key string
+	// URI is the replayable request target. CGI URIs carry a cost=<ms>
+	// parameter that the synthetic ADL program converts into service time.
+	URI string
+	// IsCGI distinguishes dynamic requests from file fetches.
+	IsCGI bool
+	// Service is the request's service time in paper seconds. Repeats of a
+	// key always have the same service time.
+	Service float64
+}
+
+// Trace is a generated access log.
+type Trace struct {
+	Records []Record
+}
+
+// Config parameterizes generation. The zero value is replaced by Default().
+type Config struct {
+	// TotalRequests in the trace (paper: 69,337).
+	TotalRequests int
+	// CGIFraction of requests that are CGI (paper: 0.413).
+	CGIFraction float64
+	// HotClasses is the number of distinct repeated CGI requests.
+	HotClasses int
+	// HotRepeats is the total number of repeat occurrences across hot
+	// classes.
+	HotRepeats int
+	// HotMedianSeconds / HotSigma parameterize the lognormal service time of
+	// hot classes (these are the expensive queries worth caching).
+	HotMedianSeconds float64
+	HotSigma         float64
+	// ColdMeanSeconds is the mean service time of unrepeated CGI requests.
+	ColdMeanSeconds float64
+	ColdSigma       float64
+	// FileMeanSeconds is the mean file-fetch service time (paper: 0.03).
+	FileMeanSeconds float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Default returns the configuration calibrated against Section 3.
+func Default() Config {
+	return Config{
+		TotalRequests:    69337,
+		CGIFraction:      0.413,
+		HotClasses:       225,
+		HotRepeats:       3000,
+		HotMedianSeconds: 3.0,
+		HotSigma:         1.1,
+		ColdMeanSeconds:  1.15,
+		ColdSigma:        1.3,
+		FileMeanSeconds:  0.03,
+		Seed:             1998,
+	}
+}
+
+// Generate builds a trace. The same Config always yields the same trace.
+func Generate(cfg Config) *Trace {
+	if cfg.TotalRequests == 0 {
+		cfg = Default()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	totalCGI := int(math.Round(float64(cfg.TotalRequests) * cfg.CGIFraction))
+	totalFiles := cfg.TotalRequests - totalCGI
+
+	records := make([]Record, 0, cfg.TotalRequests)
+
+	// Hot CGI classes: each appears once plus its share of the repeats.
+	// Popularity decays linearly with rank, concentrating repetition the way
+	// digital-library map queries did.
+	type class struct {
+		key     string
+		service float64
+		count   int
+	}
+	hot := make([]class, cfg.HotClasses)
+	weightTotal := 0.0
+	for i := range hot {
+		service := lognormal(rng, math.Log(cfg.HotMedianSeconds), cfg.HotSigma)
+		// Keep hot queries within the plausible ADL range; the paper's
+		// longest request runs a few hundred seconds.
+		service = clamp(service, 0.15, 240)
+		hot[i] = class{
+			key:     fmt.Sprintf("cgi:hot:%04d", i),
+			service: service,
+			count:   1,
+		}
+		weightTotal += float64(cfg.HotClasses - i)
+	}
+	for r := 0; r < cfg.HotRepeats; r++ {
+		x := rng.Float64() * weightTotal
+		acc := 0.0
+		idx := cfg.HotClasses - 1
+		for i := 0; i < cfg.HotClasses; i++ {
+			acc += float64(cfg.HotClasses - i)
+			if x < acc {
+				idx = i
+				break
+			}
+		}
+		hot[idx].count++
+	}
+	hotOccurrences := 0
+	for _, c := range hot {
+		hotOccurrences += c.count
+	}
+
+	// Cold CGI requests: all unique.
+	coldCount := totalCGI - hotOccurrences
+	if coldCount < 0 {
+		coldCount = 0
+	}
+	coldMu := math.Log(cfg.ColdMeanSeconds) - cfg.ColdSigma*cfg.ColdSigma/2
+
+	for _, c := range hot {
+		uri := cgiURI(c.key, c.service)
+		for i := 0; i < c.count; i++ {
+			records = append(records, Record{Key: c.key, URI: uri, IsCGI: true, Service: c.service})
+		}
+	}
+	for i := 0; i < coldCount; i++ {
+		service := clamp(lognormal(rng, coldMu, cfg.ColdSigma), 0.02, 240)
+		key := fmt.Sprintf("cgi:cold:%06d", i)
+		records = append(records, Record{Key: key, URI: cgiURI(key, service), IsCGI: true, Service: service})
+	}
+
+	// File fetches: exponential around the mean, with repetition irrelevant
+	// to Table 1 (files are never cached by Swala). Use a modest set of
+	// distinct files.
+	for i := 0; i < totalFiles; i++ {
+		service := clamp(rng.ExpFloat64()*cfg.FileMeanSeconds, 0.001, 2)
+		key := fmt.Sprintf("file:%05d", i%4096)
+		records = append(records, Record{
+			Key:     key,
+			URI:     fmt.Sprintf("/files/doc%05d.html", i%4096),
+			IsCGI:   false,
+			Service: service,
+		})
+	}
+
+	rng.Shuffle(len(records), func(i, j int) { records[i], records[j] = records[j], records[i] })
+	return &Trace{Records: records}
+}
+
+func cgiURI(key string, serviceSeconds float64) string {
+	return fmt.Sprintf("/cgi-bin/adl?q=%s&cost=%d", key, int(math.Round(serviceSeconds*1000)))
+}
+
+func lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Summary aggregates trace-wide statistics (the numbers quoted at the start
+// of Section 3).
+type Summary struct {
+	Total        int
+	CGI          int
+	Files        int
+	TotalService float64 // paper seconds
+	CGIService   float64
+	FileService  float64
+	MeanService  float64
+	MeanCGI      float64
+	MeanFile     float64
+	LongestCGI   float64
+}
+
+// Summarize computes a trace Summary.
+func (t *Trace) Summarize() Summary {
+	var s Summary
+	for _, r := range t.Records {
+		s.Total++
+		s.TotalService += r.Service
+		if r.IsCGI {
+			s.CGI++
+			s.CGIService += r.Service
+			if r.Service > s.LongestCGI {
+				s.LongestCGI = r.Service
+			}
+		} else {
+			s.Files++
+			s.FileService += r.Service
+		}
+	}
+	if s.Total > 0 {
+		s.MeanService = s.TotalService / float64(s.Total)
+	}
+	if s.CGI > 0 {
+		s.MeanCGI = s.CGIService / float64(s.CGI)
+	}
+	if s.Files > 0 {
+		s.MeanFile = s.FileService / float64(s.Files)
+	}
+	return s
+}
+
+// CGIRequests returns just the CGI records, in trace order — the replayable
+// dynamic workload for the multi-node experiments.
+func (t *Trace) CGIRequests() []Record {
+	out := make([]Record, 0, len(t.Records))
+	for _, r := range t.Records {
+		if r.IsCGI {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package adltrace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Default())
+	b := Generate(Default())
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := Default()
+	a := Generate(cfg)
+	cfg.Seed++
+	b := Generate(cfg)
+	same := 0
+	for i := range a.Records {
+		if a.Records[i] == b.Records[i] {
+			same++
+		}
+	}
+	if same == len(a.Records) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestCalibrationMatchesSection3(t *testing.T) {
+	tr := Generate(Default())
+	s := tr.Summarize()
+
+	if s.Total != 69337 {
+		t.Fatalf("total = %d, want 69337", s.Total)
+	}
+	cgiFrac := float64(s.CGI) / float64(s.Total)
+	if math.Abs(cgiFrac-0.413) > 0.005 {
+		t.Fatalf("CGI fraction = %.3f, want ~0.413", cgiFrac)
+	}
+	// CGI mean within 25% of the paper's 1.6 s; file mean near 0.03 s.
+	if s.MeanCGI < 1.2 || s.MeanCGI > 2.0 {
+		t.Fatalf("mean CGI = %.2f s, want ~1.6 s", s.MeanCGI)
+	}
+	if s.MeanFile < 0.02 || s.MeanFile > 0.04 {
+		t.Fatalf("mean file = %.3f s, want ~0.03 s", s.MeanFile)
+	}
+	// CGI dominates service time (~97% in the paper).
+	share := s.CGIService / s.TotalService
+	if share < 0.9 {
+		t.Fatalf("CGI service share = %.2f, want > 0.9", share)
+	}
+	// Two orders of magnitude between CGI and file means.
+	if s.MeanCGI/s.MeanFile < 25 {
+		t.Fatalf("CGI/file mean ratio = %.1f, want >> 1", s.MeanCGI/s.MeanFile)
+	}
+}
+
+func TestRepeatsShareServiceTime(t *testing.T) {
+	// Cacheable (CGI) repeats must take the same time every occurrence —
+	// that is what makes caching them correct. File keys repeat too but are
+	// never cached, so their per-fetch times may vary.
+	tr := Generate(Default())
+	svc := make(map[string]float64)
+	for _, r := range tr.Records {
+		if !r.IsCGI {
+			continue
+		}
+		if prev, ok := svc[r.Key]; ok {
+			if prev != r.Service {
+				t.Fatalf("key %q has differing service times %v and %v", r.Key, prev, r.Service)
+			}
+		} else {
+			svc[r.Key] = r.Service
+		}
+	}
+}
+
+func TestCGIRequestsFilter(t *testing.T) {
+	tr := Generate(Default())
+	cgis := tr.CGIRequests()
+	for _, r := range cgis {
+		if !r.IsCGI {
+			t.Fatal("CGIRequests returned a file record")
+		}
+		if !strings.HasPrefix(r.URI, "/cgi-bin/adl?") {
+			t.Fatalf("CGI URI = %q", r.URI)
+		}
+		if !strings.Contains(r.URI, "cost=") {
+			t.Fatalf("CGI URI missing cost parameter: %q", r.URI)
+		}
+	}
+	s := tr.Summarize()
+	if len(cgis) != s.CGI {
+		t.Fatalf("CGIRequests = %d, want %d", len(cgis), s.CGI)
+	}
+}
+
+func TestServiceTimesBounded(t *testing.T) {
+	tr := Generate(Default())
+	for _, r := range tr.Records {
+		if r.Service <= 0 || r.Service > 240 {
+			t.Fatalf("service time %v out of range for %q", r.Service, r.Key)
+		}
+	}
+}
+
+func TestSmallCustomConfig(t *testing.T) {
+	cfg := Config{
+		TotalRequests:    1000,
+		CGIFraction:      0.5,
+		HotClasses:       10,
+		HotRepeats:       50,
+		HotMedianSeconds: 1,
+		HotSigma:         0.5,
+		ColdMeanSeconds:  0.5,
+		ColdSigma:        0.5,
+		FileMeanSeconds:  0.01,
+		Seed:             7,
+	}
+	tr := Generate(cfg)
+	s := tr.Summarize()
+	if s.Total != 1000 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if s.CGI != 500 {
+		t.Fatalf("cgi = %d, want 500", s.CGI)
+	}
+}
+
+func TestZeroConfigUsesDefault(t *testing.T) {
+	tr := Generate(Config{})
+	if got := len(tr.Records); got != 69337 {
+		t.Fatalf("records = %d, want default 69337", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package baseline implements the two comparator web servers of the paper's
+// evaluation: NCSA HTTPd 1.5.1 and Netscape Enterprise. The originals are a
+// 1996 C code base and a closed-source commercial product; following the
+// reproduction's substitution rule they are replaced by synthetic
+// comparators that share Swala's substrate (the same HTTP module, CPU model,
+// static files, and CGI engine) but reproduce the cost structure the paper
+// reports:
+//
+//   - HTTPd forks a process per request, so every request — file or CGI —
+//     pays a process-spawn CPU cost. This makes it 2–7x slower than Swala on
+//     the WebStone file mix, slowest on small files where the fixed cost
+//     dominates (the paper: "one reason for HTTPd's low performance is that
+//     it uses processes rather than threads").
+//   - Enterprise is threaded with a cheaper per-request file path than
+//     Swala, but its request dispatch suffers per-connection contention that
+//     grows with concurrency, and its CGI interface overhead is about twice
+//     Swala's. This reproduces Table 2's shape (slightly faster than Swala
+//     at few clients, slightly slower at many) and Figure 3's (slower than
+//     both Swala and HTTPd on null-CGI).
+//
+// Neither baseline caches anything.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cgi"
+	"repro/internal/content"
+	"repro/internal/cpu"
+	"repro/internal/httpmsg"
+	"repro/internal/httpserver"
+	"repro/internal/netx"
+)
+
+// Kind selects a baseline personality.
+type Kind string
+
+// Baseline kinds.
+const (
+	// HTTPd models NCSA HTTPd 1.5.1: process-per-request.
+	HTTPd Kind = "httpd"
+	// Enterprise models Netscape Enterprise: threaded, fast file path,
+	// contended dispatch, expensive CGI interface.
+	Enterprise Kind = "enterprise"
+)
+
+// Costs is a baseline's cost model, in measured (scaled) time.
+type Costs struct {
+	// ProcSpawn is charged per request (HTTPd's fork-per-request; zero for
+	// threaded servers).
+	ProcSpawn time.Duration
+	// FileBase is the fixed cost of serving a file.
+	FileBase time.Duration
+	// PerByte is the streaming cost per body byte.
+	PerByte time.Duration
+	// CGISpawn is the CGI invocation overhead.
+	CGISpawn time.Duration
+	// ContentionPenalty is extra dispatch cost per concurrent in-flight
+	// request beyond the first (models lock/scheduler contention in the
+	// threaded commercial server).
+	ContentionPenalty time.Duration
+}
+
+// DefaultCosts returns the calibrated cost model for a baseline kind at the
+// default time scale (1 paper-second = 10 ms). Swala's own costs at that
+// scale are: file base 30 us + 10 ns/B, CGI spawn 200 us.
+func DefaultCosts(kind Kind) (Costs, error) {
+	switch kind {
+	case HTTPd:
+		return Costs{
+			ProcSpawn: 250 * time.Microsecond,
+			FileBase:  60 * time.Microsecond,
+			PerByte:   25 * time.Nanosecond,
+			CGISpawn:  220 * time.Microsecond,
+		}, nil
+	case Enterprise:
+		return Costs{
+			FileBase:          22 * time.Microsecond,
+			PerByte:           8 * time.Nanosecond,
+			CGISpawn:          600 * time.Microsecond,
+			ContentionPenalty: 10 * time.Microsecond,
+		}, nil
+	default:
+		return Costs{}, fmt.Errorf("baseline: unknown kind %q", kind)
+	}
+}
+
+// Config assembles a baseline server.
+type Config struct {
+	Kind Kind
+	// Costs overrides DefaultCosts(Kind) when non-zero.
+	Costs *Costs
+	// Cores is the CPU core count (default 1).
+	Cores int
+	// Network carries HTTP traffic (nil = real TCP).
+	Network netx.Network
+	// RequestThreads sizes the worker pool (default 16).
+	RequestThreads int
+}
+
+// Server is a non-caching comparator web server.
+type Server struct {
+	kind     Kind
+	costs    Costs
+	node     *cpu.Node
+	files    *content.FileSet
+	engine   *cgi.Engine
+	http     *httpserver.Server
+	network  netx.Network
+	inflight atomic.Int64
+}
+
+// New builds a baseline server.
+func New(cfg Config) (*Server, error) {
+	costs := Costs{}
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	} else {
+		c, err := DefaultCosts(cfg.Kind)
+		if err != nil {
+			return nil, err
+		}
+		costs = c
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Network == nil {
+		cfg.Network = netx.TCP{}
+	}
+	s := &Server{
+		kind:    cfg.Kind,
+		costs:   costs,
+		node:    cpu.NewNode(cfg.Cores, nil),
+		files:   content.NewFileSet(),
+		network: cfg.Network,
+	}
+	s.engine = cgi.NewEngine(s.node, costs.CGISpawn)
+	s.http = httpserver.New(httpserver.HandlerFunc(s.serveHTTP), httpserver.Config{
+		RequestThreads: cfg.RequestThreads,
+	})
+	return s, nil
+}
+
+// Kind returns the baseline personality.
+func (s *Server) Kind() Kind { return s.kind }
+
+// Files exposes the static document registry.
+func (s *Server) Files() *content.FileSet { return s.files }
+
+// CGI exposes the CGI program registry.
+func (s *Server) CGI() *cgi.Engine { return s.engine }
+
+// Start listens for HTTP on addr.
+func (s *Server) Start(addr string) error {
+	l, err := s.network.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("baseline: listen %s: %w", addr, err)
+	}
+	s.http.Serve(l)
+	return nil
+}
+
+// Addr returns the HTTP listen address.
+func (s *Server) Addr() string { return s.http.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	s.node.Stop()
+	return err
+}
+
+func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
+	n := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	overhead := s.costs.ProcSpawn
+	if s.costs.ContentionPenalty > 0 && n > 1 {
+		overhead += time.Duration(n-1) * s.costs.ContentionPenalty
+	}
+
+	if f, ok := s.files.Get(req.Path); ok {
+		cost := overhead + s.costs.FileBase + time.Duration(len(f.Body))*s.costs.PerByte
+		if _, err := s.node.Run(context.Background(), cost); err != nil {
+			return errorResponse(503, "server shutting down")
+		}
+		resp := httpmsg.NewResponse(200)
+		resp.Header.Set("Content-Type", f.ContentType)
+		resp.Body = f.Body
+		return resp
+	}
+
+	if _, ok := s.engine.Lookup(req.Path); ok {
+		// NCSA HTTPd's pre-forked request process is the one that forks the
+		// CGI, so the dominant per-request cost is a single process spawn:
+		// charge max(dispatch overhead, CGI spawn) in one CPU occupancy.
+		extra := time.Duration(0)
+		if overhead > s.costs.CGISpawn {
+			extra = overhead - s.costs.CGISpawn
+		}
+		res, _, err := s.engine.ExecWithOverhead(context.Background(),
+			cgi.Request{Method: req.Method, Path: req.Path, Query: req.Query, Body: req.Body}, extra)
+		if err != nil {
+			return errorResponse(502, "cgi failed: "+err.Error())
+		}
+		resp := httpmsg.NewResponse(res.Status)
+		resp.Header.Set("Content-Type", res.ContentType)
+		resp.Body = res.Body
+		return resp
+	}
+
+	return errorResponse(404, "not found: "+req.Path)
+}
+
+func errorResponse(code int, msg string) *httpmsg.Response {
+	resp := httpmsg.NewResponse(code)
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte(msg + "\n")
+	return resp
+}

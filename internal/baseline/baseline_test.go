@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cgi"
+	"repro/internal/content"
+	"repro/internal/httpclient"
+	"repro/internal/netx"
+	"repro/internal/workload"
+)
+
+func startBaseline(t *testing.T, mem *netx.Mem, kind Kind, name string) *Server {
+	t.Helper()
+	s, err := New(Config{Kind: kind, Network: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content.WebStoneMix(s.Files())
+	s.CGI().Register("/cgi-bin/null", &cgi.Synthetic{OutputSize: 64})
+	if err := s.Start(name); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := New(Config{Kind: Kind("apache")}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := DefaultCosts(Kind("apache")); err == nil {
+		t.Fatal("unknown kind accepted by DefaultCosts")
+	}
+}
+
+func TestServesFiles(t *testing.T) {
+	mem := netx.NewMem()
+	for _, kind := range []Kind{HTTPd, Enterprise} {
+		s := startBaseline(t, mem, kind, string(kind))
+		c := httpclient.New(mem)
+		defer c.Close()
+		resp, err := c.Get(string(kind), "/files/file500b.html")
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if resp.StatusCode != 200 || len(resp.Body) != 500 {
+			t.Fatalf("%s: %d, %d bytes", kind, resp.StatusCode, len(resp.Body))
+		}
+		if s.Kind() != kind {
+			t.Fatalf("Kind = %q", s.Kind())
+		}
+	}
+}
+
+func TestServesCGI(t *testing.T) {
+	mem := netx.NewMem()
+	startBaseline(t, mem, HTTPd, "h")
+	c := httpclient.New(mem)
+	defer c.Close()
+	resp, err := c.Get("h", "/cgi-bin/null?x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func Test404(t *testing.T) {
+	mem := netx.NewMem()
+	startBaseline(t, mem, Enterprise, "e")
+	c := httpclient.New(mem)
+	defer c.Close()
+	resp, err := c.Get("e", "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestNeverCaches(t *testing.T) {
+	// Two identical CGI requests must both pay the spawn cost — there is no
+	// cache in a baseline server. We verify by comparing the latency of the
+	// second request against a generous lower bound.
+	mem := netx.NewMem()
+	costs := Costs{CGISpawn: 30 * time.Millisecond}
+	s, err := New(Config{Kind: HTTPd, Costs: &costs, Network: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CGI().Register("/cgi-bin/null", &cgi.Synthetic{OutputSize: 16})
+	if err := s.Start("h2"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := httpclient.New(mem)
+	defer c.Close()
+	c.Get("h2", "/cgi-bin/null?x=1")
+	start := time.Now()
+	c.Get("h2", "/cgi-bin/null?x=1")
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("second request took %v, want >= 30ms (baselines must not cache)", elapsed)
+	}
+}
+
+// TestFileMixOrdering verifies the calibrated Table 2 shape at moderate
+// concurrency: HTTPd is substantially slower than Enterprise on the
+// WebStone file mix.
+func TestFileMixOrdering(t *testing.T) {
+	mem := netx.NewMem()
+	startBaseline(t, mem, HTTPd, "httpd")
+	startBaseline(t, mem, Enterprise, "ent")
+
+	run := func(addr string) time.Duration {
+		c := httpclient.New(mem)
+		defer c.Close()
+		d := &workload.Driver{
+			Client:  c,
+			Clients: 4,
+			Source:  workload.FileMixSource([]string{addr}, 30, 11),
+		}
+		res := d.Run()
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d errors", addr, res.Errors)
+		}
+		return res.Latency.Mean
+	}
+
+	httpd := run("httpd")
+	ent := run("ent")
+	if httpd < ent {
+		t.Fatalf("HTTPd (%v) faster than Enterprise (%v); calibration inverted", httpd, ent)
+	}
+	if ratio := float64(httpd) / float64(ent); ratio < 1.5 {
+		t.Fatalf("HTTPd/Enterprise ratio = %.2f, want >= 1.5", ratio)
+	}
+}
+
+// TestNullCGIOrdering verifies the Figure 3 shape: Enterprise's null-CGI
+// path is slower than HTTPd's.
+func TestNullCGIOrdering(t *testing.T) {
+	mem := netx.NewMem()
+	startBaseline(t, mem, HTTPd, "httpd")
+	startBaseline(t, mem, Enterprise, "ent")
+
+	run := func(addr string) time.Duration {
+		c := httpclient.New(mem)
+		defer c.Close()
+		d := &workload.Driver{
+			Client:  c,
+			Clients: 4,
+			Source:  workload.RepeatSource([]string{addr}, "/cgi-bin/null?x=1", 30),
+		}
+		res := d.Run()
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d errors", addr, res.Errors)
+		}
+		return res.Latency.Mean
+	}
+
+	if httpd, ent := run("httpd"), run("ent"); ent < httpd {
+		t.Fatalf("Enterprise null-CGI (%v) faster than HTTPd (%v); calibration inverted", ent, httpd)
+	}
+}

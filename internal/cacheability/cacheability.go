@@ -1,0 +1,259 @@
+// Package cacheability implements Swala's administrator-controlled policy
+// for which dynamic requests may be cached. The paper's server loads a
+// configuration file at startup that classifies each incoming request as
+// uncacheable, cacheable-but-not-cached, or cached; this package provides
+// the classification rules and the config file parser.
+//
+// Config format (one directive per line, '#' comments):
+//
+//	# pattern        decision   [ttl]
+//	cache   /cgi-bin/query*     30m
+//	nocache /cgi-bin/login*
+//	cache   /cgi-bin/map?*      1h
+//	threshold 0.2s
+//	default nocache
+//
+// Patterns match the request path (and optionally query) with '*' wildcards.
+// "threshold" sets the minimum execution time below which successful results
+// are not inserted (Section 3's trade-off: caching too-short requests
+// thrashes the cache). "default" sets the decision when no pattern matches.
+package cacheability
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Decision classifies a request.
+type Decision int
+
+// Decisions.
+const (
+	// NoCache marks a request that must never be cached (e.g. authenticated
+	// or user-specific CGI output).
+	NoCache Decision = iota
+	// Cache marks a request whose successful result may be cached.
+	Cache
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	if d == Cache {
+		return "cache"
+	}
+	return "nocache"
+}
+
+// Rule binds a pattern to a caching decision.
+type Rule struct {
+	// Pattern matches against "path" or "path?query"; '*' matches any run of
+	// characters (including '/').
+	Pattern  string
+	Decision Decision
+	// TTL is how long cached results stay valid; zero means the policy
+	// default.
+	TTL time.Duration
+}
+
+// Policy is an ordered rule list with defaults. First matching rule wins.
+type Policy struct {
+	Rules []Rule
+	// Default applies when no rule matches. The paper's sensible default for
+	// a server caching only known-safe CGIs is NoCache.
+	Default Decision
+	// DefaultTTL applies to cacheable requests whose rule has no TTL.
+	DefaultTTL time.Duration
+	// MinExecTime is the execution-time threshold below which results are
+	// not inserted into the cache.
+	MinExecTime time.Duration
+	// MaxSize is the largest result body (in bytes) worth caching; larger
+	// results are returned but not inserted. 0 means unlimited.
+	MaxSize int64
+}
+
+// NewPolicy returns an empty deny-by-default policy with a 10-minute default
+// TTL.
+func NewPolicy() *Policy {
+	return &Policy{Default: NoCache, DefaultTTL: 10 * time.Minute}
+}
+
+// CacheAll returns a policy that caches every request with the given TTL and
+// no execution-time threshold — convenient for experiments that control
+// cacheability through the workload itself.
+func CacheAll(ttl time.Duration) *Policy {
+	return &Policy{
+		Rules:      []Rule{{Pattern: "*", Decision: Cache, TTL: ttl}},
+		Default:    NoCache,
+		DefaultTTL: ttl,
+	}
+}
+
+// Add appends a rule.
+func (p *Policy) Add(pattern string, d Decision, ttl time.Duration) {
+	p.Rules = append(p.Rules, Rule{Pattern: pattern, Decision: d, TTL: ttl})
+}
+
+// Classify decides whether the request identified by path and query is
+// cacheable and, if so, its TTL.
+func (p *Policy) Classify(path, query string) (Decision, time.Duration) {
+	target := path
+	if query != "" {
+		target = path + "?" + query
+	}
+	for _, r := range p.Rules {
+		if Match(r.Pattern, target) || Match(r.Pattern, path) {
+			ttl := r.TTL
+			if ttl == 0 {
+				ttl = p.DefaultTTL
+			}
+			return r.Decision, ttl
+		}
+	}
+	return p.Default, p.DefaultTTL
+}
+
+// ShouldInsert reports whether a successful result that took execTime to
+// produce and is size bytes long is worth inserting, per the policy's
+// execution-time threshold and size cap.
+func (p *Policy) ShouldInsert(execTime time.Duration, size int64) bool {
+	if p.MaxSize > 0 && size > p.MaxSize {
+		return false
+	}
+	return execTime >= p.MinExecTime
+}
+
+// Match reports whether target matches pattern, where '*' matches any run
+// of characters (including none). The implementation is iterative
+// backtracking, linear for the patterns the config uses.
+func Match(pattern, target string) bool {
+	var pi, ti int
+	star, starTi := -1, 0
+	for ti < len(target) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == target[ti]):
+			pi++
+			ti++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, starTi = pi, ti
+			pi++
+		case star >= 0:
+			starTi++
+			pi, ti = star+1, starTi
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Parse reads a policy from the config-file format described in the package
+// documentation.
+func Parse(r io.Reader) (*Policy, error) {
+	p := NewPolicy()
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "cache", "nocache":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("cacheability: line %d: %s needs a pattern", lineNo, fields[0])
+			}
+			d := NoCache
+			if fields[0] == "cache" {
+				d = Cache
+			}
+			var ttl time.Duration
+			if len(fields) >= 3 {
+				v, err := time.ParseDuration(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("cacheability: line %d: bad ttl %q: %v", lineNo, fields[2], err)
+				}
+				ttl = v
+			}
+			p.Add(fields[1], d, ttl)
+		case "threshold":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cacheability: line %d: threshold needs a duration", lineNo)
+			}
+			v, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("cacheability: line %d: bad threshold %q: %v", lineNo, fields[1], err)
+			}
+			p.MinExecTime = v
+		case "maxsize":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cacheability: line %d: maxsize needs a byte count", lineNo)
+			}
+			v, err := ParseSize(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("cacheability: line %d: %v", lineNo, err)
+			}
+			p.MaxSize = v
+		case "ttl":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cacheability: line %d: ttl needs a duration", lineNo)
+			}
+			v, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("cacheability: line %d: bad ttl %q: %v", lineNo, fields[1], err)
+			}
+			p.DefaultTTL = v
+		case "default":
+			if len(fields) != 2 || (fields[1] != "cache" && fields[1] != "nocache") {
+				return nil, fmt.Errorf("cacheability: line %d: default must be cache or nocache", lineNo)
+			}
+			if fields[1] == "cache" {
+				p.Default = Cache
+			} else {
+				p.Default = NoCache
+			}
+		default:
+			return nil, fmt.Errorf("cacheability: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString parses a policy from a string.
+func ParseString(s string) (*Policy, error) { return Parse(strings.NewReader(s)) }
+
+// ParseSize parses a byte count with an optional K/M/G suffix (binary
+// units), e.g. "512", "64K", "1M".
+func ParseSize(s string) (int64, error) {
+	mult := int64(1)
+	num := s
+	if len(s) > 0 {
+		switch s[len(s)-1] {
+		case 'k', 'K':
+			mult, num = 1<<10, s[:len(s)-1]
+		case 'm', 'M':
+			mult, num = 1<<20, s[:len(s)-1]
+		case 'g', 'G':
+			mult, num = 1<<30, s[:len(s)-1]
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("cacheability: bad size %q", s)
+	}
+	return v * mult, nil
+}

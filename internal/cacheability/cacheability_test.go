@@ -1,0 +1,266 @@
+package cacheability
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, target string
+		want            bool
+	}{
+		{"*", "", true},
+		{"*", "/anything", true},
+		{"/a", "/a", true},
+		{"/a", "/b", false},
+		{"/cgi-bin/*", "/cgi-bin/query", true},
+		{"/cgi-bin/*", "/static/x", false},
+		{"/cgi-bin/q?*", "/cgi-bin/q?a=1", true},
+		{"/cgi-bin/q?*", "/cgi-bin/q", false},
+		{"*query*", "/cgi-bin/query?x=1", true},
+		{"/a/*/c", "/a/b/c", true},
+		{"/a/*/c", "/a/b/d", false},
+		{"/a/*/c", "/a/b/x/c", true}, // '*' crosses '/'
+		{"", "", true},
+		{"", "x", false},
+		{"**", "abc", true},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXbYY", false},
+	}
+	for _, tc := range cases {
+		if got := Match(tc.pattern, tc.target); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.pattern, tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestMatchLiteralProperty(t *testing.T) {
+	// A pattern with no wildcards matches exactly itself.
+	f := func(raw []byte) bool {
+		s := strings.ReplaceAll(string(raw), "*", "x")
+		return Match(s, s) && (s == "" || !Match(s, s+"!"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchStarPrefixProperty(t *testing.T) {
+	// "prefix*" matches any extension of prefix.
+	f := func(rawPrefix, rawSuffix []byte) bool {
+		prefix := strings.ReplaceAll(string(rawPrefix), "*", "x")
+		suffix := strings.ReplaceAll(string(rawSuffix), "*", "x")
+		return Match(prefix+"*", prefix+suffix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyFirstMatchWins(t *testing.T) {
+	p := NewPolicy()
+	p.Add("/cgi-bin/login*", NoCache, 0)
+	p.Add("/cgi-bin/*", Cache, time.Hour)
+
+	if d, _ := p.Classify("/cgi-bin/login", "user=a"); d != NoCache {
+		t.Fatal("login should be uncacheable")
+	}
+	d, ttl := p.Classify("/cgi-bin/query", "zoom=1")
+	if d != Cache || ttl != time.Hour {
+		t.Fatalf("query: d=%v ttl=%v", d, ttl)
+	}
+}
+
+func TestClassifyDefault(t *testing.T) {
+	p := NewPolicy()
+	if d, _ := p.Classify("/anything", ""); d != NoCache {
+		t.Fatal("default must be nocache")
+	}
+	p.Default = Cache
+	d, ttl := p.Classify("/anything", "")
+	if d != Cache || ttl != p.DefaultTTL {
+		t.Fatalf("d=%v ttl=%v", d, ttl)
+	}
+}
+
+func TestClassifyZeroTTLUsesDefault(t *testing.T) {
+	p := NewPolicy()
+	p.DefaultTTL = 5 * time.Minute
+	p.Add("/x*", Cache, 0)
+	if _, ttl := p.Classify("/x1", ""); ttl != 5*time.Minute {
+		t.Fatalf("ttl = %v, want default 5m", ttl)
+	}
+}
+
+func TestClassifyMatchesPathWithAndWithoutQuery(t *testing.T) {
+	p := NewPolicy()
+	p.Add("/cgi-bin/q", Cache, time.Minute)
+	// Pattern has no query part, but a request with a query should still match
+	// on the bare path.
+	if d, _ := p.Classify("/cgi-bin/q", "a=1"); d != Cache {
+		t.Fatal("path-only pattern should match request with query")
+	}
+}
+
+func TestCacheAll(t *testing.T) {
+	p := CacheAll(time.Minute)
+	d, ttl := p.Classify("/whatever", "x=y")
+	if d != Cache || ttl != time.Minute {
+		t.Fatalf("d=%v ttl=%v", d, ttl)
+	}
+	if !p.ShouldInsert(0, 100) {
+		t.Fatal("CacheAll must have no insertion threshold")
+	}
+}
+
+func TestShouldInsert(t *testing.T) {
+	p := NewPolicy()
+	p.MinExecTime = time.Second
+	if p.ShouldInsert(500*time.Millisecond, 100) {
+		t.Fatal("below threshold should not insert")
+	}
+	if !p.ShouldInsert(time.Second, 100) {
+		t.Fatal("at threshold should insert")
+	}
+	if !p.ShouldInsert(2*time.Second, 100) {
+		t.Fatal("above threshold should insert")
+	}
+}
+
+func TestShouldInsertSizeCap(t *testing.T) {
+	p := NewPolicy()
+	p.MaxSize = 1024
+	if !p.ShouldInsert(time.Second, 1024) {
+		t.Fatal("at cap should insert")
+	}
+	if p.ShouldInsert(time.Second, 1025) {
+		t.Fatal("above cap should not insert")
+	}
+	p.MaxSize = 0
+	if !p.ShouldInsert(time.Second, 1<<30) {
+		t.Fatal("unlimited cap should insert anything")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":    0,
+		"512":  512,
+		"64K":  64 << 10,
+		"64k":  64 << 10,
+		"1M":   1 << 20,
+		"2g":   2 << 30,
+		"100m": 100 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "1T", "K"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Fatalf("ParseSize(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseMaxSizeDirective(t *testing.T) {
+	p, err := ParseString("maxsize 64K\ncache /cgi-bin/* 1h\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxSize != 64<<10 {
+		t.Fatalf("MaxSize = %d", p.MaxSize)
+	}
+	if _, err := ParseString("maxsize\n"); err == nil {
+		t.Fatal("maxsize without value accepted")
+	}
+	if _, err := ParseString("maxsize huge\n"); err == nil {
+		t.Fatal("bad maxsize accepted")
+	}
+}
+
+func TestParseFullConfig(t *testing.T) {
+	cfg := `
+# Swala cacheability config
+cache   /cgi-bin/query*   30m
+nocache /cgi-bin/login*
+cache   /cgi-bin/map?*    1h
+threshold 200ms
+ttl 15m
+default nocache
+`
+	p, err := ParseString(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(p.Rules))
+	}
+	if p.MinExecTime != 200*time.Millisecond {
+		t.Fatalf("threshold = %v", p.MinExecTime)
+	}
+	if p.DefaultTTL != 15*time.Minute {
+		t.Fatalf("default ttl = %v", p.DefaultTTL)
+	}
+	d, ttl := p.Classify("/cgi-bin/query", "a=1")
+	if d != Cache || ttl != 30*time.Minute {
+		t.Fatalf("query: d=%v ttl=%v", d, ttl)
+	}
+	if d, _ := p.Classify("/cgi-bin/login", ""); d != NoCache {
+		t.Fatal("login should be nocache")
+	}
+	if d, _ := p.Classify("/cgi-bin/map", "tile=3"); d != Cache {
+		t.Fatal("map?* should match via path?query")
+	}
+}
+
+func TestParseDefaultCache(t *testing.T) {
+	p, err := ParseString("default cache\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Default != Cache {
+		t.Fatal("default should be cache")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown-directive": "bogus /x\n",
+		"cache-no-pattern":  "cache\n",
+		"bad-ttl":           "cache /x notaduration\n",
+		"bad-threshold":     "threshold xyz\n",
+		"threshold-missing": "threshold\n",
+		"bad-default":       "default maybe\n",
+		"ttl-missing":       "ttl\n",
+		"bad-global-ttl":    "ttl nan\n",
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseString(cfg); err == nil {
+				t.Fatalf("ParseString(%q) succeeded, want error", cfg)
+			}
+		})
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	p, err := ParseString("\n  # only comments\n\n# more\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 0 {
+		t.Fatalf("rules = %d, want 0", len(p.Rules))
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Cache.String() != "cache" || NoCache.String() != "nocache" {
+		t.Fatal("Decision.String mismatch")
+	}
+}

@@ -1,0 +1,41 @@
+package cacheability_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cacheability"
+)
+
+// Example parses an administrator config and classifies requests with it.
+func Example() {
+	policy, err := cacheability.ParseString(`
+# digital-library rules
+cache   /cgi-bin/query*   30m
+nocache /cgi-bin/login*
+threshold 200ms
+maxsize 1M
+default nocache
+`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+
+	for _, req := range []struct{ path, query string }{
+		{"/cgi-bin/query", "zoom=3"},
+		{"/cgi-bin/login", "user=a"},
+		{"/static/logo.gif", ""},
+	} {
+		decision, ttl := policy.Classify(req.path, req.query)
+		fmt.Printf("%-18s -> %v (ttl %v)\n", req.path, decision, ttl)
+	}
+	fmt.Println("cache 100ms result:", policy.ShouldInsert(100*time.Millisecond, 512))
+	fmt.Println("cache 5s result:   ", policy.ShouldInsert(5*time.Second, 512))
+	// Output:
+	// /cgi-bin/query     -> cache (ttl 30m0s)
+	// /cgi-bin/login     -> nocache (ttl 10m0s)
+	// /static/logo.gif   -> nocache (ttl 10m0s)
+	// cache 100ms result: false
+	// cache 5s result:    true
+}

@@ -1,0 +1,331 @@
+// Package cgi executes dynamic-content programs for the Swala server. Two
+// program kinds are provided:
+//
+//   - Synthetic programs run in-process, occupy a node CPU core for a
+//     configurable service time, and emit deterministic output of a
+//     configurable size. They stand in for the paper's real CGI binaries
+//     (Alexandria Digital Library map/query programs, WebStone's nullcgi)
+//     whose cost was CPU-bound service time plus process start overhead.
+//   - Exec programs fork a real subprocess with an RFC 3875-style CGI
+//     environment and parse its header/body output, demonstrating that the
+//     server's CGI path also drives real executables.
+//
+// An Engine dispatches requests to registered programs by path, charging the
+// per-request process-spawn overhead the paper measures with nullcgi.
+package cgi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// Request is the subset of an HTTP request a CGI program sees.
+type Request struct {
+	Method string
+	Path   string
+	Query  string
+	Body   []byte
+}
+
+// Result is a CGI program's output.
+type Result struct {
+	// Status is the HTTP status code (programs normally produce 200).
+	Status int
+	// ContentType labels the body.
+	ContentType string
+	// Body is the generated content.
+	Body []byte
+}
+
+// Program produces dynamic content for a request.
+type Program interface {
+	// Run executes the program. The engine accounts CPU occupancy around it.
+	Run(ctx context.Context, req Request) (Result, error)
+}
+
+// Errors returned by the engine.
+var (
+	ErrNoProgram = errors.New("cgi: no program registered for path")
+)
+
+// Engine dispatches CGI requests to programs and models execution cost on a
+// node CPU.
+type Engine struct {
+	node *cpu.Node
+	// SpawnCost is the fork/exec overhead charged (on a CPU core) for every
+	// program invocation — the cost the paper isolates with nullcgi.
+	SpawnCost time.Duration
+
+	mu       sync.RWMutex
+	programs map[string]Program // exact path -> program
+	prefixes []prefixProgram    // longest-prefix fallback
+}
+
+type prefixProgram struct {
+	prefix  string
+	program Program
+}
+
+// NewEngine creates an engine executing on node (required) with the given
+// spawn overhead.
+func NewEngine(node *cpu.Node, spawnCost time.Duration) *Engine {
+	return &Engine{node: node, SpawnCost: spawnCost, programs: make(map[string]Program)}
+}
+
+// Register binds a program to an exact request path.
+func (e *Engine) Register(path string, p Program) {
+	e.mu.Lock()
+	e.programs[path] = p
+	e.mu.Unlock()
+}
+
+// RegisterPrefix binds a program to every path under the given prefix.
+// The longest matching prefix wins; exact registrations take precedence.
+func (e *Engine) RegisterPrefix(prefix string, p Program) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, pp := range e.prefixes {
+		if pp.prefix == prefix {
+			e.prefixes[i].program = p
+			return
+		}
+	}
+	e.prefixes = append(e.prefixes, prefixProgram{prefix, p})
+	sort.Slice(e.prefixes, func(i, j int) bool {
+		return len(e.prefixes[i].prefix) > len(e.prefixes[j].prefix)
+	})
+}
+
+// Lookup finds the program serving path.
+func (e *Engine) Lookup(path string) (Program, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if p, ok := e.programs[path]; ok {
+		return p, true
+	}
+	for _, pp := range e.prefixes {
+		if strings.HasPrefix(path, pp.prefix) {
+			return pp.program, true
+		}
+	}
+	return nil, false
+}
+
+// Exec runs the program registered for req.Path, charging spawn overhead and
+// CPU occupancy, and reports the wall-clock execution time (the value Swala
+// compares against the cacheability threshold and stores in the directory).
+func (e *Engine) Exec(ctx context.Context, req Request) (Result, time.Duration, error) {
+	return e.ExecWithOverhead(ctx, req, 0)
+}
+
+// ExecWithOverhead behaves like Exec but charges extra CPU time as part of
+// the same core occupancy — per-request dispatch work that precedes the CGI
+// spawn (the baseline servers use this for their process-per-request and
+// contention costs so a request makes a single CPU reservation).
+func (e *Engine) ExecWithOverhead(ctx context.Context, req Request, extra time.Duration) (Result, time.Duration, error) {
+	p, ok := e.Lookup(req.Path)
+	if !ok {
+		return Result{}, 0, fmt.Errorf("%w: %q", ErrNoProgram, req.Path)
+	}
+	start := time.Now()
+
+	// The spawn overhead occupies the CPU: fork/exec burns cycles, which is
+	// exactly why the paper's nullcgi measurement shows CGI calls are costly
+	// even when the program does no work.
+	if syn, ok := p.(*Synthetic); ok {
+		// Synthetic programs fold overhead, spawn cost and service time into
+		// a single CPU occupancy so queueing behaves like one process
+		// execution.
+		if _, err := e.node.Run(ctx, extra+e.SpawnCost+syn.EffectiveServiceTime(req)); err != nil {
+			return Result{}, time.Since(start), err
+		}
+		res, err := syn.generate(req)
+		return res, time.Since(start), err
+	}
+
+	if extra+e.SpawnCost > 0 {
+		if _, err := e.node.Run(ctx, extra+e.SpawnCost); err != nil {
+			return Result{}, time.Since(start), err
+		}
+	}
+	res, err := p.Run(ctx, req)
+	return res, time.Since(start), err
+}
+
+// --- synthetic programs ---
+
+// Synthetic is an in-process stand-in for a CPU-bound CGI binary.
+type Synthetic struct {
+	// ServiceTime is how long the program occupies a CPU core.
+	ServiceTime time.Duration
+	// OutputSize is the body size to generate; <= 0 produces a small
+	// fixed banner (like WebStone's nullcgi).
+	OutputSize int
+	// ContentType defaults to text/html.
+	ContentType string
+	// Fail, when set, makes every run return an error (for failure-path
+	// tests: Swala must not cache failed executions).
+	Fail bool
+	// PerQueryTime, when set, adds query-dependent service time: the decimal
+	// value of the "cost" query parameter is multiplied by this unit. This
+	// lets one registered program serve a whole workload of heterogeneous
+	// request costs, as the ADL trace replay needs.
+	PerQueryTime time.Duration
+}
+
+// Run implements Program for direct use (without an engine CPU).
+func (s *Synthetic) Run(ctx context.Context, req Request) (Result, error) {
+	if s.ServiceTime > 0 {
+		select {
+		case <-time.After(s.ServiceTime):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	return s.generate(req)
+}
+
+// EffectiveServiceTime returns the service time for a particular request,
+// accounting for PerQueryTime.
+func (s *Synthetic) EffectiveServiceTime(req Request) time.Duration {
+	d := s.ServiceTime
+	if s.PerQueryTime > 0 {
+		if v := queryInt(req.Query, "cost"); v > 0 {
+			d += time.Duration(v) * s.PerQueryTime
+		}
+	}
+	return d
+}
+
+func queryInt(query, key string) int64 {
+	for _, pair := range strings.Split(query, "&") {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == key {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+func (s *Synthetic) generate(req Request) (Result, error) {
+	if s.Fail {
+		return Result{}, errors.New("cgi: synthetic program failed")
+	}
+	ct := s.ContentType
+	if ct == "" {
+		ct = "text/html"
+	}
+	body := GenerateBody(req.Path, req.Query, s.OutputSize)
+	return Result{Status: 200, ContentType: ct, Body: body}, nil
+}
+
+// GenerateBody produces deterministic pseudo-content for a request, so that
+// tests can verify a cached body matches a re-executed one byte for byte.
+func GenerateBody(path, query string, size int) []byte {
+	banner := fmt.Sprintf("<html><body>result for %s?%s</body></html>\n", path, query)
+	if size <= len(banner) {
+		return []byte(banner)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, banner...)
+	// Deterministic filler derived from the request identity.
+	seed := uint64(14695981039346656037)
+	for _, c := range []byte(path + "?" + query) {
+		seed = (seed ^ uint64(c)) * 1099511628211
+	}
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789 \n"
+	for len(out) < size {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		out = append(out, alphabet[seed%uint64(len(alphabet))])
+	}
+	return out[:size]
+}
+
+// --- real subprocess programs ---
+
+// Exec runs an external executable as a CGI program, RFC 3875 style: the
+// request is described through environment variables, the body arrives on
+// stdin, and the program writes "Header: value" lines, a blank line, then
+// the body to stdout.
+type Exec struct {
+	// Path is the executable to run.
+	Path string
+	// Args are extra command-line arguments.
+	Args []string
+}
+
+// Run implements Program.
+func (x *Exec) Run(ctx context.Context, req Request) (Result, error) {
+	cmd := exec.CommandContext(ctx, x.Path, x.Args...)
+	cmd.Env = []string{
+		"GATEWAY_INTERFACE=CGI/1.1",
+		"SERVER_PROTOCOL=HTTP/1.0",
+		"SERVER_SOFTWARE=swala/1.0",
+		"REQUEST_METHOD=" + req.Method,
+		"SCRIPT_NAME=" + req.Path,
+		"QUERY_STRING=" + req.Query,
+		"CONTENT_LENGTH=" + strconv.Itoa(len(req.Body)),
+		"PATH=/usr/local/bin:/usr/bin:/bin",
+	}
+	if len(req.Body) > 0 {
+		cmd.Stdin = bytes.NewReader(req.Body)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return Result{}, fmt.Errorf("cgi: %s: %w (stderr: %s)", x.Path, err, strings.TrimSpace(stderr.String()))
+	}
+	return ParseOutput(stdout.Bytes())
+}
+
+// ParseOutput splits CGI output into headers and body per RFC 3875 §6.
+func ParseOutput(out []byte) (Result, error) {
+	res := Result{Status: 200, ContentType: "text/html"}
+	rest := out
+	for {
+		idx := bytes.IndexByte(rest, '\n')
+		if idx < 0 {
+			return Result{}, errors.New("cgi: output missing header/body separator")
+		}
+		line := strings.TrimRight(string(rest[:idx]), "\r")
+		rest = rest[idx+1:]
+		if line == "" {
+			break
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return Result{}, fmt.Errorf("cgi: malformed output header %q", line)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(key) {
+		case "content-type":
+			res.ContentType = val
+		case "status":
+			code, _, _ := strings.Cut(val, " ")
+			n, err := strconv.Atoi(code)
+			if err != nil {
+				return Result{}, fmt.Errorf("cgi: bad status %q", val)
+			}
+			res.Status = n
+		default:
+			// Other headers (Location etc.) are not needed by the
+			// experiments; ignore them as the original server passes them
+			// through untouched.
+		}
+	}
+	res.Body = rest
+	return res, nil
+}

@@ -1,0 +1,311 @@
+package cgi
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+func newEngine(spawn time.Duration) *Engine {
+	return NewEngine(cpu.NewNode(1, nil), spawn)
+}
+
+func TestExecUnknownPath(t *testing.T) {
+	e := newEngine(0)
+	_, _, err := e.Exec(context.Background(), Request{Method: "GET", Path: "/nope"})
+	if !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("err = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestSyntheticExecProducesDeterministicOutput(t *testing.T) {
+	e := newEngine(0)
+	e.Register("/cgi-bin/q", &Synthetic{OutputSize: 500})
+	req := Request{Method: "GET", Path: "/cgi-bin/q", Query: "a=1"}
+
+	res1, _, err := e.Exec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := e.Exec(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res1.Body) != string(res2.Body) {
+		t.Fatal("synthetic output must be deterministic for a given request")
+	}
+	if len(res1.Body) != 500 {
+		t.Fatalf("body size = %d, want 500", len(res1.Body))
+	}
+	if res1.Status != 200 || res1.ContentType != "text/html" {
+		t.Fatalf("res = %+v", res1)
+	}
+}
+
+func TestSyntheticOutputVariesByRequest(t *testing.T) {
+	e := newEngine(0)
+	e.Register("/q", &Synthetic{OutputSize: 200})
+	r1, _, _ := e.Exec(context.Background(), Request{Path: "/q", Query: "a=1"})
+	r2, _, _ := e.Exec(context.Background(), Request{Path: "/q", Query: "a=2"})
+	if string(r1.Body) == string(r2.Body) {
+		t.Fatal("different requests should produce different bodies")
+	}
+}
+
+func TestExecMeasuresServiceTime(t *testing.T) {
+	e := newEngine(0)
+	e.Register("/slow", &Synthetic{ServiceTime: 20 * time.Millisecond})
+	_, execTime, err := e.Exec(context.Background(), Request{Path: "/slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execTime < 20*time.Millisecond {
+		t.Fatalf("execTime = %v, want >= 20ms", execTime)
+	}
+}
+
+func TestExecChargesSpawnCost(t *testing.T) {
+	e := newEngine(15 * time.Millisecond)
+	e.Register("/null", &Synthetic{})
+	_, execTime, err := e.Exec(context.Background(), Request{Path: "/null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execTime < 15*time.Millisecond {
+		t.Fatalf("execTime = %v, want >= spawn cost 15ms", execTime)
+	}
+}
+
+func TestExecFailedProgram(t *testing.T) {
+	e := newEngine(0)
+	e.Register("/fail", &Synthetic{Fail: true})
+	_, _, err := e.Exec(context.Background(), Request{Path: "/fail"})
+	if err == nil {
+		t.Fatal("want error from failing program")
+	}
+}
+
+func TestExecCancelledContext(t *testing.T) {
+	e := newEngine(0)
+	e.Register("/slow", &Synthetic{ServiceTime: time.Second})
+	// Saturate the single core so the next request queues, then cancel it.
+	go e.Exec(context.Background(), Request{Path: "/slow"})
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := e.Exec(ctx, Request{Path: "/slow"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRegisterPrefix(t *testing.T) {
+	e := newEngine(0)
+	general := &Synthetic{OutputSize: 10}
+	specific := &Synthetic{OutputSize: 20}
+	exact := &Synthetic{OutputSize: 30}
+	e.RegisterPrefix("/cgi-bin/", general)
+	e.RegisterPrefix("/cgi-bin/maps/", specific)
+	e.Register("/cgi-bin/maps/tile", exact)
+
+	if p, _ := e.Lookup("/cgi-bin/query"); p != general {
+		t.Fatal("short prefix should win for /cgi-bin/query")
+	}
+	if p, _ := e.Lookup("/cgi-bin/maps/render"); p != specific {
+		t.Fatal("longest prefix must win")
+	}
+	if p, _ := e.Lookup("/cgi-bin/maps/tile"); p != exact {
+		t.Fatal("exact registration must take precedence")
+	}
+	if _, ok := e.Lookup("/static/x"); ok {
+		t.Fatal("unregistered path matched")
+	}
+}
+
+func TestRegisterPrefixReplaces(t *testing.T) {
+	e := newEngine(0)
+	first := &Synthetic{OutputSize: 1}
+	second := &Synthetic{OutputSize: 2}
+	e.RegisterPrefix("/p/", first)
+	e.RegisterPrefix("/p/", second)
+	if p, _ := e.Lookup("/p/x"); p != second {
+		t.Fatal("re-registration must replace the program")
+	}
+}
+
+func TestEffectiveServiceTime(t *testing.T) {
+	s := &Synthetic{ServiceTime: 10 * time.Millisecond, PerQueryTime: time.Millisecond}
+	got := s.EffectiveServiceTime(Request{Query: "cost=5"})
+	if got != 15*time.Millisecond {
+		t.Fatalf("EffectiveServiceTime = %v, want 15ms", got)
+	}
+	if got := s.EffectiveServiceTime(Request{Query: "x=1"}); got != 10*time.Millisecond {
+		t.Fatalf("no cost param: %v, want 10ms", got)
+	}
+	if got := s.EffectiveServiceTime(Request{Query: "cost=bogus"}); got != 10*time.Millisecond {
+		t.Fatalf("bad cost param: %v, want 10ms", got)
+	}
+}
+
+func TestGenerateBodySizeProperty(t *testing.T) {
+	f := func(pathRaw byte, size uint16) bool {
+		path := "/p" + string('a'+pathRaw%26)
+		body := GenerateBody(path, "q=1", int(size))
+		if int(size) <= len("<html>") {
+			return len(body) > 0
+		}
+		banner := len(GenerateBody(path, "q=1", 0))
+		if int(size) <= banner {
+			return len(body) == banner
+		}
+		return len(body) == int(size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateBodyDeterministicProperty(t *testing.T) {
+	f := func(a, b uint8, size uint16) bool {
+		p1, q1 := "/p"+itoa(int(a)), "x="+itoa(int(b))
+		one := GenerateBody(p1, q1, int(size))
+		two := GenerateBody(p1, q1, int(size))
+		return string(one) == string(two)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestParseOutput(t *testing.T) {
+	res, err := ParseOutput([]byte("Content-Type: text/plain\r\nStatus: 404 Not Found\r\n\r\nbody bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "text/plain" || res.Status != 404 || string(res.Body) != "body bytes" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestParseOutputDefaults(t *testing.T) {
+	res, err := ParseOutput([]byte("\nhello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.ContentType != "text/html" || string(res.Body) != "hello" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestParseOutputIgnoresUnknownHeaders(t *testing.T) {
+	res, err := ParseOutput([]byte("X-Custom: v\nContent-Type: a/b\n\nxyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "a/b" || string(res.Body) != "xyz" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestParseOutputErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-separator": "Content-Type: x",
+		"bad-header":   "notaheader\n\nbody",
+		"bad-status":   "Status: nan\n\nbody",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseOutput([]byte(in)); err == nil {
+				t.Fatalf("ParseOutput(%q) succeeded, want error", in)
+			}
+		})
+	}
+}
+
+func TestExecRealSubprocess(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("/bin/sh not available")
+	}
+	dir := t.TempDir()
+	script := filepath.Join(dir, "hello.cgi")
+	content := `#!/bin/sh
+printf 'Content-Type: text/plain\n\n'
+printf 'method=%s query=%s' "$REQUEST_METHOD" "$QUERY_STRING"
+`
+	if err := os.WriteFile(script, []byte(content), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(0)
+	e.Register("/cgi-bin/hello", &Exec{Path: script})
+	res, execTime, err := e.Exec(context.Background(), Request{Method: "GET", Path: "/cgi-bin/hello", Query: "a=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "text/plain" {
+		t.Fatalf("content type = %q", res.ContentType)
+	}
+	if got := string(res.Body); got != "method=GET query=a=1" {
+		t.Fatalf("body = %q", got)
+	}
+	if execTime <= 0 {
+		t.Fatalf("execTime = %v, want > 0", execTime)
+	}
+}
+
+func TestExecRealSubprocessStdin(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("/bin/sh not available")
+	}
+	dir := t.TempDir()
+	script := filepath.Join(dir, "echo.cgi")
+	content := "#!/bin/sh\nprintf 'Content-Type: text/plain\\n\\n'\ncat\n"
+	if err := os.WriteFile(script, []byte(content), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	x := &Exec{Path: script}
+	res, err := x.Run(context.Background(), Request{Method: "POST", Path: "/e", Body: []byte("posted data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "posted data" {
+		t.Fatalf("body = %q", res.Body)
+	}
+}
+
+func TestExecRealSubprocessFailure(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("/bin/sh not available")
+	}
+	dir := t.TempDir()
+	script := filepath.Join(dir, "fail.cgi")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho oops >&2\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	x := &Exec{Path: script}
+	_, err := x.Run(context.Background(), Request{Method: "GET", Path: "/f"})
+	if err == nil {
+		t.Fatal("want error from failing script")
+	}
+	if !strings.Contains(err.Error(), "oops") {
+		t.Fatalf("error should carry stderr, got %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package clock provides a minimal clock abstraction so that components with
+// time-dependent behaviour (TTL expiry, purge daemons, statistics) can be
+// tested deterministically with a fake clock and run in production on the
+// real one.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the subset of time functionality Swala components depend on.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for at least d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the current time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the time package. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced Clock for tests. Sleepers and After waiters are
+// released when Advance moves the clock past their deadline.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFake returns a Fake clock positioned at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past the
+// deadline; it never returns early.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-f.After(d)
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := f.now.Add(d)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, &fakeWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and releases every waiter whose
+// deadline has passed, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var due, keep []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.deadline.After(now) {
+			due = append(due, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	f.waiters = keep
+	f.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many Sleep/After callers are currently blocked.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

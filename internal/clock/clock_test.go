@@ -1,0 +1,176 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealAfterDelivers(t *testing.T) {
+	var c Real
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.After(1ms) did not deliver")
+	}
+}
+
+func TestFakeNowStable(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("second Now() = %v, want %v (fake clock must not drift)", got, start)
+	}
+}
+
+func TestFakeAdvanceMovesNow(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	f.Advance(5 * time.Second)
+	if got := f.Now(); !got.Equal(time.Unix(5, 0)) {
+		t.Fatalf("Now() after Advance(5s) = %v, want %v", got, time.Unix(5, 0))
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(10 * time.Second)
+
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before deadline")
+	default:
+	}
+
+	f.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if !got.Equal(time.Unix(10, 0)) {
+			t.Fatalf("After delivered %v, want %v", got, time.Unix(10, 0))
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestFakeSleepBlocksUntilAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Second)
+		close(done)
+	}()
+
+	// Wait until the sleeper registered.
+	for i := 0; f.Waiters() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if f.Waiters() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestFakeSleepZeroReturnsImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestFakeManyWaitersReleasedInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	const n = 10
+	var wg sync.WaitGroup
+	order := make(chan int, n)
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Sleep(time.Duration(i) * time.Second)
+			order <- i
+		}(i)
+	}
+	for i := 0; f.Waiters() < n && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(time.Duration(n) * time.Second)
+	wg.Wait()
+	close(order)
+	count := 0
+	for range order {
+		count++
+	}
+	if count != n {
+		t.Fatalf("released %d waiters, want %d", count, n)
+	}
+	if f.Waiters() != 0 {
+		t.Fatalf("Waiters() = %d after release, want 0", f.Waiters())
+	}
+}
+
+func TestFakePartialAdvanceReleasesOnlyDue(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	short := f.After(time.Second)
+	long := f.After(time.Minute)
+
+	f.Advance(2 * time.Second)
+	select {
+	case <-short:
+	default:
+		t.Fatal("short waiter not released")
+	}
+	select {
+	case <-long:
+		t.Fatal("long waiter released early")
+	default:
+	}
+	if f.Waiters() != 1 {
+		t.Fatalf("Waiters() = %d, want 1", f.Waiters())
+	}
+}

@@ -1,0 +1,607 @@
+// Package cluster implements Swala's inter-node protocol: node membership,
+// asynchronous broadcast of cache directory updates, and remote cache
+// fetches. The consistency model is the paper's weak inter-node protocol —
+// inserts and deletes are broadcast without global locks or two-phase
+// commit, so peers may briefly act on stale directories (false misses and
+// false hits), which the server layer tolerates by falling back to local
+// execution.
+//
+// Topology is a full mesh of outbound links: every node dials every peer's
+// cluster address. A node writes Insert/Delete/Fetch/Ping on its outbound
+// link to a peer and reads FetchReply/Pong back on the same link; messages
+// arriving on accepted (inbound) links are directory updates and fetch
+// requests from the peer, answered in-place. Fetch requests are served in a
+// fresh goroutine each, mirroring the paper's cacher module, which "starts a
+// separate thread for each request to return the cache contents".
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netx"
+	"repro/internal/wire"
+)
+
+// Handler is the upper layer's (the cache manager's) view of cluster events.
+// Implementations must be safe for concurrent use.
+type Handler interface {
+	// HandleInsert applies a peer's directory insert broadcast.
+	HandleInsert(m *wire.Insert)
+	// HandleDelete applies a peer's directory delete broadcast.
+	HandleDelete(m *wire.Delete)
+	// HandleFetch serves a peer's request for a locally cached body.
+	// ok=false signals a false hit (the entry is gone).
+	HandleFetch(key string) (contentType string, body []byte, ok bool)
+	// HandleStats returns the node's counters for swalactl.
+	HandleStats() wire.StatsReply
+	// HandleInvalidate drops locally owned entries matching the pattern.
+	HandleInvalidate(m *wire.Invalidate)
+}
+
+// NopHandler ignores all events; useful for tests and pseudo-servers.
+type NopHandler struct{}
+
+// HandleInsert implements Handler.
+func (NopHandler) HandleInsert(*wire.Insert) {}
+
+// HandleDelete implements Handler.
+func (NopHandler) HandleDelete(*wire.Delete) {}
+
+// HandleFetch implements Handler.
+func (NopHandler) HandleFetch(string) (string, []byte, bool) { return "", nil, false }
+
+// HandleStats implements Handler.
+func (NopHandler) HandleStats() wire.StatsReply { return wire.StatsReply{} }
+
+// HandleInvalidate implements Handler.
+func (NopHandler) HandleInvalidate(*wire.Invalidate) {}
+
+// Config configures a cluster Node.
+type Config struct {
+	// NodeID uniquely identifies this node in the group.
+	NodeID uint32
+	// Name is a human-readable node name (defaults to "node-<id>").
+	Name string
+	// Network is the transport (nil = real TCP).
+	Network netx.Network
+	// FetchTimeout bounds a remote cache fetch (default 5s). A timed-out
+	// fetch is treated as a false hit by the caller.
+	FetchTimeout time.Duration
+	// DialRetry is how long ConnectPeer keeps retrying an unreachable peer
+	// (default 5s), so nodes can start in any order.
+	DialRetry time.Duration
+	// SendQueue is the per-peer async broadcast queue depth (default 1024).
+	SendQueue int
+	// DisableReconnect turns off automatic redial of failed peer links
+	// (links normally reconnect with exponential backoff).
+	DisableReconnect bool
+	// Logger receives protocol errors; nil discards.
+	Logger *log.Logger
+}
+
+// Errors.
+var (
+	ErrNoPeer       = errors.New("cluster: no link to peer")
+	ErrFetchTimeout = errors.New("cluster: fetch timed out")
+	ErrClosed       = errors.New("cluster: node closed")
+)
+
+// Node is one member of the Swala group.
+type Node struct {
+	cfg     Config
+	handler Handler
+
+	mu           sync.Mutex
+	listener     net.Listener
+	peers        map[uint32]*peerLink // outbound links by peer ID
+	peerAddrs    map[uint32]string    // last known dial address per peer
+	reconnecting map[uint32]bool
+	inbound      map[net.Conn]struct{}
+	closed       bool
+	done         chan struct{} // closed when the node shuts down
+	wg           sync.WaitGroup
+
+	dropped uint64 // broadcasts dropped due to full peer queues
+}
+
+// NewNode creates a node; call Start to listen and ConnectPeer to join the
+// mesh.
+func NewNode(cfg Config, handler Handler) *Node {
+	if cfg.Network == nil {
+		cfg.Network = netx.TCP{}
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("node-%d", cfg.NodeID)
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 5 * time.Second
+	}
+	if cfg.DialRetry <= 0 {
+		cfg.DialRetry = 5 * time.Second
+	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 1024
+	}
+	if handler == nil {
+		handler = NopHandler{}
+	}
+	return &Node{
+		cfg:          cfg,
+		handler:      handler,
+		peers:        make(map[uint32]*peerLink),
+		peerAddrs:    make(map[uint32]string),
+		reconnecting: make(map[uint32]bool),
+		inbound:      make(map[net.Conn]struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// Start listens for peer connections on addr (":0" on TCP picks a port).
+func (n *Node) Start(addr string) error {
+	l, err := n.cfg.Network.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	n.listener = l
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the cluster listen address ("" before Start).
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// ID returns the node's cluster ID.
+func (n *Node) ID() uint32 { return n.cfg.NodeID }
+
+func (n *Node) acceptLoop(l net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveInbound(conn)
+	}
+}
+
+// serveInbound handles one accepted peer connection: directory updates,
+// fetch requests, pings, and stats queries.
+func (n *Node) serveInbound(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+
+	wc := wire.NewConn(conn)
+	first, err := wc.Read()
+	if err != nil {
+		return
+	}
+	if _, ok := first.(*wire.Hello); !ok {
+		n.logf("inbound connection did not start with hello: %v", first.Type())
+		return
+	}
+
+	var sendMu sync.Mutex
+	reply := func(m wire.Message) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		if err := wc.Write(m); err != nil {
+			n.logf("inbound reply: %v", err)
+		}
+	}
+
+	for {
+		msg, err := wc.Read()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Insert:
+			n.handler.HandleInsert(m)
+		case *wire.Delete:
+			n.handler.HandleDelete(m)
+		case *wire.Fetch:
+			// One goroutine per fetch, as in the paper's cacher module.
+			n.wg.Add(1)
+			go func(m *wire.Fetch) {
+				defer n.wg.Done()
+				ct, body, ok := n.handler.HandleFetch(m.Key)
+				reply(&wire.FetchReply{Seq: m.Seq, OK: ok, ContentType: ct, Body: body})
+			}(m)
+		case *wire.Ping:
+			reply(&wire.Pong{Seq: m.Seq})
+		case *wire.Stats:
+			sr := n.handler.HandleStats()
+			sr.Seq = m.Seq
+			reply(&sr)
+		case *wire.Invalidate:
+			n.handler.HandleInvalidate(m)
+		default:
+			n.logf("unexpected inbound message: %v", msg.Type())
+		}
+	}
+}
+
+// --- outbound peer links ---
+
+type peerLink struct {
+	id   uint32
+	conn net.Conn
+	wc   *wire.Conn
+
+	sendMu sync.Mutex // serializes writes to wc
+	queue  chan wire.Message
+	done   chan struct{} // closed when the link shuts down
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.FetchReply
+	pongs   map[uint64]chan struct{}
+	nextSeq uint64
+	closed  bool
+}
+
+func (p *peerLink) send(m wire.Message) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return p.wc.Write(m)
+}
+
+func (p *peerLink) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pending := p.pending
+	p.pending = make(map[uint64]chan *wire.FetchReply)
+	p.mu.Unlock()
+	close(p.done)
+	p.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// ConnectPeer dials a peer's cluster address and registers the link under
+// peerID. It retries for DialRetry so nodes can start in any order.
+// Reconnecting an existing peer ID replaces the old link.
+func (n *Node) ConnectPeer(peerID uint32, addr string) error {
+	deadline := time.Now().Add(n.cfg.DialRetry)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = n.cfg.Network.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: dial peer %d at %s: %w", peerID, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	wc := wire.NewConn(conn)
+	hello := &wire.Hello{NodeID: n.cfg.NodeID, NodeName: n.cfg.Name, Addr: n.Addr()}
+	if err := wc.Write(hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: hello to peer %d: %w", peerID, err)
+	}
+
+	link := &peerLink{
+		id:      peerID,
+		conn:    conn,
+		wc:      wc,
+		queue:   make(chan wire.Message, n.cfg.SendQueue),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]chan *wire.FetchReply),
+		pongs:   make(map[uint64]chan struct{}),
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	if old := n.peers[peerID]; old != nil {
+		old.close()
+	}
+	n.peers[peerID] = link
+	n.peerAddrs[peerID] = addr
+	n.mu.Unlock()
+
+	n.wg.Add(2)
+	go n.linkSender(link)
+	go n.linkReader(link)
+	return nil
+}
+
+// linkSender drains the async queue onto the wire. Broadcast updates travel
+// through here so that directory maintenance never blocks request handling
+// (the paper's asynchronous update design).
+func (n *Node) linkSender(link *peerLink) {
+	defer n.wg.Done()
+	for {
+		select {
+		case m := <-link.queue:
+			if err := link.send(m); err != nil {
+				n.logf("send to peer %d: %v", link.id, err)
+				link.close()
+				n.scheduleReconnect(link)
+				return
+			}
+		case <-link.done:
+			return
+		}
+	}
+}
+
+// linkReader consumes replies on an outbound link.
+func (n *Node) linkReader(link *peerLink) {
+	defer n.wg.Done()
+	for {
+		msg, err := link.wc.Read()
+		if err != nil {
+			link.close()
+			n.scheduleReconnect(link)
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.FetchReply:
+			link.mu.Lock()
+			ch := link.pending[m.Seq]
+			delete(link.pending, m.Seq)
+			link.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case *wire.Pong:
+			link.mu.Lock()
+			ch := link.pongs[m.Seq]
+			delete(link.pongs, m.Seq)
+			link.mu.Unlock()
+			if ch != nil {
+				close(ch)
+			}
+		default:
+			n.logf("unexpected reply on outbound link to %d: %v", link.id, msg.Type())
+		}
+	}
+}
+
+// scheduleReconnect redials a failed peer link with exponential backoff so a
+// restarted node rejoins the mesh without operator action. At most one
+// redial loop runs per peer, and intentional shutdown never reconnects.
+func (n *Node) scheduleReconnect(dead *peerLink) {
+	if n.cfg.DisableReconnect {
+		return
+	}
+	n.mu.Lock()
+	if n.closed || n.peers[dead.id] != dead || n.reconnecting[dead.id] {
+		n.mu.Unlock()
+		return
+	}
+	addr := n.peerAddrs[dead.id]
+	if addr == "" {
+		n.mu.Unlock()
+		return
+	}
+	n.reconnecting[dead.id] = true
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			delete(n.reconnecting, dead.id)
+			n.mu.Unlock()
+		}()
+		backoff := 50 * time.Millisecond
+		for {
+			select {
+			case <-n.done:
+				return
+			case <-time.After(backoff):
+			}
+			err := n.ConnectPeer(dead.id, addr)
+			if err == nil {
+				n.logf("reconnected to peer %d at %s", dead.id, addr)
+				return
+			}
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			n.logf("reconnect to peer %d: %v", dead.id, err)
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+		}
+	}()
+}
+
+// Peers returns the connected peer IDs, ascending.
+func (n *Node) Peers() []uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint32, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Broadcast enqueues a directory update to every peer without blocking the
+// caller. If a peer's queue is full the update is dropped for that peer and
+// counted; the weak consistency protocol tolerates the resulting staleness
+// (it manifests as a false miss or false hit).
+func (n *Node) Broadcast(m wire.Message) {
+	n.mu.Lock()
+	links := make([]*peerLink, 0, len(n.peers))
+	for _, l := range n.peers {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		select {
+		case l.queue <- m:
+		default:
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
+			n.logf("broadcast queue full for peer %d; dropped %v", l.id, m.Type())
+		}
+	}
+}
+
+// Dropped reports broadcasts dropped due to full peer queues.
+func (n *Node) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// Fetch retrieves a cached body from the peer that owns it. ok=false with a
+// nil error is a false hit: the owner no longer has the entry.
+func (n *Node) Fetch(owner uint32, key string) (contentType string, body []byte, ok bool, err error) {
+	n.mu.Lock()
+	link := n.peers[owner]
+	n.mu.Unlock()
+	if link == nil {
+		return "", nil, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
+	}
+
+	link.mu.Lock()
+	if link.closed {
+		link.mu.Unlock()
+		return "", nil, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
+	}
+	link.nextSeq++
+	seq := link.nextSeq
+	ch := make(chan *wire.FetchReply, 1)
+	link.pending[seq] = ch
+	link.mu.Unlock()
+
+	if err := link.send(&wire.Fetch{Seq: seq, Key: key}); err != nil {
+		link.mu.Lock()
+		delete(link.pending, seq)
+		link.mu.Unlock()
+		return "", nil, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
+	}
+
+	select {
+	case reply, open := <-ch:
+		if !open {
+			return "", nil, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
+		}
+		return reply.ContentType, reply.Body, reply.OK, nil
+	case <-time.After(n.cfg.FetchTimeout):
+		link.mu.Lock()
+		delete(link.pending, seq)
+		link.mu.Unlock()
+		return "", nil, false, ErrFetchTimeout
+	}
+}
+
+// Ping round-trips a liveness probe to a peer.
+func (n *Node) Ping(peer uint32, timeout time.Duration) error {
+	n.mu.Lock()
+	link := n.peers[peer]
+	n.mu.Unlock()
+	if link == nil {
+		return fmt.Errorf("%w: %d", ErrNoPeer, peer)
+	}
+	link.mu.Lock()
+	link.nextSeq++
+	seq := link.nextSeq
+	ch := make(chan struct{})
+	link.pongs[seq] = ch
+	link.mu.Unlock()
+
+	if err := link.send(&wire.Ping{Seq: seq}); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		link.mu.Lock()
+		delete(link.pongs, seq)
+		link.mu.Unlock()
+		return ErrFetchTimeout
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Printf("cluster[%d]: "+format, append([]any{n.cfg.NodeID}, args...)...)
+	}
+}
+
+// Close tears down the listener and every link and waits for goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	l := n.listener
+	peers := n.peers
+	n.peers = make(map[uint32]*peerLink)
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}

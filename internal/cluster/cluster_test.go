@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netx"
+	"repro/internal/wire"
+)
+
+// recordingHandler collects events and serves a fixed set of cached bodies.
+type recordingHandler struct {
+	mu      sync.Mutex
+	inserts []*wire.Insert
+	deletes []*wire.Delete
+	bodies  map[string]string
+}
+
+func newRecordingHandler() *recordingHandler {
+	return &recordingHandler{bodies: make(map[string]string)}
+}
+
+func (h *recordingHandler) HandleInsert(m *wire.Insert) {
+	h.mu.Lock()
+	h.inserts = append(h.inserts, m)
+	h.mu.Unlock()
+}
+
+func (h *recordingHandler) HandleDelete(m *wire.Delete) {
+	h.mu.Lock()
+	h.deletes = append(h.deletes, m)
+	h.mu.Unlock()
+}
+
+func (h *recordingHandler) HandleFetch(key string) (string, []byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	body, ok := h.bodies[key]
+	if !ok {
+		return "", nil, false
+	}
+	return "text/html", []byte(body), true
+}
+
+func (h *recordingHandler) HandleStats() wire.StatsReply {
+	return wire.StatsReply{LocalHits: 7, Entries: 3}
+}
+
+func (h *recordingHandler) HandleInvalidate(m *wire.Invalidate) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for key := range h.bodies {
+		if m.Pattern == "*" || key == m.Pattern {
+			delete(h.bodies, key)
+		}
+	}
+}
+
+func (h *recordingHandler) insertCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.inserts)
+}
+
+func (h *recordingHandler) deleteCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.deletes)
+}
+
+// startMesh creates n fully connected nodes over an in-memory network.
+func startMesh(t *testing.T, n int) ([]*Node, []*recordingHandler) {
+	t.Helper()
+	mem := netx.NewMem()
+	nodes := make([]*Node, n)
+	handlers := make([]*recordingHandler, n)
+	for i := 0; i < n; i++ {
+		handlers[i] = newRecordingHandler()
+		nodes[i] = NewNode(Config{
+			NodeID:       uint32(i + 1),
+			Network:      mem,
+			FetchTimeout: 2 * time.Second,
+			DialRetry:    2 * time.Second,
+		}, handlers[i])
+		if err := nodes[i].Start(fmt.Sprintf("node-%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func(i int) func() { return func() { nodes[i].Close() } }(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := nodes[i].ConnectPeer(uint32(j+1), fmt.Sprintf("node-%d", j+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return nodes, handlers
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestBroadcastInsertReachesAllPeers(t *testing.T) {
+	nodes, handlers := startMesh(t, 3)
+	nodes[0].Broadcast(&wire.Insert{Owner: 1, Key: "GET /q", Size: 10, ExecTime: time.Second})
+
+	for i := 1; i < 3; i++ {
+		i := i
+		waitFor(t, fmt.Sprintf("insert at node %d", i+1), func() bool { return handlers[i].insertCount() == 1 })
+		if got := handlers[i].inserts[0]; got.Key != "GET /q" || got.Owner != 1 {
+			t.Fatalf("node %d insert = %+v", i+1, got)
+		}
+	}
+	if handlers[0].insertCount() != 0 {
+		t.Fatal("broadcast must not loop back to the sender")
+	}
+}
+
+func TestBroadcastDelete(t *testing.T) {
+	nodes, handlers := startMesh(t, 2)
+	nodes[1].Broadcast(&wire.Delete{Owner: 2, Key: "GET /x"})
+	waitFor(t, "delete at node 1", func() bool { return handlers[0].deleteCount() == 1 })
+	if got := handlers[0].deletes[0]; got.Key != "GET /x" || got.Owner != 2 {
+		t.Fatalf("delete = %+v", got)
+	}
+}
+
+func TestBroadcastOrderingPerPeer(t *testing.T) {
+	nodes, handlers := startMesh(t, 2)
+	for i := 0; i < 100; i++ {
+		nodes[0].Broadcast(&wire.Insert{Owner: 1, Key: fmt.Sprintf("k%03d", i)})
+	}
+	waitFor(t, "all inserts", func() bool { return handlers[1].insertCount() == 100 })
+	handlers[1].mu.Lock()
+	defer handlers[1].mu.Unlock()
+	for i, m := range handlers[1].inserts {
+		if want := fmt.Sprintf("k%03d", i); m.Key != want {
+			t.Fatalf("insert %d = %q, want %q (per-peer ordering)", i, m.Key, want)
+		}
+	}
+}
+
+func TestFetchHit(t *testing.T) {
+	nodes, handlers := startMesh(t, 2)
+	handlers[1].bodies["GET /cached"] = "cached-body"
+
+	ct, body, ok, err := nodes[0].Fetch(2, "GET /cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || ct != "text/html" || string(body) != "cached-body" {
+		t.Fatalf("fetch = ok=%v ct=%q body=%q", ok, ct, body)
+	}
+}
+
+func TestFetchFalseHit(t *testing.T) {
+	nodes, _ := startMesh(t, 2)
+	_, _, ok, err := nodes[0].Fetch(2, "GET /gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fetch of deleted entry reported ok")
+	}
+}
+
+func TestFetchUnknownPeer(t *testing.T) {
+	nodes, _ := startMesh(t, 2)
+	_, _, _, err := nodes[0].Fetch(99, "GET /x")
+	if !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("err = %v, want ErrNoPeer", err)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	nodes, handlers := startMesh(t, 2)
+	for i := 0; i < 50; i++ {
+		handlers[1].bodies[fmt.Sprintf("k%d", i)] = fmt.Sprintf("body%d", i)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, body, ok, err := nodes[0].Fetch(2, fmt.Sprintf("k%d", i))
+			if err != nil || !ok {
+				t.Errorf("fetch %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			if string(body) != fmt.Sprintf("body%d", i) {
+				t.Errorf("fetch %d: body %q (reply correlation broken)", i, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPing(t *testing.T) {
+	nodes, _ := startMesh(t, 2)
+	if err := nodes[0].Ping(2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Ping(77, time.Second); !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("ping unknown peer: %v", err)
+	}
+}
+
+func TestPeers(t *testing.T) {
+	nodes, _ := startMesh(t, 3)
+	got := nodes[0].Peers()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Peers = %v, want [2 3]", got)
+	}
+}
+
+func TestFetchAfterPeerClose(t *testing.T) {
+	nodes, _ := startMesh(t, 2)
+	nodes[1].Close()
+	_, _, _, err := nodes[0].Fetch(2, "GET /x")
+	if err == nil {
+		t.Fatal("fetch from closed peer succeeded")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	nodes, _ := startMesh(t, 2)
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	mem := netx.NewMem()
+	hA := newRecordingHandler()
+	a := NewNode(Config{NodeID: 1, Network: mem, DialRetry: 500 * time.Millisecond}, hA)
+	if err := a.Start("ra"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	hB := newRecordingHandler()
+	b := NewNode(Config{NodeID: 2, Network: mem}, hB)
+	if err := b.Start("rb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConnectPeer(2, "rb"); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Broadcast(&wire.Insert{Owner: 1, Key: "before"})
+	waitFor(t, "pre-restart insert", func() bool { return hB.insertCount() == 1 })
+
+	// Crash node 2 and restart a replacement at the same address.
+	b.Close()
+	hB2 := newRecordingHandler()
+	b2 := NewNode(Config{NodeID: 2, Network: mem}, hB2)
+	if err := b2.Start("rb"); err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+
+	// The link must come back by itself; broadcasts sent after the
+	// reconnect reach the replacement node. Keep broadcasting until one
+	// lands (messages sent while the link is down are lost by design).
+	deadline := time.Now().Add(10 * time.Second)
+	for hB2.insertCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("link never reconnected after peer restart")
+		}
+		a.Broadcast(&wire.Insert{Owner: 1, Key: "after"})
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestNoReconnectAfterNodeClose(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem}, NopHandler{})
+	if err := a.Start("na"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewNode(Config{NodeID: 2, Network: mem}, NopHandler{})
+	if err := b.Start("nb"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.ConnectPeer(2, "nb"); err != nil {
+		t.Fatal(err)
+	}
+	// Closing node A must not leave reconnect loops running; Close waits for
+	// all goroutines, so a hang here would fail the test by timeout.
+	done := make(chan struct{})
+	go func() { a.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked (reconnect loop leaked)")
+	}
+}
+
+func TestBroadcastDropsWhenQueueFull(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem, SendQueue: 4}, NopHandler{})
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := NewNode(Config{NodeID: 2, Network: mem}, NopHandler{})
+	if err := b.Start("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConnectPeer(2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Stop the receiver so a's link sender stalls, then overflow the queue.
+	b.Close()
+	time.Sleep(10 * time.Millisecond)
+	big := make([]byte, 256<<10) // larger than the conn buffer: sender blocks
+	for i := 0; i < 2000; i++ {
+		a.Broadcast(&wire.FetchReply{Seq: uint64(i), OK: true, Body: big})
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("no broadcasts dropped despite a stalled peer and full queue")
+	}
+}
+
+func TestConnectPeerRetries(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem, DialRetry: 3 * time.Second}, NopHandler{})
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Start the peer 50 ms after the dial begins; ConnectPeer must retry.
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.ConnectPeer(2, "b") }()
+	time.Sleep(50 * time.Millisecond)
+	b := NewNode(Config{NodeID: 2, Network: mem}, NopHandler{})
+	if err := b.Start("b"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("ConnectPeer with late peer: %v", err)
+	}
+}
+
+func TestConnectPeerGivesUp(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem, DialRetry: 50 * time.Millisecond}, NopHandler{})
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.ConnectPeer(2, "never-exists"); err == nil {
+		t.Fatal("ConnectPeer to absent peer succeeded")
+	}
+}
+
+func TestStatsQuery(t *testing.T) {
+	// Stats flow over an inbound link: dial raw and exchange messages.
+	mem := netx.NewMem()
+	h := newRecordingHandler()
+	a := NewNode(Config{NodeID: 1, Network: mem}, h)
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	conn, err := mem.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.Write(&wire.Hello{NodeID: 99, NodeName: "ctl", Addr: ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Write(&wire.Stats{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := msg.(*wire.StatsReply)
+	if !ok {
+		t.Fatalf("reply = %T", msg)
+	}
+	if sr.Seq != 5 || sr.LocalHits != 7 || sr.Entries != 3 {
+		t.Fatalf("stats = %+v", sr)
+	}
+}
+
+func TestInboundRequiresHello(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem}, NopHandler{})
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	conn, err := mem.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.Write(&wire.Ping{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The node must drop the connection rather than answer.
+	if _, err := wc.Read(); err == nil {
+		t.Fatal("node answered a connection that skipped hello")
+	}
+}
+
+func TestMeshOverTCP(t *testing.T) {
+	h1, h2 := newRecordingHandler(), newRecordingHandler()
+	a := NewNode(Config{NodeID: 1}, h1)
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer a.Close()
+	b := NewNode(Config{NodeID: 2}, h2)
+	if err := b.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.ConnectPeer(2, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectPeer(1, a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	h2.bodies["GET /t"] = "tcp-body"
+	_, body, ok, err := a.Fetch(2, "GET /t")
+	if err != nil || !ok {
+		t.Fatalf("fetch over TCP: ok=%v err=%v", ok, err)
+	}
+	if string(body) != "tcp-body" {
+		t.Fatalf("body = %q", body)
+	}
+
+	a.Broadcast(&wire.Insert{Owner: 1, Key: "GET /i"})
+	waitFor(t, "insert over TCP", func() bool { return h2.insertCount() == 1 })
+}

@@ -1,0 +1,121 @@
+// Package content provides the static documents a web server serves: a
+// registry of files with deterministic synthetic bodies. The WebStone-style
+// experiments need a specific file-size mix (500 B to 1 MB); generating the
+// bodies in memory keeps the experiments self-contained while the server
+// treats them exactly like disk files.
+package content
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is one static document.
+type File struct {
+	Path        string
+	ContentType string
+	Body        []byte
+}
+
+// FileSet is a concurrency-safe static file registry.
+type FileSet struct {
+	mu    sync.RWMutex
+	files map[string]*File
+}
+
+// NewFileSet returns an empty registry.
+func NewFileSet() *FileSet {
+	return &FileSet{files: make(map[string]*File)}
+}
+
+// Add registers a file with an explicit body.
+func (fs *FileSet) Add(path, contentType string, body []byte) {
+	fs.mu.Lock()
+	fs.files[path] = &File{Path: path, ContentType: contentType, Body: body}
+	fs.mu.Unlock()
+}
+
+// AddSynthetic registers a file with a deterministic generated body of the
+// given size. The content type is inferred from the path suffix.
+func (fs *FileSet) AddSynthetic(path string, size int) {
+	fs.Add(path, TypeForPath(path), SyntheticBody(path, size))
+}
+
+// Get returns the file at path.
+func (fs *FileSet) Get(path string) (*File, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	return f, ok
+}
+
+// Len reports the number of registered files.
+func (fs *FileSet) Len() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files)
+}
+
+// Paths returns all registered paths, sorted.
+func (fs *FileSet) Paths() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TypeForPath infers a content type from the file extension.
+func TypeForPath(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".html"), strings.HasSuffix(path, ".htm"):
+		return "text/html"
+	case strings.HasSuffix(path, ".txt"):
+		return "text/plain"
+	case strings.HasSuffix(path, ".gif"):
+		return "image/gif"
+	case strings.HasSuffix(path, ".jpg"), strings.HasSuffix(path, ".jpeg"):
+		return "image/jpeg"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// SyntheticBody generates a deterministic body of exactly size bytes seeded
+// by path.
+func SyntheticBody(path string, size int) []byte {
+	if size <= 0 {
+		return nil
+	}
+	out := make([]byte, 0, size)
+	header := fmt.Sprintf("file:%s\n", path)
+	if len(header) > size {
+		header = header[:size]
+	}
+	out = append(out, header...)
+	seed := uint64(1469598103934665603)
+	for _, c := range []byte(path) {
+		seed = (seed ^ uint64(c)) * 1099511628211
+	}
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789\n"
+	for len(out) < size {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		out = append(out, alphabet[seed%uint64(len(alphabet))])
+	}
+	return out[:size]
+}
+
+// WebStoneMix registers the file set used by the paper's Table 2 experiment:
+// 500 B, 5 KB, 50 KB, 500 KB and 1 MB documents.
+func WebStoneMix(fs *FileSet) {
+	fs.AddSynthetic("/files/file500b.html", 500)
+	fs.AddSynthetic("/files/file5k.html", 5<<10)
+	fs.AddSynthetic("/files/file50k.html", 50<<10)
+	fs.AddSynthetic("/files/file500k.html", 500<<10)
+	fs.AddSynthetic("/files/file1m.html", 1<<20)
+}

@@ -1,0 +1,115 @@
+package content
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddGet(t *testing.T) {
+	fs := NewFileSet()
+	fs.Add("/a.html", "text/html", []byte("<p>hi</p>"))
+	f, ok := fs.Get("/a.html")
+	if !ok || f.ContentType != "text/html" || string(f.Body) != "<p>hi</p>" {
+		t.Fatalf("f = %+v ok = %v", f, ok)
+	}
+	if _, ok := fs.Get("/missing"); ok {
+		t.Fatal("found missing file")
+	}
+}
+
+func TestAddSyntheticSizeAndType(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSynthetic("/doc.html", 1234)
+	f, ok := fs.Get("/doc.html")
+	if !ok {
+		t.Fatal("not found")
+	}
+	if len(f.Body) != 1234 {
+		t.Fatalf("size = %d, want 1234", len(f.Body))
+	}
+	if f.ContentType != "text/html" {
+		t.Fatalf("type = %q", f.ContentType)
+	}
+}
+
+func TestSyntheticBodyDeterministic(t *testing.T) {
+	a := SyntheticBody("/x", 1000)
+	b := SyntheticBody("/x", 1000)
+	if string(a) != string(b) {
+		t.Fatal("non-deterministic body")
+	}
+	c := SyntheticBody("/y", 1000)
+	if string(a) == string(c) {
+		t.Fatal("different paths produced identical bodies")
+	}
+}
+
+func TestSyntheticBodySizeProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		return len(SyntheticBody("/p", int(n))) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticBodyZero(t *testing.T) {
+	if got := SyntheticBody("/p", 0); got != nil {
+		t.Fatalf("size 0 body = %q", got)
+	}
+	if got := SyntheticBody("/p", -5); got != nil {
+		t.Fatalf("negative size body = %q", got)
+	}
+}
+
+func TestTypeForPath(t *testing.T) {
+	cases := map[string]string{
+		"/a.html": "text/html",
+		"/a.htm":  "text/html",
+		"/a.txt":  "text/plain",
+		"/a.gif":  "image/gif",
+		"/a.jpg":  "image/jpeg",
+		"/a.jpeg": "image/jpeg",
+		"/a.bin":  "application/octet-stream",
+		"/a":      "application/octet-stream",
+	}
+	for in, want := range cases {
+		if got := TypeForPath(in); got != want {
+			t.Fatalf("TypeForPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWebStoneMix(t *testing.T) {
+	fs := NewFileSet()
+	WebStoneMix(fs)
+	if fs.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", fs.Len())
+	}
+	sizes := map[string]int{
+		"/files/file500b.html": 500,
+		"/files/file5k.html":   5 << 10,
+		"/files/file50k.html":  50 << 10,
+		"/files/file500k.html": 500 << 10,
+		"/files/file1m.html":   1 << 20,
+	}
+	for path, want := range sizes {
+		f, ok := fs.Get(path)
+		if !ok {
+			t.Fatalf("%s missing", path)
+		}
+		if len(f.Body) != want {
+			t.Fatalf("%s size = %d, want %d", path, len(f.Body), want)
+		}
+	}
+}
+
+func TestPathsSorted(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddSynthetic("/b.html", 1)
+	fs.AddSynthetic("/a.html", 1)
+	got := fs.Paths()
+	if len(got) != 2 || got[0] != "/a.html" || got[1] != "/b.html" {
+		t.Fatalf("Paths = %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cgi"
+	"repro/internal/httpclient"
+	"repro/internal/netx"
+)
+
+// newBenchNode builds a single caching node with negligible simulated costs
+// so the benchmark measures the server's own request path.
+func newBenchNode(b *testing.B, mode Mode) (*Server, *httpclient.Client) {
+	b.Helper()
+	mem := netx.NewMem()
+	s := New(Config{
+		NodeID:        1,
+		Mode:          mode,
+		Costs:         CostModel{SpawnCost: time.Microsecond},
+		PurgeInterval: time.Hour,
+		Network:       mem,
+	})
+	s.CGI().Register("/cgi-bin/null", &cgi.Synthetic{OutputSize: 128})
+	s.Files().AddSynthetic("/doc.html", 4096)
+	if err := s.Start("http", "clu"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	client := httpclient.New(mem)
+	b.Cleanup(func() { client.Close() })
+	return s, client
+}
+
+// BenchmarkServeFile measures the static-file path end to end (client +
+// HTTP parse + file serve) over the in-memory transport.
+func BenchmarkServeFile(b *testing.B) {
+	_, client := newBenchNode(b, NoCache)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("http", "/doc.html")
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp=%v err=%v", resp, err)
+		}
+	}
+}
+
+// BenchmarkCGICacheHit measures a warmed local cache hit end to end.
+func BenchmarkCGICacheHit(b *testing.B) {
+	_, client := newBenchNode(b, StandAlone)
+	if _, err := client.Get("http", "/cgi-bin/null?x=1"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("http", "/cgi-bin/null?x=1")
+		if err != nil || resp.Header.Get("X-Swala-Cache") != "local" {
+			b.Fatalf("not a cache hit: %v err=%v", resp.Header, err)
+		}
+	}
+}
+
+// BenchmarkCGIMissInsert measures the miss + insert path (every request
+// unique).
+func BenchmarkCGIMissInsert(b *testing.B) {
+	_, client := newBenchNode(b, StandAlone)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		uri := fmt.Sprintf("/cgi-bin/null?x=%d", i)
+		resp, err := client.Get("http", uri)
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp=%v err=%v", resp, err)
+		}
+	}
+}

@@ -1,0 +1,788 @@
+// Package core implements the Swala server itself — the paper's primary
+// contribution. A core.Server ties together the HTTP module (request-thread
+// pool), the cacher module (replicated directory + disk store + replacement
+// policy + purge daemon), the CGI engine, and the cluster protocol, and
+// implements the control flow of the paper's Figure 2 for every request:
+//
+//	cacheable? ──no──► execute CGI, return result
+//	   │yes
+//	cached? ──no──► execute CGI, tee to cache file, insert + broadcast
+//	   │yes
+//	local? ──yes──► fetch from local cache, update stats
+//	   │no
+//	fetch from remote cache ──miss (false hit)──► execute CGI locally
+//
+// Caching and cooperation are independently switchable, which is exactly
+// what the paper's experiments vary (no-cache, stand-alone cache,
+// cooperative cache).
+package core
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/accesslog"
+	"repro/internal/cacheability"
+	"repro/internal/cgi"
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/content"
+	"repro/internal/cpu"
+	"repro/internal/directory"
+	"repro/internal/httpmsg"
+	"repro/internal/httpserver"
+	"repro/internal/netx"
+	"repro/internal/replacement"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/timescale"
+	"repro/internal/wire"
+)
+
+// Mode selects how much of the caching machinery is active.
+type Mode int
+
+// Modes, matching the paper's experimental configurations.
+const (
+	// NoCache disables the cacher module entirely: every dynamic request
+	// executes its CGI.
+	NoCache Mode = iota
+	// StandAlone caches locally but neither broadcasts inserts nor fetches
+	// from peers (the paper's stand-alone configuration).
+	StandAlone
+	// Cooperative is full Swala: replicated directory, broadcasts, remote
+	// fetches.
+	Cooperative
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case NoCache:
+		return "no-cache"
+	case StandAlone:
+		return "stand-alone"
+	case Cooperative:
+		return "cooperative"
+	default:
+		return fmt.Sprintf("core.Mode(%d)", int(m))
+	}
+}
+
+// CostModel captures the simulated resource costs of the request path. All
+// durations are in measured (already scaled) time. The values stand in for
+// the Sun Ultra testbed's fork/exec, file system, and LAN costs.
+type CostModel struct {
+	// SpawnCost is the fork/exec overhead per CGI invocation, charged on a
+	// CPU core.
+	SpawnCost time.Duration
+	// FileBaseCost is the fixed CPU cost of serving a static file or a local
+	// cache fetch (open + header processing).
+	FileBaseCost time.Duration
+	// PerByte is the CPU+transfer cost per body byte served from file or
+	// cache (models disk/network streaming).
+	PerByte time.Duration
+	// RemoteServeCost is the owner-side CPU cost of serving one remote cache
+	// fetch.
+	RemoteServeCost time.Duration
+	// RemoteFetchCost is the requester-side cost of the request/reply
+	// session with the owning node (protocol handling; the wire round trip
+	// itself is real).
+	RemoteFetchCost time.Duration
+}
+
+// DefaultCosts returns the cost model used by the experiments at the default
+// time scale (1 paper-second = 10 ms): CGI spawn ~20 paper-ms, file base
+// ~3 paper-ms, ~1 MB/s paper-time streaming, remote serve ~2 paper-ms.
+func DefaultCosts() CostModel {
+	return ScaledCosts(timescale.Default())
+}
+
+// ScaledCosts derives the experiment cost model for an arbitrary time scale.
+// Paper-time constants: CGI spawn 20 ms (the fork/exec cost the nullcgi
+// experiment isolates), file base 3 ms, 1 us per byte streamed, remote serve
+// 2 ms.
+func ScaledCosts(s timescale.Scale) CostModel {
+	return CostModel{
+		SpawnCost:       s.D(0.020),
+		FileBaseCost:    s.D(0.003),
+		PerByte:         s.D(0.000001),
+		RemoteServeCost: s.D(0.002),
+		RemoteFetchCost: s.D(0.004),
+	}
+}
+
+// Config assembles a Server.
+type Config struct {
+	// NodeID identifies the node in the cluster (required, unique).
+	NodeID uint32
+	// Name is a human-readable node name.
+	Name string
+	// Mode selects no-cache / stand-alone / cooperative operation.
+	Mode Mode
+	// Cores is the node's CPU core count (default 1, as in the paper's
+	// single-CPU-per-node experiments).
+	Cores int
+	// Costs is the simulated cost model (zero value = DefaultCosts).
+	Costs CostModel
+	// CacheCapacity bounds the local cache in entries (<=0 = unbounded).
+	CacheCapacity int
+	// Policy selects the replacement policy (default LRU).
+	Policy replacement.Kind
+	// Cacheability is the admin policy; nil defaults to CacheAll with a
+	// 10-minute TTL.
+	Cacheability *cacheability.Policy
+	// Store holds cached bodies; nil defaults to an in-memory store.
+	Store store.Store
+	// Network carries HTTP traffic (nil = real TCP).
+	Network netx.Network
+	// ClusterNetwork carries inter-node traffic; nil uses Network. The
+	// latency-sensitivity experiment injects delay here without slowing the
+	// client links.
+	ClusterNetwork netx.Network
+	// Clock drives TTL and the purge daemon (nil = real clock).
+	Clock clock.Clock
+	// PurgeInterval is how often the purge daemon wakes (default 1s; the
+	// paper's daemon "wakes up every few seconds").
+	PurgeInterval time.Duration
+	// RequestThreads sizes the HTTP request-thread pool (default 16).
+	RequestThreads int
+	// FetchTimeout bounds remote cache fetches.
+	FetchTimeout time.Duration
+	// AccessLog, when non-nil, receives one extended-CLF entry per served
+	// request (see internal/accesslog).
+	AccessLog *accesslog.Writer
+	// Logger receives server errors; nil discards.
+	Logger *log.Logger
+}
+
+// Server is one Swala node.
+type Server struct {
+	cfg    Config
+	clk    clock.Clock
+	node   *cpu.Node
+	engine *cgi.Engine
+	dir    *directory.Directory
+	store  store.Store
+	files  *content.FileSet
+	http   *httpserver.Server
+	clu    *cluster.Node
+
+	counters stats.HitCounter
+
+	inflightMu sync.Mutex
+	inflight   map[string]int // cacheable keys currently executing
+
+	started   atomic.Bool
+	purgeStop chan struct{}
+	purgeDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Server from cfg. Call Start to begin serving.
+func New(cfg Config) *Server {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Cacheability == nil {
+		cfg.Cacheability = cacheability.CacheAll(10 * time.Minute)
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.NewMemory()
+	}
+	if cfg.Network == nil {
+		cfg.Network = netx.TCP{}
+	}
+	if cfg.ClusterNetwork == nil {
+		cfg.ClusterNetwork = cfg.Network
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.PurgeInterval <= 0 {
+		cfg.PurgeInterval = time.Second
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = replacement.LRU
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("swala-%d", cfg.NodeID)
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		node:      cpu.NewNode(cfg.Cores, cfg.Clock),
+		store:     cfg.Store,
+		files:     content.NewFileSet(),
+		dir:       directory.New(cfg.NodeID, cfg.CacheCapacity, replacement.MustNew(cfg.Policy)),
+		inflight:  make(map[string]int),
+		purgeStop: make(chan struct{}),
+		purgeDone: make(chan struct{}),
+	}
+	s.engine = cgi.NewEngine(s.node, cfg.Costs.SpawnCost)
+	s.http = httpserver.New(httpserver.HandlerFunc(s.serveHTTP), httpserver.Config{
+		RequestThreads: cfg.RequestThreads,
+		ErrorLog:       cfg.Logger,
+	})
+	s.clu = cluster.NewNode(cluster.Config{
+		NodeID:       cfg.NodeID,
+		Name:         cfg.Name,
+		Network:      cfg.ClusterNetwork,
+		FetchTimeout: cfg.FetchTimeout,
+		Logger:       cfg.Logger,
+	}, (*clusterHandler)(s))
+	return s
+}
+
+// Files exposes the static document registry.
+func (s *Server) Files() *content.FileSet { return s.files }
+
+// CGI exposes the CGI program registry.
+func (s *Server) CGI() *cgi.Engine { return s.engine }
+
+// Directory exposes the cache directory (primarily for tests and tools).
+func (s *Server) Directory() *directory.Directory { return s.dir }
+
+// Counters returns a snapshot of the cache counters.
+func (s *Server) Counters() stats.HitSnapshot { return s.counters.Snapshot() }
+
+// Mode reports the server's caching mode.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// Start listens for HTTP on httpAddr and for cluster/control traffic on
+// clusterAddr, and starts the purge daemon. The cluster endpoint is started
+// in every mode — stand-alone and no-cache nodes still answer swalactl's
+// stats/ping/invalidate — but only cooperative nodes exchange directory
+// updates and fetches.
+func (s *Server) Start(httpAddr, clusterAddr string) error {
+	l, err := s.cfg.Network.Listen(httpAddr)
+	if err != nil {
+		return fmt.Errorf("core: http listen %s: %w", httpAddr, err)
+	}
+	s.http.Serve(l)
+	if err := s.clu.Start(clusterAddr); err != nil {
+		s.http.Close()
+		return err
+	}
+	s.started.Store(true)
+	go s.purgeDaemon()
+	return nil
+}
+
+// HTTPAddr returns the HTTP listen address.
+func (s *Server) HTTPAddr() string { return s.http.Addr() }
+
+// ClusterAddr returns the cluster listen address.
+func (s *Server) ClusterAddr() string { return s.clu.Addr() }
+
+// ConnectPeer joins this node to a peer's cluster endpoint.
+func (s *Server) ConnectPeer(peerID uint32, addr string) error {
+	return s.clu.ConnectPeer(peerID, addr)
+}
+
+// Close shuts down HTTP, cluster, purge daemon, and the store.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.purgeStop)
+		// The purge daemon only runs after Start; Close before Start must
+		// not wait for it.
+		if s.started.Load() {
+			<-s.purgeDone
+		}
+		err1 := s.http.Close()
+		err2 := s.clu.Close()
+		s.node.Stop()
+		err3 := s.store.Close()
+		for _, err := range []error{err1, err2, err3} {
+			if err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// --- purge daemon ---
+
+// purgeDaemon is the third cacher-module thread of the paper's design: it
+// wakes periodically and deletes expired entries, broadcasting the
+// deletions.
+func (s *Server) purgeDaemon() {
+	defer close(s.purgeDone)
+	for {
+		select {
+		case <-s.purgeStop:
+			return
+		case <-s.clk.After(s.cfg.PurgeInterval):
+		}
+		s.PurgeExpired()
+	}
+}
+
+// Invalidate drops every locally owned cache entry whose key matches
+// pattern ('*' wildcards; keys look like "GET /cgi-bin/q?a=1") and, in
+// cooperative mode, propagates the invalidation so peers drop their own
+// matching entries. It returns the number of local entries dropped.
+//
+// This implements the application-driven invalidation the paper lists as
+// future work: a content application that knows its source data changed can
+// invalidate the affected results instead of waiting for TTL expiry.
+func (s *Server) Invalidate(pattern string) int {
+	n := s.invalidateLocal(pattern)
+	if s.cfg.Mode == Cooperative {
+		s.clu.Broadcast(&wire.Invalidate{Origin: s.dir.Self(), Pattern: pattern})
+	}
+	return n
+}
+
+// invalidateLocal drops matching locally owned entries and broadcasts the
+// per-entry deletions (which keeps the replicated directories converging).
+func (s *Server) invalidateLocal(pattern string) int {
+	dropped := 0
+	for _, e := range s.dir.SnapshotLocal() {
+		if !cacheability.Match(pattern, e.Key) {
+			continue
+		}
+		if !s.dir.RemoveLocal(e.Key) {
+			continue
+		}
+		dropped++
+		if err := s.store.Delete(e.Key); err != nil {
+			s.logf("invalidate delete %q: %v", e.Key, err)
+		}
+		s.broadcastDelete(e.Key)
+	}
+	return dropped
+}
+
+// PurgeExpired removes expired local entries immediately (the daemon's work
+// item, callable directly in tests with a fake clock). Expired replicas of
+// peer entries are pruned at the same time, without broadcasts — each node
+// prunes its own directory copies.
+func (s *Server) PurgeExpired() int {
+	now := s.clk.Now()
+	keys := s.dir.ExpireLocal(now)
+	for _, key := range keys {
+		if err := s.store.Delete(key); err != nil {
+			s.logf("purge delete %q: %v", key, err)
+		}
+		s.broadcastDelete(key)
+	}
+	s.dir.ExpireRemote(now)
+	return len(keys)
+}
+
+// --- request handling (Figure 2) ---
+
+func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
+	if s.cfg.AccessLog == nil {
+		return s.route(req)
+	}
+	start := s.clk.Now()
+	resp := s.route(req)
+	entry := accesslog.Entry{
+		RemoteHost: req.RemoteAddr,
+		Time:       start,
+		Method:     req.Method,
+		URI:        req.URI,
+		Proto:      req.Proto,
+		Status:     resp.StatusCode,
+		Bytes:      len(resp.Body),
+		Duration:   s.clk.Now().Sub(start),
+	}
+	switch resp.Header.Get("X-Swala-Cache") {
+	case "local":
+		entry.CacheSource = "local"
+	case "remote":
+		entry.CacheSource = "remote"
+	default:
+		if _, ok := s.engine.Lookup(req.Path); ok {
+			entry.CacheSource = "executed"
+		}
+	}
+	if err := s.cfg.AccessLog.Log(entry); err != nil {
+		s.logf("access log: %v", err)
+	}
+	return resp
+}
+
+// StatusPath serves the node's administrative status page.
+const StatusPath = "/swala-status"
+
+func (s *Server) route(req *httpmsg.Request) *httpmsg.Response {
+	switch req.Method {
+	case "GET", "POST":
+	default:
+		return errorResponse(405, "method not allowed")
+	}
+
+	if req.Path == StatusPath {
+		return s.serveStatus()
+	}
+	// Static files first: the cache holds only CGI results.
+	if f, ok := s.files.Get(req.Path); ok {
+		return s.serveFile(f)
+	}
+	if _, ok := s.engine.Lookup(req.Path); ok {
+		return s.serveDynamic(req)
+	}
+	return errorResponse(404, "not found: "+req.Path)
+}
+
+// serveStatus renders the admin status page: node identity, mode, counters,
+// and the most valuable cache entries.
+func (s *Server) serveStatus() *httpmsg.Response {
+	snap := s.counters.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>Swala node %d</title></head><body>\n", s.cfg.NodeID)
+	fmt.Fprintf(&b, "<h1>Swala node %d (%s)</h1>\n", s.cfg.NodeID, s.cfg.Name)
+	fmt.Fprintf(&b, "<p>mode: %s | policy: %s | capacity: %d entries</p>\n",
+		s.cfg.Mode, s.cfg.Policy, s.cfg.CacheCapacity)
+	fmt.Fprintf(&b, "<h2>Counters</h2><ul>\n")
+	fmt.Fprintf(&b, "<li>local hits: %d</li><li>remote hits: %d</li><li>misses: %d</li>\n",
+		snap.LocalHits, snap.RemoteHits, snap.Misses)
+	fmt.Fprintf(&b, "<li>false misses: %d</li><li>false hits: %d</li>\n",
+		snap.FalseMisses, snap.FalseHits)
+	fmt.Fprintf(&b, "<li>inserts: %d</li><li>evictions: %d</li><li>hit ratio: %.1f%%</li>\n",
+		snap.Inserts, snap.Evictions, 100*snap.HitRatio())
+	fmt.Fprintf(&b, "</ul>\n")
+	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
+		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
+	entries := s.dir.SnapshotLocal()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Hits > entries[j].Hits })
+	if len(entries) > 20 {
+		entries = entries[:20]
+	}
+	fmt.Fprintf(&b, "<table border=1><tr><th>key</th><th>size</th><th>exec time</th><th>hits</th></tr>\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%v</td><td>%d</td></tr>\n",
+			htmlEscape(e.Key), e.Size, e.ExecTime, e.Hits)
+	}
+	fmt.Fprintf(&b, "</table></body></html>\n")
+
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Content-Type", "text/html")
+	resp.Body = []byte(b.String())
+	return resp
+}
+
+// htmlEscape covers the characters that can appear in cache keys.
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// serveFile streams a static document, charging the file-serving CPU cost.
+func (s *Server) serveFile(f *content.File) *httpmsg.Response {
+	cost := s.cfg.Costs.FileBaseCost + time.Duration(len(f.Body))*s.cfg.Costs.PerByte
+	if _, err := s.node.Run(context.Background(), cost); err != nil {
+		return errorResponse(503, "server shutting down")
+	}
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Content-Type", f.ContentType)
+	resp.Body = f.Body
+	return resp
+}
+
+// serveDynamic implements the paper's Figure 2.
+func (s *Server) serveDynamic(req *httpmsg.Request) *httpmsg.Response {
+	creq := cgi.Request{Method: req.Method, Path: req.Path, Query: req.Query, Body: req.Body}
+
+	decision, ttl := s.cfg.Cacheability.Classify(req.Path, req.Query)
+	cacheable := s.cfg.Mode != NoCache && decision == cacheability.Cache && req.Method == "GET"
+
+	// Unable (uncacheable) request: execute without touching the cacher.
+	if !cacheable {
+		res, _, err := s.execCGI(creq)
+		if err != nil {
+			return errorResponse(502, "cgi failed: "+err.Error())
+		}
+		return cgiResponse(res)
+	}
+
+	key := req.CacheKey()
+
+	// Cached?
+	if e, ok := s.dir.Lookup(key, s.clk.Now()); ok {
+		if e.Owner == s.dir.Self() {
+			if resp := s.serveLocalHit(key); resp != nil {
+				return resp
+			}
+			// Local body vanished (should not happen); fall through to
+			// execution.
+		} else if s.cfg.Mode == Cooperative {
+			if resp := s.serveRemoteHit(e.Owner, key); resp != nil {
+				return resp
+			}
+			// False hit: the remote entry was deleted before our fetch
+			// arrived. Figure 2: execute the request locally.
+			s.counters.FalseHit()
+		}
+	}
+
+	// Miss: execute the CGI, tee the result into the cache, broadcast.
+	s.trackInflight(key, +1)
+	defer s.trackInflight(key, -1)
+
+	res, execTime, err := s.execCGI(creq)
+	if err != nil {
+		// The CGI return value is checked; failed executions are discarded,
+		// never cached.
+		s.counters.Miss()
+		return errorResponse(502, "cgi failed: "+err.Error())
+	}
+	s.counters.Miss()
+
+	// Insert only successful, sufficiently long executions.
+	if res.Status == 200 && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
+		s.insertResult(key, res, execTime, ttl)
+	}
+	return cgiResponse(res)
+}
+
+// serveLocalHit returns the cached body from the local store, or nil if the
+// body is missing.
+func (s *Server) serveLocalHit(key string) *httpmsg.Response {
+	ct, body, err := s.store.Get(key)
+	if err != nil {
+		s.logf("local cache body missing for %q: %v", key, err)
+		s.dir.RemoveLocal(key)
+		return nil
+	}
+	// A cache fetch "in effect becomes a file fetch".
+	cost := s.cfg.Costs.FileBaseCost + time.Duration(len(body))*s.cfg.Costs.PerByte
+	if _, err := s.node.Run(context.Background(), cost); err != nil {
+		return errorResponse(503, "server shutting down")
+	}
+	s.dir.TouchLocal(key)
+	s.counters.LocalHit()
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Content-Type", ct)
+	resp.Header.Set("X-Swala-Cache", "local")
+	resp.Body = body
+	return resp
+}
+
+// serveRemoteHit fetches the body from the owner node, or returns nil on a
+// false hit / fetch failure.
+func (s *Server) serveRemoteHit(owner uint32, key string) *httpmsg.Response {
+	ct, body, ok, err := s.clu.Fetch(owner, key)
+	if err != nil {
+		s.logf("remote fetch %q from %d: %v", key, owner, err)
+		return nil
+	}
+	if !ok {
+		// Remote node deleted the entry; reflect that locally so we stop
+		// asking.
+		s.dir.ApplyDelete(owner, key)
+		return nil
+	}
+	// Streaming the fetched body to the client costs the same as serving a
+	// local file of that size, plus the request/reply session with the
+	// owner; the peer's read/serve cost is charged on the owner's CPU in
+	// HandleFetch.
+	cost := s.cfg.Costs.RemoteFetchCost + s.cfg.Costs.FileBaseCost +
+		time.Duration(len(body))*s.cfg.Costs.PerByte
+	if _, err := s.node.Run(context.Background(), cost); err != nil {
+		return errorResponse(503, "server shutting down")
+	}
+	s.counters.RemoteHit()
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Content-Type", ct)
+	resp.Header.Set("X-Swala-Cache", "remote")
+	resp.Body = body
+	return resp
+}
+
+func (s *Server) execCGI(creq cgi.Request) (cgi.Result, time.Duration, error) {
+	return s.engine.Exec(context.Background(), creq)
+}
+
+// insertResult files the result body, inserts directory meta-data, and
+// broadcasts the insert. Evictions forced by the replacement policy are
+// deleted from the store and broadcast as deletes.
+func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration, ttl time.Duration) {
+	// A concurrently executed identical request (or a peer's insert racing
+	// our broadcast) may have inserted the key already; the paper calls the
+	// redundant execution a false miss. Detect it for accounting.
+	// If the key is in the directory now (a peer's broadcast landed while we
+	// executed), or an identical request is executing concurrently on this
+	// node, the paper notes the same information ends up cached at two
+	// places — we keep our copy too, like the original.
+	if _, ok := s.dir.Lookup(key, s.clk.Now()); ok {
+		s.counters.FalseMiss()
+	} else if s.inflightCount(key) > 1 {
+		// Identical request executing concurrently on this node.
+		s.counters.FalseMiss()
+	}
+
+	if err := s.store.Put(key, res.ContentType, res.Body); err != nil {
+		s.logf("cache put %q: %v", key, err)
+		return
+	}
+	now := s.clk.Now()
+	var expires time.Time
+	if ttl > 0 {
+		expires = now.Add(ttl)
+	}
+	entry := directory.Entry{
+		Key:      key,
+		Size:     int64(len(res.Body)),
+		ExecTime: execTime,
+		Inserted: now,
+		Expires:  expires,
+	}
+	evicted := s.dir.InsertLocal(entry, now)
+	s.counters.Insert()
+	for _, victim := range evicted {
+		s.counters.Eviction()
+		if err := s.store.Delete(victim); err != nil {
+			s.logf("evict delete %q: %v", victim, err)
+		}
+		s.broadcastDelete(victim)
+	}
+	if s.cfg.Mode == Cooperative {
+		s.clu.Broadcast(&wire.Insert{
+			Owner:    s.dir.Self(),
+			Key:      key,
+			Size:     entry.Size,
+			ExecTime: execTime,
+			Expires:  expires,
+		})
+	}
+}
+
+func (s *Server) broadcastDelete(key string) {
+	if s.cfg.Mode == Cooperative {
+		s.clu.Broadcast(&wire.Delete{Owner: s.dir.Self(), Key: key})
+	}
+}
+
+func (s *Server) trackInflight(key string, delta int) {
+	s.inflightMu.Lock()
+	s.inflight[key] += delta
+	if s.inflight[key] <= 0 {
+		delete(s.inflight, key)
+	}
+	s.inflightMu.Unlock()
+}
+
+func (s *Server) inflightCount(key string) int {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	return s.inflight[key]
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("swala[%d]: "+format, append([]any{s.cfg.NodeID}, args...)...)
+	}
+}
+
+func cgiResponse(res cgi.Result) *httpmsg.Response {
+	resp := httpmsg.NewResponse(res.Status)
+	resp.Header.Set("Content-Type", res.ContentType)
+	resp.Body = res.Body
+	return resp
+}
+
+func errorResponse(code int, msg string) *httpmsg.Response {
+	resp := httpmsg.NewResponse(code)
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte(msg + "\n")
+	return resp
+}
+
+// --- cluster handler ---
+
+// clusterHandler adapts Server to the cluster.Handler interface without
+// exposing those methods on the public Server type.
+type clusterHandler Server
+
+func (h *clusterHandler) server() *Server { return (*Server)(h) }
+
+// HandleInsert implements cluster.Handler.
+func (h *clusterHandler) HandleInsert(m *wire.Insert) {
+	s := h.server()
+	s.dir.ApplyInsert(directory.Entry{
+		Key:      m.Key,
+		Owner:    m.Owner,
+		Size:     m.Size,
+		ExecTime: m.ExecTime,
+		Expires:  m.Expires,
+	}, s.clk.Now())
+}
+
+// HandleDelete implements cluster.Handler.
+func (h *clusterHandler) HandleDelete(m *wire.Delete) {
+	h.server().dir.ApplyDelete(m.Owner, m.Key)
+}
+
+// HandleFetch implements cluster.Handler: serve a peer's fetch from the
+// local store, updating owner-side statistics as in the paper ("the cache
+// manager on the node that owns the item updates meta-data statistics").
+func (h *clusterHandler) HandleFetch(key string) (string, []byte, bool) {
+	s := h.server()
+	if _, ok := s.dir.LookupLocal(key, s.clk.Now()); !ok {
+		return "", nil, false
+	}
+	ct, body, err := s.store.Get(key)
+	if err != nil {
+		return "", nil, false
+	}
+	// The owner reads the cache file and ships it to the peer: the same
+	// file-fetch cost as a local hit plus the remote-serve overhead.
+	cost := s.cfg.Costs.RemoteServeCost + s.cfg.Costs.FileBaseCost +
+		time.Duration(len(body))*s.cfg.Costs.PerByte
+	if cost > 0 {
+		s.node.Run(context.Background(), cost)
+	}
+	s.dir.TouchLocal(key)
+	return ct, body, true
+}
+
+// AdminOrigin marks an invalidation sent by an administrative client
+// (swalactl) rather than a cluster node.
+const AdminOrigin = 0xFFFF
+
+// HandleInvalidate implements cluster.Handler: drop locally owned entries
+// matching the pattern. A node-originated invalidation is not re-broadcast
+// (the origin already told every peer; only the per-entry deletes are). An
+// admin-originated one arrived at a single node, so that node fans it out
+// with itself as origin — peers see a node origin and do not re-broadcast,
+// keeping the propagation loop-free.
+func (h *clusterHandler) HandleInvalidate(m *wire.Invalidate) {
+	s := h.server()
+	s.invalidateLocal(m.Pattern)
+	if m.Origin == AdminOrigin && s.cfg.Mode == Cooperative {
+		s.clu.Broadcast(&wire.Invalidate{Origin: s.dir.Self(), Pattern: m.Pattern})
+	}
+}
+
+// HandleStats implements cluster.Handler.
+func (h *clusterHandler) HandleStats() wire.StatsReply {
+	s := h.server()
+	snap := s.counters.Snapshot()
+	return wire.StatsReply{
+		LocalHits:   snap.LocalHits,
+		RemoteHits:  snap.RemoteHits,
+		Misses:      snap.Misses,
+		FalseMisses: snap.FalseMisses,
+		FalseHits:   snap.FalseHits,
+		Inserts:     snap.Inserts,
+		Evictions:   snap.Evictions,
+		Entries:     int64(s.dir.LocalLen()),
+	}
+}

@@ -1,0 +1,90 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/replacement"
+)
+
+func benchDirectory(entries int) *Directory {
+	d := New(1, 0, nil)
+	now := time.Unix(0, 0)
+	for i := 0; i < entries; i++ {
+		d.InsertLocal(Entry{Key: fmt.Sprintf("GET /cgi-bin/q?id=%d", i), Size: 2048,
+			ExecTime: time.Second}, now)
+	}
+	// Populate two peer tables too, as a real node's directory would have.
+	for peer := uint32(2); peer <= 3; peer++ {
+		for i := 0; i < entries; i++ {
+			d.ApplyInsert(Entry{Key: fmt.Sprintf("GET /cgi-bin/p%d?id=%d", peer, i),
+				Owner: peer, Size: 2048}, now)
+		}
+	}
+	return d
+}
+
+func BenchmarkLookupHitLocal(b *testing.B) {
+	d := benchDirectory(2000)
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup("GET /cgi-bin/q?id=999", now); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLookupHitRemote(b *testing.B) {
+	d := benchDirectory(2000)
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup("GET /cgi-bin/p3?id=999", now); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	d := benchDirectory(2000)
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup("GET /cgi-bin/absent", now); ok {
+			b.Fatal("hit")
+		}
+	}
+}
+
+func BenchmarkInsertWithEviction(b *testing.B) {
+	d := New(1, 2000, replacement.MustNew(replacement.LRU))
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.InsertLocal(Entry{Key: fmt.Sprintf("GET /k%d", i), Size: 1024, ExecTime: time.Second}, now)
+	}
+}
+
+func BenchmarkTouchLocal(b *testing.B) {
+	d := benchDirectory(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.TouchLocal("GET /cgi-bin/q?id=42")
+	}
+}
+
+func BenchmarkConcurrentLookups(b *testing.B) {
+	d := benchDirectory(2000)
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("GET /cgi-bin/q?id=%d", i%2000)
+			d.Lookup(key, now)
+			i++
+		}
+	})
+}

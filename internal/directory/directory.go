@@ -1,0 +1,359 @@
+// Package directory implements Swala's replicated global cache directory.
+// Every node keeps one table per cluster node; each table records what is
+// cached at the corresponding node. Following the paper's intra-node
+// consistency protocol, locking is at table granularity with read/write
+// locks — one lock per directory would serialize lookups, per-entry locks
+// would cost a lock/unlock pair per probed entry.
+//
+// The directory stores meta-data only. The local table additionally enforces
+// a capacity (in entries, as in the paper's experiments with cache sizes
+// 2000 and 20) through a pluggable replacement policy; evictions are
+// reported to the caller so the cache manager can delete the stored body and
+// broadcast the deletion.
+package directory
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/replacement"
+)
+
+// Entry is the meta-data for one cached result.
+type Entry struct {
+	// Key canonically identifies the request (httpmsg.CacheKey form).
+	Key string
+	// Owner is the node holding the body.
+	Owner uint32
+	// Size is the body size in bytes.
+	Size int64
+	// ExecTime is how long the CGI ran to produce the result.
+	ExecTime time.Duration
+	// Inserted is when the entry was cached.
+	Inserted time.Time
+	// Expires is the TTL deadline; zero means never expires.
+	Expires time.Time
+	// Hits counts fetches served from this entry (maintained by the owner).
+	Hits int64
+}
+
+// Expired reports whether the entry's TTL has passed at time now.
+func (e *Entry) Expired(now time.Time) bool {
+	return !e.Expires.IsZero() && now.After(e.Expires)
+}
+
+// table is the per-node portion of the directory.
+type table struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+func newTable() *table {
+	return &table{entries: make(map[string]*Entry)}
+}
+
+func (t *table) lookup(key string, now time.Time) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[key]
+	if !ok || e.Expired(now) {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+func (t *table) insert(e *Entry) {
+	t.mu.Lock()
+	t.entries[e.Key] = e
+	t.mu.Unlock()
+}
+
+func (t *table) remove(key string) bool {
+	t.mu.Lock()
+	_, ok := t.entries[key]
+	delete(t.entries, key)
+	t.mu.Unlock()
+	return ok
+}
+
+func (t *table) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+func (t *table) expiredKeys(now time.Time) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for k, e := range t.entries {
+		if e.Expired(now) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Directory is one node's replica of the global cache directory.
+// All methods are safe for concurrent use.
+type Directory struct {
+	self uint32
+
+	mu     sync.RWMutex // guards the tables map itself (node set changes)
+	tables map[uint32]*table
+
+	// localMu guards capacity bookkeeping (policy + capacity) for the local
+	// table. The policy structures are not internally synchronized.
+	localMu  sync.Mutex
+	policy   replacement.Policy
+	capacity int
+}
+
+// New creates a directory for node self with the given local capacity (in
+// entries; <=0 means unbounded) and replacement policy (nil defaults to
+// LRU). Peer tables are created lazily as inserts from new nodes arrive.
+func New(self uint32, capacity int, policy replacement.Policy) *Directory {
+	if policy == nil {
+		policy = replacement.MustNew(replacement.LRU)
+	}
+	d := &Directory{
+		self:     self,
+		tables:   make(map[uint32]*table),
+		policy:   policy,
+		capacity: capacity,
+	}
+	d.tables[self] = newTable()
+	return d
+}
+
+// Self returns the owning node's ID.
+func (d *Directory) Self() uint32 { return d.self }
+
+// Capacity returns the local table's entry capacity (<=0 means unbounded).
+func (d *Directory) Capacity() int { return d.capacity }
+
+func (d *Directory) tableFor(node uint32, create bool) *table {
+	d.mu.RLock()
+	t := d.tables[node]
+	d.mu.RUnlock()
+	if t != nil || !create {
+		return t
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t = d.tables[node]; t == nil {
+		t = newTable()
+		d.tables[node] = t
+	}
+	return t
+}
+
+// Lookup searches all tables for key, checking the local table first (a
+// local hit avoids a network round trip). It returns the entry copy and
+// whether it was found. Expired entries are treated as absent.
+func (d *Directory) Lookup(key string, now time.Time) (Entry, bool) {
+	if e, ok := d.tableFor(d.self, false).lookup(key, now); ok {
+		return e, true
+	}
+	d.mu.RLock()
+	nodes := make([]uint32, 0, len(d.tables))
+	for id := range d.tables {
+		if id != d.self {
+			nodes = append(nodes, id)
+		}
+	}
+	d.mu.RUnlock()
+	// Deterministic probe order keeps experiments reproducible.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, id := range nodes {
+		if e, ok := d.tableFor(id, false).lookup(key, now); ok {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// LookupLocal searches only the local table.
+func (d *Directory) LookupLocal(key string, now time.Time) (Entry, bool) {
+	return d.tableFor(d.self, false).lookup(key, now)
+}
+
+// InsertLocal adds an entry owned by this node, evicting per the replacement
+// policy if the local table is at capacity. It returns the evicted keys
+// (already removed from the local table) so the caller can delete bodies
+// and broadcast deletions. If key is already present its entry is replaced
+// in place with no eviction.
+func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
+	e.Owner = d.self
+	if e.Inserted.IsZero() {
+		e.Inserted = now
+	}
+	t := d.tableFor(d.self, true)
+
+	d.localMu.Lock()
+	defer d.localMu.Unlock()
+
+	t.mu.Lock()
+	_, exists := t.entries[e.Key]
+	ec := e
+	t.entries[e.Key] = &ec
+	t.mu.Unlock()
+
+	if exists {
+		d.policy.Access(e.Key)
+		return nil
+	}
+	d.policy.Insert(e.Key, replacement.Meta{Size: e.Size, ExecTime: e.ExecTime})
+	if d.capacity > 0 {
+		for d.policy.Len() > d.capacity {
+			victim := d.policy.Evict()
+			if victim == "" {
+				break
+			}
+			t.remove(victim)
+			evicted = append(evicted, victim)
+		}
+	}
+	return evicted
+}
+
+// TouchLocal records a hit on a locally owned entry: bumps the hit counter
+// and informs the replacement policy. The paper has the owning node update
+// meta-data statistics after each fetch.
+func (d *Directory) TouchLocal(key string) {
+	t := d.tableFor(d.self, false)
+	t.mu.Lock()
+	if e, ok := t.entries[key]; ok {
+		e.Hits++
+	}
+	t.mu.Unlock()
+
+	d.localMu.Lock()
+	d.policy.Access(key)
+	d.localMu.Unlock()
+}
+
+// RemoveLocal deletes a locally owned entry (TTL expiry or administrative
+// invalidation). It reports whether the entry existed.
+func (d *Directory) RemoveLocal(key string) bool {
+	d.localMu.Lock()
+	d.policy.Remove(key)
+	d.localMu.Unlock()
+	return d.tableFor(d.self, false).remove(key)
+}
+
+// ApplyInsert merges a peer's broadcast insert into that peer's table.
+// Inserts claiming to be from this node are ignored (they would bypass
+// capacity bookkeeping).
+func (d *Directory) ApplyInsert(e Entry, now time.Time) {
+	if e.Owner == d.self {
+		return
+	}
+	if e.Inserted.IsZero() {
+		e.Inserted = now
+	}
+	ec := e
+	d.tableFor(e.Owner, true).insert(&ec)
+}
+
+// ApplyDelete merges a peer's broadcast delete.
+func (d *Directory) ApplyDelete(owner uint32, key string) {
+	if owner == d.self {
+		return
+	}
+	if t := d.tableFor(owner, false); t != nil {
+		t.remove(key)
+	}
+}
+
+// ExpireLocal removes expired entries from the local table and returns their
+// keys so the caller can delete bodies and broadcast deletions. This backs
+// the paper's purge daemon, which "wakes up every few seconds and deletes
+// expired cache entries".
+func (d *Directory) ExpireLocal(now time.Time) []string {
+	t := d.tableFor(d.self, false)
+	keys := t.expiredKeys(now)
+	for _, k := range keys {
+		d.localMu.Lock()
+		d.policy.Remove(k)
+		d.localMu.Unlock()
+		t.remove(k)
+	}
+	return keys
+}
+
+// ExpireRemote drops expired entries from the peer tables. No deletions are
+// broadcast — every replica prunes its own copies; the owner broadcasts its
+// own expiries. It returns the number of entries dropped.
+func (d *Directory) ExpireRemote(now time.Time) int {
+	d.mu.RLock()
+	tables := make(map[uint32]*table, len(d.tables))
+	for id, t := range d.tables {
+		if id != d.self {
+			tables[id] = t
+		}
+	}
+	d.mu.RUnlock()
+
+	dropped := 0
+	for _, t := range tables {
+		for _, k := range t.expiredKeys(now) {
+			if t.remove(k) {
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// DropPeer discards a departed peer's entire table.
+func (d *Directory) DropPeer(node uint32) {
+	if node == d.self {
+		return
+	}
+	d.mu.Lock()
+	delete(d.tables, node)
+	d.mu.Unlock()
+}
+
+// LocalLen reports the number of entries in the local table.
+func (d *Directory) LocalLen() int { return d.tableFor(d.self, false).len() }
+
+// TotalLen reports entries across all tables.
+func (d *Directory) TotalLen() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, t := range d.tables {
+		n += t.len()
+	}
+	return n
+}
+
+// Nodes returns the IDs of all nodes with a table, ascending.
+func (d *Directory) Nodes() []uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]uint32, 0, len(d.tables))
+	for id := range d.tables {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SnapshotLocal returns copies of all local entries, sorted by key, for
+// inspection and tests.
+func (d *Directory) SnapshotLocal() []Entry {
+	t := d.tableFor(d.self, false)
+	t.mu.RLock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,325 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/replacement"
+)
+
+var t0 = time.Unix(1_000_000, 0)
+
+func entry(key string, owner uint32) Entry {
+	return Entry{Key: key, Owner: owner, Size: 100, ExecTime: time.Second}
+}
+
+func TestInsertAndLookupLocal(t *testing.T) {
+	d := New(1, 0, nil)
+	d.InsertLocal(entry("GET /a", 1), t0)
+	e, ok := d.Lookup("GET /a", t0)
+	if !ok {
+		t.Fatal("entry not found")
+	}
+	if e.Owner != 1 || e.Key != "GET /a" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, ok := d.Lookup("GET /missing", t0); ok {
+		t.Fatal("found a never-inserted key")
+	}
+}
+
+func TestLookupPrefersLocal(t *testing.T) {
+	d := New(1, 0, nil)
+	d.ApplyInsert(entry("GET /a", 2), t0)
+	d.InsertLocal(entry("GET /a", 1), t0)
+	e, ok := d.Lookup("GET /a", t0)
+	if !ok || e.Owner != 1 {
+		t.Fatalf("Lookup = %+v ok=%v, want local owner 1", e, ok)
+	}
+}
+
+func TestLookupFindsRemote(t *testing.T) {
+	d := New(1, 0, nil)
+	d.ApplyInsert(entry("GET /r", 3), t0)
+	e, ok := d.Lookup("GET /r", t0)
+	if !ok || e.Owner != 3 {
+		t.Fatalf("Lookup = %+v ok=%v, want owner 3", e, ok)
+	}
+	if _, ok := d.LookupLocal("GET /r", t0); ok {
+		t.Fatal("LookupLocal must not see remote entries")
+	}
+}
+
+func TestApplyInsertFromSelfIgnored(t *testing.T) {
+	d := New(1, 0, nil)
+	d.ApplyInsert(entry("GET /self", 1), t0)
+	if _, ok := d.Lookup("GET /self", t0); ok {
+		t.Fatal("self-originated ApplyInsert must be ignored")
+	}
+}
+
+func TestApplyDelete(t *testing.T) {
+	d := New(1, 0, nil)
+	d.ApplyInsert(entry("GET /r", 2), t0)
+	d.ApplyDelete(2, "GET /r")
+	if _, ok := d.Lookup("GET /r", t0); ok {
+		t.Fatal("entry survived ApplyDelete")
+	}
+	// Deleting from an unknown node or unknown key must not panic.
+	d.ApplyDelete(9, "GET /x")
+	d.ApplyDelete(1, "GET /x") // self: ignored
+}
+
+func TestCapacityEviction(t *testing.T) {
+	d := New(1, 2, replacement.MustNew(replacement.LRU))
+	if ev := d.InsertLocal(entry("a", 1), t0); len(ev) != 0 {
+		t.Fatalf("evicted %v on first insert", ev)
+	}
+	d.InsertLocal(entry("b", 1), t0)
+	ev := d.InsertLocal(entry("c", 1), t0)
+	if len(ev) != 1 || ev[0] != "a" {
+		t.Fatalf("evicted = %v, want [a]", ev)
+	}
+	if d.LocalLen() != 2 {
+		t.Fatalf("LocalLen = %d, want 2", d.LocalLen())
+	}
+	if _, ok := d.Lookup("a", t0); ok {
+		t.Fatal("evicted entry still visible")
+	}
+}
+
+func TestCapacityEvictionRespectsAccess(t *testing.T) {
+	d := New(1, 2, replacement.MustNew(replacement.LRU))
+	d.InsertLocal(entry("a", 1), t0)
+	d.InsertLocal(entry("b", 1), t0)
+	d.TouchLocal("a") // b becomes LRU victim
+	ev := d.InsertLocal(entry("c", 1), t0)
+	if len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", ev)
+	}
+}
+
+func TestReinsertSameKeyNoEviction(t *testing.T) {
+	d := New(1, 2, nil)
+	d.InsertLocal(entry("a", 1), t0)
+	d.InsertLocal(entry("b", 1), t0)
+	if ev := d.InsertLocal(entry("a", 1), t0); len(ev) != 0 {
+		t.Fatalf("reinsert evicted %v", ev)
+	}
+	if d.LocalLen() != 2 {
+		t.Fatalf("LocalLen = %d, want 2", d.LocalLen())
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	d := New(1, 0, nil)
+	for i := 0; i < 5000; i++ {
+		if ev := d.InsertLocal(entry(fmt.Sprintf("k%d", i), 1), t0); len(ev) != 0 {
+			t.Fatalf("unbounded directory evicted %v", ev)
+		}
+	}
+	if d.LocalLen() != 5000 {
+		t.Fatalf("LocalLen = %d", d.LocalLen())
+	}
+}
+
+func TestTouchLocalCountsHits(t *testing.T) {
+	d := New(1, 0, nil)
+	d.InsertLocal(entry("a", 1), t0)
+	d.TouchLocal("a")
+	d.TouchLocal("a")
+	d.TouchLocal("ghost") // must not panic
+	snap := d.SnapshotLocal()
+	if len(snap) != 1 || snap[0].Hits != 2 {
+		t.Fatalf("snapshot = %+v, want hits 2", snap)
+	}
+}
+
+func TestTTLExpiryInLookup(t *testing.T) {
+	d := New(1, 0, nil)
+	e := entry("a", 1)
+	e.Expires = t0.Add(time.Minute)
+	d.InsertLocal(e, t0)
+
+	if _, ok := d.Lookup("a", t0.Add(30*time.Second)); !ok {
+		t.Fatal("unexpired entry not found")
+	}
+	if _, ok := d.Lookup("a", t0.Add(2*time.Minute)); ok {
+		t.Fatal("expired entry returned by Lookup")
+	}
+}
+
+func TestExpireLocal(t *testing.T) {
+	d := New(1, 0, nil)
+	fresh := entry("fresh", 1)
+	fresh.Expires = t0.Add(time.Hour)
+	stale1 := entry("stale1", 1)
+	stale1.Expires = t0.Add(time.Minute)
+	stale2 := entry("stale2", 1)
+	stale2.Expires = t0.Add(2 * time.Minute)
+	forever := entry("forever", 1) // zero Expires: never expires
+	for _, e := range []Entry{fresh, stale1, stale2, forever} {
+		d.InsertLocal(e, t0)
+	}
+
+	keys := d.ExpireLocal(t0.Add(10 * time.Minute))
+	if len(keys) != 2 || keys[0] != "stale1" || keys[1] != "stale2" {
+		t.Fatalf("expired = %v, want [stale1 stale2]", keys)
+	}
+	if d.LocalLen() != 2 {
+		t.Fatalf("LocalLen = %d, want 2", d.LocalLen())
+	}
+	if _, ok := d.Lookup("forever", t0.Add(100*time.Hour)); !ok {
+		t.Fatal("zero-expiry entry must never expire")
+	}
+}
+
+func TestExpireLocalRemovesFromPolicy(t *testing.T) {
+	d := New(1, 2, replacement.MustNew(replacement.LRU))
+	stale := entry("stale", 1)
+	stale.Expires = t0.Add(time.Second)
+	d.InsertLocal(stale, t0)
+	d.ExpireLocal(t0.Add(time.Minute))
+	// Capacity 2: if the policy leaked "stale", these three inserts would
+	// evict prematurely.
+	d.InsertLocal(entry("a", 1), t0)
+	if ev := d.InsertLocal(entry("b", 1), t0); len(ev) != 0 {
+		t.Fatalf("policy leaked expired entry: evicted %v", ev)
+	}
+}
+
+func TestRemoveLocal(t *testing.T) {
+	d := New(1, 0, nil)
+	d.InsertLocal(entry("a", 1), t0)
+	if !d.RemoveLocal("a") {
+		t.Fatal("RemoveLocal returned false for existing key")
+	}
+	if d.RemoveLocal("a") {
+		t.Fatal("RemoveLocal returned true for removed key")
+	}
+	if _, ok := d.Lookup("a", t0); ok {
+		t.Fatal("removed entry still visible")
+	}
+}
+
+func TestDropPeer(t *testing.T) {
+	d := New(1, 0, nil)
+	d.ApplyInsert(entry("r1", 2), t0)
+	d.ApplyInsert(entry("r2", 2), t0)
+	d.InsertLocal(entry("l", 1), t0)
+	if d.TotalLen() != 3 {
+		t.Fatalf("TotalLen = %d, want 3", d.TotalLen())
+	}
+	d.DropPeer(2)
+	if d.TotalLen() != 1 {
+		t.Fatalf("TotalLen after DropPeer = %d, want 1", d.TotalLen())
+	}
+	d.DropPeer(1) // dropping self is ignored
+	if d.LocalLen() != 1 {
+		t.Fatal("DropPeer(self) must be a no-op")
+	}
+}
+
+func TestNodes(t *testing.T) {
+	d := New(5, 0, nil)
+	d.ApplyInsert(entry("a", 2), t0)
+	d.ApplyInsert(entry("b", 9), t0)
+	got := d.Nodes()
+	want := []uint32{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentMixedOperations(t *testing.T) {
+	d := New(1, 100, replacement.MustNew(replacement.LRU))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%150)
+				switch i % 5 {
+				case 0, 1:
+					d.InsertLocal(entry(key, 1), t0)
+				case 2:
+					d.Lookup(key, t0)
+				case 3:
+					d.TouchLocal(key)
+				case 4:
+					d.ApplyInsert(entry(key, uint32(2+w%3)), t0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.LocalLen() > 100 {
+		t.Fatalf("LocalLen = %d exceeds capacity 100", d.LocalLen())
+	}
+}
+
+// Property: with capacity c and any insert sequence, LocalLen never exceeds
+// c and the evicted set plus resident set equals the inserted set.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(rawKeys []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		d := New(1, capacity, replacement.MustNew(replacement.FIFO))
+		inserted := make(map[string]bool)
+		evicted := make(map[string]bool)
+		for _, rk := range rawKeys {
+			key := fmt.Sprintf("k%d", rk)
+			inserted[key] = true
+			for _, ev := range d.InsertLocal(entry(key, 1), t0) {
+				evicted[ev] = true
+			}
+			if d.LocalLen() > capacity {
+				return false
+			}
+		}
+		resident := make(map[string]bool)
+		for _, e := range d.SnapshotLocal() {
+			resident[e.Key] = true
+		}
+		for k := range inserted {
+			if !resident[k] && !evicted[k] {
+				return false
+			}
+		}
+		for k := range resident {
+			if evicted[k] {
+				// A key can be re-inserted after eviction; then it may be in
+				// both sets. Accept that but require it be inserted.
+				if !inserted[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryExpired(t *testing.T) {
+	e := Entry{}
+	if e.Expired(t0.Add(1000 * time.Hour)) {
+		t.Fatal("zero-expiry entry reported expired")
+	}
+	e.Expires = t0
+	if e.Expired(t0) {
+		t.Fatal("entry expired exactly at deadline (should expire only after)")
+	}
+	if !e.Expired(t0.Add(time.Nanosecond)) {
+		t.Fatal("entry not expired past deadline")
+	}
+}

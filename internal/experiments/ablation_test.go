@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/replacement"
+)
+
+func TestPolicyAblationShape(t *testing.T) {
+	res, err := RunPolicyAblation(structuralOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != len(replacement.Kinds()) {
+		t.Fatalf("policies = %v", res.Policies)
+	}
+	for i, p := range res.Policies {
+		if res.Hits[i] <= 0 {
+			t.Errorf("%s: no hits", p)
+		}
+		if res.HitRatio[i] <= 0.05 || res.HitRatio[i] >= 0.95 {
+			t.Errorf("%s: hit ratio %.2f outside the interesting regime", p, res.HitRatio[i])
+		}
+		if res.Evictions[i] <= 0 {
+			t.Errorf("%s: no evictions despite undersized cache", p)
+		}
+	}
+	// The cost-aware policy must beat cost-blind FIFO. Compare hit counts —
+	// a structural quantity with a robust margin — rather than wall-clock
+	// means, which depend on host load when test packages run in parallel
+	// (full-size benchsuite runs show GDS with the best mean response).
+	var gdsHits, fifoHits int64
+	for i, p := range res.Policies {
+		switch p {
+		case string(replacement.GDS):
+			gdsHits = res.Hits[i]
+		case string(replacement.FIFO):
+			fifoHits = res.Hits[i]
+		}
+	}
+	if gdsHits <= fifoHits {
+		t.Errorf("GDS hits (%d) not above FIFO hits (%d) on a popularity-skewed workload", gdsHits, fifoHits)
+	}
+	if res.MeanOf(string(replacement.GDS)) <= 0 {
+		t.Error("GDS mean response missing")
+	}
+	if out := res.Render(); !strings.Contains(out, "Ablation") {
+		t.Fatalf("render missing title:\n%s", out)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/netx"
+	"repro/internal/tablefmt"
+	"repro/internal/workload"
+)
+
+// Figure3Result reproduces Figure 3: null-CGI request response time under
+// 24 concurrent clients for five configurations.
+type Figure3Result struct {
+	// Bars maps configuration name to mean response time, in render order.
+	Labels []string
+	Means  []time.Duration
+	Scale  float64 // measured ns per paper second
+}
+
+// Figure 3 configuration labels.
+const (
+	F3Enterprise  = "Enterprise"
+	F3HTTPd       = "HTTPd"
+	F3SwalaNoCa   = "Swala no-cache"
+	F3SwalaRemote = "Swala remote-cache"
+	F3SwalaLocal  = "Swala local-cache"
+)
+
+// RunFigure3 measures the five null-CGI configurations.
+func RunFigure3(opt Options) (Figure3Result, error) {
+	opt = opt.withDefaults()
+	res := Figure3Result{Scale: float64(opt.Scale.PerSecond)}
+	nClients := opt.pick(8, 24)
+	perClient := opt.pick(10, 40)
+	const uri = "/cgi-bin/null?work=none"
+
+	// All servers share one in-memory network.
+	swalaNo, err := newSwalaCluster(opt, clusterSpec{n: 1, mode: core.NoCache})
+	if err != nil {
+		return res, err
+	}
+	defer swalaNo.Close()
+	mem := swalaNo.mem
+
+	httpd, err := newBaseline(opt, mem, baseline.HTTPd, "f3-httpd")
+	if err != nil {
+		return res, err
+	}
+	defer httpd.Close()
+	ent, err := newBaseline(opt, mem, baseline.Enterprise, "f3-ent")
+	if err != nil {
+		return res, err
+	}
+	defer ent.Close()
+
+	// Local-cache configuration: a stand-alone caching node, warmed.
+	local, err := newSwalaCluster(opt, clusterSpec{n: 1, mode: core.StandAlone})
+	if err != nil {
+		return res, err
+	}
+	defer local.Close()
+
+	// Remote-cache configuration: two cooperative nodes; node 1 is warmed
+	// and every measured request goes to node 2, forcing a remote fetch each
+	// time (node 2 never caches what it fetched, as in the original).
+	remote, err := newSwalaCluster(opt, clusterSpec{n: 2, mode: core.Cooperative})
+	if err != nil {
+		return res, err
+	}
+	defer remote.Close()
+
+	warm := func(c *swalaCluster, addr string) error {
+		resp, err := c.client.Get(addr, uri)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("figure3: warmup status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := warm(local, local.addrs[0]); err != nil {
+		return res, err
+	}
+	if err := warm(remote, remote.addrs[0]); err != nil {
+		return res, err
+	}
+	// Wait for the insert broadcast to reach node 2's directory.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := remote.servers[1].Directory().Lookup("GET "+uri, time.Now()); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("figure3: insert broadcast never reached node 2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Each configuration dials on its own network fabric.
+	run := func(label string, fabric *netx.Mem, addr string) error {
+		settle()
+		client := httpclient.New(fabric)
+		defer client.Close()
+		d := &workload.Driver{
+			Client:  client,
+			Clients: nClients,
+			Source:  workload.RepeatSource([]string{addr}, uri, perClient),
+		}
+		out := d.Run()
+		if out.Errors > 0 {
+			return fmt.Errorf("figure3: %d errors for %s", out.Errors, label)
+		}
+		res.Labels = append(res.Labels, label)
+		res.Means = append(res.Means, out.Latency.Mean)
+		return nil
+	}
+
+	if err := run(F3Enterprise, mem, "f3-ent"); err != nil {
+		return res, err
+	}
+	if err := run(F3HTTPd, mem, "f3-httpd"); err != nil {
+		return res, err
+	}
+	if err := run(F3SwalaNoCa, mem, swalaNo.addrs[0]); err != nil {
+		return res, err
+	}
+	if err := run(F3SwalaRemote, remote.mem, remote.addrs[1]); err != nil {
+		return res, err
+	}
+	if err := run(F3SwalaLocal, local.mem, local.addrs[0]); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Mean returns the mean response time for a label (0 when absent).
+func (r Figure3Result) Mean(label string) time.Duration {
+	for i, l := range r.Labels {
+		if l == label {
+			return r.Means[i]
+		}
+	}
+	return 0
+}
+
+// Render draws the five bars as a table plus ASCII bar chart.
+func (r Figure3Result) Render() string {
+	var sb strings.Builder
+	t := tablefmt.New("Figure 3. Null-CGI response time, 24 concurrent clients (paper seconds).",
+		"configuration", "mean response", "bar")
+	max := time.Duration(0)
+	for _, m := range r.Means {
+		if m > max {
+			max = m
+		}
+	}
+	for i, l := range r.Labels {
+		barLen := 0
+		if max > 0 {
+			barLen = int(40 * float64(r.Means[i]) / float64(max))
+		}
+		t.AddRow(l,
+			fmt.Sprintf("%.4f", float64(r.Means[i])/r.Scale),
+			strings.Repeat("#", barLen))
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nPaper shape: Swala no-cache comparable to HTTPd and faster than Enterprise;\nlocal fetch < remote fetch << CGI execution; remote-local gap small.\n")
+	return sb.String()
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencySweepShape(t *testing.T) {
+	res, err := RunLatencySweep(latencyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := 0, len(res.LatencyPaperMillis)-1
+	// Remote fetches must get slower as latency grows — by at least the
+	// injected round trips.
+	if res.RemoteFetchMean[last] <= res.RemoteFetchMean[first] {
+		t.Errorf("remote fetch mean did not grow with latency: %v", res.RemoteFetchMean)
+	}
+	// False misses must not decrease with latency, and high latency should
+	// produce a substantial false-miss rate for near-simultaneous pairs.
+	if res.FalseMisses[last] < res.FalseMisses[first] {
+		t.Errorf("false misses decreased with latency: %v", res.FalseMisses)
+	}
+	if res.FalseMissRateAt(last) < 0.2 {
+		t.Errorf("false-miss rate at %d paper-ms = %.2f, want >= 0.2",
+			res.LatencyPaperMillis[last], res.FalseMissRateAt(last))
+	}
+	if out := res.Render(); !strings.Contains(out, "Sensitivity") {
+		t.Fatalf("render missing title:\n%s", out)
+	}
+}

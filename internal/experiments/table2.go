@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/tablefmt"
+	"repro/internal/workload"
+)
+
+// Table2Result reproduces Table 2: file-fetch mean response time (WebStone
+// mix) for NCSA HTTPd, Netscape Enterprise, and Swala across client counts.
+type Table2Result struct {
+	Clients []int
+	// Mean response time per server, indexed like Clients.
+	HTTPd      []time.Duration
+	Enterprise []time.Duration
+	Swala      []time.Duration
+	// PaperSecondsPer converts the durations for display.
+	Scale float64 // measured ns per paper second
+}
+
+// RunTable2 measures the WebStone file mix against the three servers.
+func RunTable2(opt Options) (Table2Result, error) {
+	opt = opt.withDefaults()
+	clients := []int{4, 8, 16, 24, 32}
+	if opt.Quick {
+		clients = []int{4, 8, 16}
+	}
+	perClient := opt.pick(40, 60)
+
+	res := Table2Result{Clients: clients, Scale: float64(opt.Scale.PerSecond)}
+
+	// Swala (caching state is irrelevant for files; use a single no-cache
+	// node, as the paper's single-node comparison does).
+	swala, err := newSwalaCluster(opt, clusterSpec{n: 1, mode: core.NoCache})
+	if err != nil {
+		return res, err
+	}
+	defer swala.Close()
+
+	httpd, err := newBaseline(opt, swala.mem, baseline.HTTPd, "bl-httpd")
+	if err != nil {
+		return res, err
+	}
+	defer httpd.Close()
+	ent, err := newBaseline(opt, swala.mem, baseline.Enterprise, "bl-ent")
+	if err != nil {
+		return res, err
+	}
+	defer ent.Close()
+
+	run := func(addr string, nClients int) (time.Duration, error) {
+		settle()
+		client := httpclient.New(swala.mem)
+		defer client.Close()
+		d := &workload.Driver{
+			Client:  client,
+			Clients: nClients,
+			Source:  workload.FileMixSource([]string{addr}, perClient, opt.Seed),
+		}
+		out := d.Run()
+		if out.Errors > 0 {
+			return 0, fmt.Errorf("table2: %d request errors against %s", out.Errors, addr)
+		}
+		return out.Latency.Mean, nil
+	}
+
+	for _, n := range clients {
+		m, err := run("bl-httpd", n)
+		if err != nil {
+			return res, err
+		}
+		res.HTTPd = append(res.HTTPd, m)
+		m, err = run("bl-ent", n)
+		if err != nil {
+			return res, err
+		}
+		res.Enterprise = append(res.Enterprise, m)
+		m, err = run(swala.addrs[0], n)
+		if err != nil {
+			return res, err
+		}
+		res.Swala = append(res.Swala, m)
+	}
+	return res, nil
+}
+
+// paperSeconds converts a measured duration to paper seconds for display.
+func (r Table2Result) paperSeconds(d time.Duration) float64 {
+	if r.Scale == 0 {
+		return 0
+	}
+	return float64(d) / r.Scale
+}
+
+// SpeedupOverHTTPd returns Swala's speedup over HTTPd at index i.
+func (r Table2Result) SpeedupOverHTTPd(i int) float64 {
+	if r.Swala[i] == 0 {
+		return 0
+	}
+	return float64(r.HTTPd[i]) / float64(r.Swala[i])
+}
+
+// Render formats the result like the paper's Table 2.
+func (r Table2Result) Render() string {
+	var sb strings.Builder
+	t := tablefmt.New("Table 2. File fetch average response time (paper seconds, WebStone mix).",
+		"# clients", "HTTPd", "Enterprise", "Swala", "HTTPd/Swala")
+	for i, n := range r.Clients {
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", r.paperSeconds(r.HTTPd[i])),
+			fmt.Sprintf("%.4f", r.paperSeconds(r.Enterprise[i])),
+			fmt.Sprintf("%.4f", r.paperSeconds(r.Swala[i])),
+			fmt.Sprintf("%.1fx", r.SpeedupOverHTTPd(i)),
+		)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nPaper shape: Swala 2-7x faster than HTTPd; Enterprise slightly faster than\nSwala at few clients, slightly slower at many.\n")
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/stats"
+	"repro/internal/tablefmt"
+	"repro/internal/workload"
+)
+
+// HitRatioResult reproduces Tables 5 and 6: cache hits under stand-alone and
+// cooperative caching compared with the theoretical upper bound, for a given
+// per-node cache size.
+type HitRatioResult struct {
+	// CacheSize is the per-node capacity in entries (2000 for Table 5, 20
+	// for Table 6).
+	CacheSize int
+	// TotalRequests and UniqueRequests describe the workload (paper: 1600
+	// and 1122).
+	TotalRequests  int
+	UniqueRequests int
+	// UpperBound is the maximum possible hits (total - unique).
+	UpperBound int
+
+	Nodes      []int
+	StandAlone []int64
+	Coop       []int64
+}
+
+// RunHitRatio measures Tables 5/6 for the given per-node cache size.
+func RunHitRatio(opt Options, cacheSize int) (HitRatioResult, error) {
+	opt = opt.withDefaults()
+
+	total := opt.pick(800, 1600)
+	unique := opt.pick(561, 1122)
+	reqs := workload.HitWorkload(workload.HitWorkloadConfig{
+		Total:  total,
+		Unique: unique,
+		// Short executions keep the run fast and the false-miss window
+		// narrow; hit counts do not otherwise depend on service time.
+		CostMillis: 15,
+		// Repeats cluster near their first occurrence, matching the log's
+		// temporal locality; this is what lets even a 20-entry cache catch a
+		// meaningful share of repeats (Table 6's single-node 28.7%).
+		LocalityWindow: 90,
+		Seed:           opt.Seed,
+	})
+
+	res := HitRatioResult{
+		CacheSize:      cacheSize,
+		TotalRequests:  len(reqs),
+		UniqueRequests: workload.CountUnique(reqs),
+		UpperBound:     workload.UpperBoundHits(reqs),
+	}
+	nodes := []int{1, 2, 4, 6, 8}
+	if opt.Quick {
+		nodes = []int{1, 2, 4, 8}
+	}
+	res.Nodes = nodes
+
+	const clientThreads = 16
+
+	run := func(n int, mode core.Mode) (int64, error) {
+		cluster, err := newSwalaCluster(opt, clusterSpec{n: n, mode: mode, capacity: cacheSize})
+		if err != nil {
+			return 0, err
+		}
+		defer cluster.Close()
+		client := httpclient.New(cluster.mem)
+		defer client.Close()
+		d := &workload.Driver{
+			Client:  client,
+			Clients: clientThreads,
+			Source:  workload.SliceSource(cluster.addrs, reqs, clientThreads),
+		}
+		out := d.Run()
+		if out.Errors > 0 {
+			return 0, fmt.Errorf("hit-ratio: %d errors at n=%d mode=%v", out.Errors, n, mode)
+		}
+		var totalSnap stats.HitSnapshot
+		for _, s := range cluster.servers {
+			totalSnap = totalSnap.Add(s.Counters())
+		}
+		return totalSnap.Hits(), nil
+	}
+
+	for _, n := range nodes {
+		sa, err := run(n, core.StandAlone)
+		if err != nil {
+			return res, err
+		}
+		coop := sa
+		if n == 1 {
+			// With one node cooperative and stand-alone caching coincide
+			// (the paper's tables report N/A for stand-alone at one node).
+			res.StandAlone = append(res.StandAlone, -1)
+			coop, err = run(n, core.Cooperative)
+			if err != nil {
+				return res, err
+			}
+		} else {
+			res.StandAlone = append(res.StandAlone, sa)
+			coop, err = run(n, core.Cooperative)
+			if err != nil {
+				return res, err
+			}
+		}
+		res.Coop = append(res.Coop, coop)
+	}
+	return res, nil
+}
+
+// PercentOfBound converts a hit count to a percentage of the upper bound.
+func (r HitRatioResult) PercentOfBound(hits int64) float64 {
+	if r.UpperBound == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(r.UpperBound)
+}
+
+// CoopPercentAt returns cooperative hits as % of bound at index i.
+func (r HitRatioResult) CoopPercentAt(i int) float64 {
+	return r.PercentOfBound(r.Coop[i])
+}
+
+// StandAlonePercentAt returns stand-alone hits as % of bound at index i
+// (NaN-free: -1 rows return 0).
+func (r HitRatioResult) StandAlonePercentAt(i int) float64 {
+	if r.StandAlone[i] < 0 {
+		return 0
+	}
+	return r.PercentOfBound(r.StandAlone[i])
+}
+
+// Render formats the result like the paper's Tables 5/6.
+func (r HitRatioResult) Render() string {
+	var sb strings.Builder
+	title := fmt.Sprintf("Table. Cache hit ratios, stand-alone and cooperative caching, cache size %d.", r.CacheSize)
+	fmt.Fprintf(&sb, "Workload: %d requests, %d unique; upper bound on hits = %d.\n",
+		r.TotalRequests, r.UniqueRequests, r.UpperBound)
+	t := tablefmt.New(title,
+		"# nodes", "Stand. hits", "Coop. hits", "Stand. %", "Coop. %")
+	for i, n := range r.Nodes {
+		sa := "N/A"
+		saPct := "N/A"
+		if r.StandAlone[i] >= 0 {
+			sa = fmt.Sprintf("%d", r.StandAlone[i])
+			saPct = fmt.Sprintf("%.1f%%", r.StandAlonePercentAt(i))
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			sa,
+			fmt.Sprintf("%d", r.Coop[i]),
+			saPct,
+			fmt.Sprintf("%.1f%%", r.CoopPercentAt(i)),
+		)
+	}
+	sb.WriteString(t.String())
+	if r.CacheSize >= 1000 {
+		sb.WriteString("\nPaper shape (Table 5, size 2000): cooperative stays >= 97% of the bound at\nevery node count; stand-alone falls off as nodes are added.\n")
+	} else {
+		sb.WriteString("\nPaper shape (Table 6, size 20): cooperative hit ratio grows with nodes\n(~29% -> ~74% of bound); stand-alone stays below 40%.\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+// Package httpclient is a from-scratch HTTP/1.1 client with keep-alive
+// connection pooling, used by the WebStone-style load generators to drive
+// the Swala server and the baseline comparators. Like the server side it is
+// built directly on the httpmsg message layer over raw connections.
+package httpclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/httpmsg"
+	"repro/internal/netx"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("httpclient: client closed")
+
+// Client issues HTTP requests with per-address connection reuse. It is safe
+// for concurrent use.
+type Client struct {
+	network netx.Network
+	// MaxIdlePerHost bounds pooled connections per address (default 32).
+	maxIdle int
+	// Timeout bounds each round trip (dial + write + read). 0 = none.
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]*pooledConn
+	closed bool
+}
+
+type pooledConn struct {
+	conn   net.Conn
+	reader *bufio.Reader
+	writer *bufio.Writer
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout bounds every round trip.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// WithMaxIdlePerHost sets the pool bound.
+func WithMaxIdlePerHost(n int) Option { return func(c *Client) { c.maxIdle = n } }
+
+// New creates a client on the given network (nil means real TCP).
+func New(network netx.Network, opts ...Option) *Client {
+	if network == nil {
+		network = netx.TCP{}
+	}
+	c := &Client{network: network, maxIdle: 32, idle: make(map[string][]*pooledConn)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Get issues a GET for uri against addr and returns the response.
+func (c *Client) Get(addr, uri string) (*httpmsg.Response, error) {
+	req := httpmsg.NewRequest("GET", uri)
+	return c.Do(addr, req)
+}
+
+// Do sends req to addr, reusing a pooled connection when possible, and
+// returns the parsed response. A request that fails on a reused connection
+// is retried once on a fresh connection (the peer may have closed the idle
+// connection between requests).
+func (c *Client) Do(addr string, req *httpmsg.Request) (*httpmsg.Response, error) {
+	pc, reused, err := c.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(pc, req)
+	if err != nil && reused {
+		pc.conn.Close()
+		pc, _, err = c.dialConn(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err = c.roundTrip(pc, req)
+	}
+	if err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+
+	// Honor the server's connection semantics before pooling.
+	if connectionReusable(req, resp) {
+		c.putConn(addr, pc)
+	} else {
+		pc.conn.Close()
+	}
+	return resp, nil
+}
+
+func connectionReusable(req *httpmsg.Request, resp *httpmsg.Response) bool {
+	if resp.Header.Get("Connection") == "close" {
+		return false
+	}
+	return req.WantsKeepAlive()
+}
+
+func (c *Client) roundTrip(pc *pooledConn, req *httpmsg.Request) (*httpmsg.Response, error) {
+	if c.timeout > 0 {
+		pc.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := httpmsg.WriteRequest(pc.writer, req); err != nil {
+		return nil, fmt.Errorf("httpclient: write: %w", err)
+	}
+	resp, err := httpmsg.ReadResponse(pc.reader)
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: read: %w", err)
+	}
+	return resp, nil
+}
+
+func (c *Client) getConn(addr string) (pc *pooledConn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if conns := c.idle[addr]; len(conns) > 0 {
+		pc = conns[len(conns)-1]
+		c.idle[addr] = conns[:len(conns)-1]
+		c.mu.Unlock()
+		return pc, true, nil
+	}
+	c.mu.Unlock()
+	pc, _, err = c.dialConn(addr)
+	return pc, false, err
+}
+
+func (c *Client) dialConn(addr string) (*pooledConn, bool, error) {
+	conn, err := c.network.Dial(addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("httpclient: dial %s: %w", addr, err)
+	}
+	return &pooledConn{
+		conn:   conn,
+		reader: bufio.NewReaderSize(conn, 8<<10),
+		writer: bufio.NewWriterSize(conn, 8<<10),
+	}, false, nil
+}
+
+func (c *Client) putConn(addr string, pc *pooledConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle[addr]) >= c.maxIdle {
+		pc.conn.Close()
+		return
+	}
+	if c.timeout > 0 {
+		pc.conn.SetDeadline(time.Time{})
+	}
+	c.idle[addr] = append(c.idle[addr], pc)
+}
+
+// IdleConns reports pooled connections for addr (for tests).
+func (c *Client) IdleConns(addr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle[addr])
+}
+
+// Close closes all pooled connections; in-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conns := range c.idle {
+		for _, pc := range conns {
+			pc.conn.Close()
+		}
+	}
+	c.idle = make(map[string][]*pooledConn)
+	return nil
+}

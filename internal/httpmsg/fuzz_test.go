@@ -1,0 +1,85 @@
+package httpmsg
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRequest asserts the request parser never panics and that anything
+// it accepts can be re-serialized and re-parsed to the same request line.
+func FuzzReadRequest(f *testing.F) {
+	seeds := []string{
+		"GET / HTTP/1.0\r\n\r\n",
+		"GET /cgi-bin/q?a=1&b=2 HTTP/1.1\r\nHost: x\r\n\r\n",
+		"POST /s HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc",
+		"GET / HTTP/1.1\nConnection: close\n\n",
+		"BOGUS\r\n\r\n",
+		"GET / HTTP/9.9\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+		strings.Repeat("A", 64) + " /x HTTP/1.0\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		// Round-trip property on accepted input.
+		var buf bytes.Buffer
+		if err := WriteRequest(bufio.NewWriter(&buf), req); err != nil {
+			t.Fatalf("re-serialize accepted request: %v", err)
+		}
+		again, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-parse serialized request: %v", err)
+		}
+		if again.Method != req.Method || again.URI != req.URI || again.Proto != req.Proto {
+			t.Fatalf("round trip changed request line: %+v vs %+v", again, req)
+		}
+		if !bytes.Equal(again.Body, req.Body) {
+			t.Fatalf("round trip changed body")
+		}
+	})
+}
+
+// FuzzReadResponse asserts the response parser never panics.
+func FuzzReadResponse(f *testing.F) {
+	seeds := []string{
+		"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi",
+		"HTTP/1.0 204\r\n\r\n",
+		"HTTP/1.1 999 Weird\r\n\r\n",
+		"NOPE\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if resp.StatusCode < 100 || resp.StatusCode > 599 {
+			t.Fatalf("accepted out-of-range status %d", resp.StatusCode)
+		}
+	})
+}
+
+// FuzzParseQuery asserts the query parser never panics and output keys are
+// unique.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{"", "a=1", "a=1&b=2", "%41=%42", "a=+x", "%%%", "a&&b", "=v"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		m := ParseQuery(q)
+		for k := range m {
+			_ = k
+		}
+	})
+}

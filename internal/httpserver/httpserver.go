@@ -1,0 +1,238 @@
+// Package httpserver implements the HTTP module of the Swala design: a
+// fixed pool of request threads that take turns accepting connections on the
+// main port and each own a request from parsing to completion. The paper
+// calls out multi-threading (rather than per-request processes) as a key
+// efficiency property of the server; here the "request threads" are
+// goroutines accepting from a shared listener.
+package httpserver
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/httpmsg"
+)
+
+// Handler produces the response for one request. Implementations must be
+// safe for concurrent use; every request thread calls the same handler.
+type Handler interface {
+	Serve(req *httpmsg.Request) *httpmsg.Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *httpmsg.Request) *httpmsg.Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req *httpmsg.Request) *httpmsg.Response { return f(req) }
+
+// Config tunes a Server.
+type Config struct {
+	// RequestThreads is the size of the accept/handle pool (default 16,
+	// mirroring the paper's thread-pool design).
+	RequestThreads int
+	// MaxRequestsPerConn bounds keep-alive reuse (0 = unlimited).
+	MaxRequestsPerConn int
+	// ReadTimeout bounds how long a request thread waits for the next
+	// request on an idle persistent connection. Because a fixed thread pool
+	// parks a whole thread on each idle connection, a keep-alive timeout is
+	// what lets the pool outlive clients that hold connections open; 0 uses
+	// DefaultReadTimeout, negative disables the timeout entirely.
+	ReadTimeout time.Duration
+	// ErrorLog receives connection-level errors; nil discards them.
+	ErrorLog *log.Logger
+}
+
+// Server accepts connections from a listener and serves HTTP requests
+// through a Handler.
+type Server struct {
+	handler Handler
+	cfg     Config
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	served uint64 // total requests served, for tests/metrics
+}
+
+// DefaultReadTimeout is the default keep-alive idle timeout.
+const DefaultReadTimeout = 2 * time.Second
+
+// New creates a server with the given handler and config.
+func New(handler Handler, cfg Config) *Server {
+	if cfg.RequestThreads <= 0 {
+		cfg.RequestThreads = 16
+	}
+	switch {
+	case cfg.ReadTimeout == 0:
+		cfg.ReadTimeout = DefaultReadTimeout
+	case cfg.ReadTimeout < 0:
+		cfg.ReadTimeout = 0
+	}
+	return &Server{handler: handler, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve starts the request-thread pool accepting from l and returns
+// immediately. Call Close to stop.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.RequestThreads; i++ {
+		s.wg.Add(1)
+		go s.requestThread(l)
+	}
+}
+
+// Addr returns the listener's address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Served reports the total number of requests completed.
+func (s *Server) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// requestThread is one member of the pool: it accepts a connection, handles
+// it to completion (all keep-alive requests), then goes back to accepting —
+// the paper's "request threads take turns listening on the main port".
+func (s *Server) requestThread(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("accept: %v", err)
+			continue
+		}
+		s.trackConn(conn, true)
+		s.handleConn(conn)
+		s.trackConn(conn, false)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	reader := bufio.NewReaderSize(conn, 8<<10)
+	writer := bufio.NewWriterSize(conn, 8<<10)
+	requests := 0
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		req, err := httpmsg.ReadRequest(reader)
+		if req != nil && conn.RemoteAddr() != nil {
+			req.RemoteAddr = conn.RemoteAddr().String()
+		}
+		if err != nil {
+			// EOF between requests is an orderly close; anything else on a
+			// fresh request gets a 400 best-effort.
+			if !isOrderlyClose(err) {
+				resp := httpmsg.NewResponse(400)
+				resp.Body = []byte(err.Error() + "\n")
+				httpmsg.WriteResponse(writer, resp)
+			}
+			return
+		}
+		resp := s.handler.Serve(req)
+		if resp == nil {
+			resp = httpmsg.NewResponse(500)
+		}
+		keepAlive := req.WantsKeepAlive()
+		requests++
+		if s.cfg.MaxRequestsPerConn > 0 && requests >= s.cfg.MaxRequestsPerConn {
+			keepAlive = false
+		}
+		if !keepAlive {
+			resp.Header.Set("Connection", "close")
+		}
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+		if err := httpmsg.WriteResponse(writer, resp); err != nil {
+			s.logf("write response: %v", err)
+			return
+		}
+		if !keepAlive {
+			return
+		}
+	}
+}
+
+func isOrderlyClose(err error) bool {
+	if err == nil {
+		return false
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return true
+	}
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF)
+}
+
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed {
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.ErrorLog != nil {
+		s.cfg.ErrorLog.Printf(format, args...)
+	}
+}
+
+// Close stops accepting, closes all live connections, and waits for the
+// request threads to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}

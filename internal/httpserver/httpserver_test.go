@@ -1,0 +1,292 @@
+package httpserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpmsg"
+	"repro/internal/netx"
+)
+
+func echoHandler(req *httpmsg.Request) *httpmsg.Response {
+	resp := httpmsg.NewResponse(200)
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte("echo:" + req.Path)
+	return resp
+}
+
+// startServer runs a server over the in-memory network and returns a dial
+// function.
+func startServer(t *testing.T, h Handler, cfg Config) (*Server, func() net.Conn) {
+	t.Helper()
+	mem := netx.NewMem()
+	l, err := mem.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(h, cfg)
+	s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return s, func() net.Conn {
+		conn, err := mem.Dial("server")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return conn
+	}
+}
+
+func doRequest(t *testing.T, conn net.Conn, method, uri string, keepAlive bool) *httpmsg.Response {
+	t.Helper()
+	req := httpmsg.NewRequest(method, uri)
+	if !keepAlive {
+		req.Header.Set("Connection", "close")
+	}
+	if err := httpmsg.WriteRequest(bufio.NewWriter(conn), req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpmsg.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServeSingleRequest(t *testing.T) {
+	s, dial := startServer(t, HandlerFunc(echoHandler), Config{RequestThreads: 2})
+	conn := dial()
+	defer conn.Close()
+	resp := doRequest(t, conn, "GET", "/hello", false)
+	if resp.StatusCode != 200 || string(resp.Body) != "echo:/hello" {
+		t.Fatalf("resp = %d %q", resp.StatusCode, resp.Body)
+	}
+	if resp.Header.Get("Connection") != "close" {
+		t.Fatal("server must announce close for Connection: close requests")
+	}
+	if s.Served() != 1 {
+		t.Fatalf("Served = %d, want 1", s.Served())
+	}
+}
+
+func TestKeepAliveSequentialRequests(t *testing.T) {
+	s, dial := startServer(t, HandlerFunc(echoHandler), Config{RequestThreads: 1})
+	conn := dial()
+	defer conn.Close()
+
+	reader := bufio.NewReader(conn)
+	writer := bufio.NewWriter(conn)
+	for i := 0; i < 5; i++ {
+		uri := fmt.Sprintf("/req%d", i)
+		if err := httpmsg.WriteRequest(writer, httpmsg.NewRequest("GET", uri)); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := httpmsg.ReadResponse(reader)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if string(resp.Body) != "echo:"+uri {
+			t.Fatalf("request %d body = %q", i, resp.Body)
+		}
+	}
+	if s.Served() != 5 {
+		t.Fatalf("Served = %d, want 5", s.Served())
+	}
+}
+
+func TestMaxRequestsPerConn(t *testing.T) {
+	_, dial := startServer(t, HandlerFunc(echoHandler),
+		Config{RequestThreads: 1, MaxRequestsPerConn: 2})
+	conn := dial()
+	defer conn.Close()
+
+	reader := bufio.NewReader(conn)
+	writer := bufio.NewWriter(conn)
+	httpmsg.WriteRequest(writer, httpmsg.NewRequest("GET", "/1"))
+	r1, err := httpmsg.ReadResponse(reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Header.Get("Connection") == "close" {
+		t.Fatal("first response must not close")
+	}
+	httpmsg.WriteRequest(writer, httpmsg.NewRequest("GET", "/2"))
+	r2, err := httpmsg.ReadResponse(reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Header.Get("Connection") != "close" {
+		t.Fatal("second response must announce close")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	pool := 8
+	s, dial := startServer(t, HandlerFunc(echoHandler), Config{RequestThreads: pool})
+	var wg sync.WaitGroup
+	const clients = 24
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn := dial()
+			defer conn.Close()
+			resp := doRequest(t, conn, "GET", fmt.Sprintf("/c%d", c), false)
+			if resp.StatusCode != 200 {
+				t.Errorf("client %d: status %d", c, resp.StatusCode)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := s.Served(); got != clients {
+		t.Fatalf("Served = %d, want %d", got, clients)
+	}
+}
+
+func TestMalformedRequestGets400(t *testing.T) {
+	_, dial := startServer(t, HandlerFunc(echoHandler), Config{RequestThreads: 1})
+	conn := dial()
+	defer conn.Close()
+	if _, err := conn.Write([]byte("THIS IS NOT HTTP\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpmsg.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestNilHandlerResponse(t *testing.T) {
+	_, dial := startServer(t, HandlerFunc(func(*httpmsg.Request) *httpmsg.Response { return nil }),
+		Config{RequestThreads: 1})
+	conn := dial()
+	defer conn.Close()
+	resp := doRequest(t, conn, "GET", "/x", false)
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestCloseStopsServer(t *testing.T) {
+	mem := netx.NewMem()
+	l, _ := mem.Listen("s")
+	s := New(HandlerFunc(echoHandler), Config{RequestThreads: 4})
+	s.Serve(l)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Dial("s"); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseInterruptsKeepAliveConn(t *testing.T) {
+	mem := netx.NewMem()
+	l, _ := mem.Listen("s")
+	s := New(HandlerFunc(echoHandler), Config{RequestThreads: 1})
+	s.Serve(l)
+
+	conn, err := mem.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Complete one keep-alive request so the server is parked reading the
+	// next one.
+	writer := bufio.NewWriter(conn)
+	reader := bufio.NewReader(conn)
+	httpmsg.WriteRequest(writer, httpmsg.NewRequest("GET", "/a"))
+	if _, err := httpmsg.ReadResponse(reader); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on an idle keep-alive connection")
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	s := New(HandlerFunc(echoHandler), Config{RequestThreads: 4})
+	s.Serve(l)
+	defer s.Close()
+
+	if !strings.Contains(s.Addr(), ":") {
+		t.Fatalf("Addr = %q", s.Addr())
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp := doRequest(t, conn, "GET", "/tcp", false)
+	if string(resp.Body) != "echo:/tcp" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestReadTimeoutClosesIdleConn(t *testing.T) {
+	mem := netx.NewMem()
+	l, _ := mem.Listen("s")
+	s := New(HandlerFunc(echoHandler), Config{RequestThreads: 1, ReadTimeout: 50 * time.Millisecond})
+	s.Serve(l)
+	defer s.Close()
+
+	conn, err := mem.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Complete one request, then go idle: the server must close the
+	// connection after the read timeout, freeing the request thread.
+	writer := bufio.NewWriter(conn)
+	reader := bufio.NewReader(conn)
+	httpmsg.WriteRequest(writer, httpmsg.NewRequest("GET", "/a"))
+	if _, err := httpmsg.ReadResponse(reader); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second dial must be served even though the first connection is
+	// still open but idle (single request thread).
+	start := time.Now()
+	conn2, err := mem.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	resp := doRequest(t, conn2, "GET", "/b", false)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("idle connection blocked the pool for %v", elapsed)
+	}
+}
+
+func TestAddrBeforeServe(t *testing.T) {
+	s := New(HandlerFunc(echoHandler), Config{})
+	if s.Addr() != "" {
+		t.Fatalf("Addr = %q before Serve, want empty", s.Addr())
+	}
+}

@@ -1,0 +1,81 @@
+// Package loganalysis reproduces the paper's Section 3 access-log study:
+// given a trace, it computes, for each execution-time threshold, how many
+// long-running requests there are, how much of the workload is repeated, how
+// many cache entries would capture all the repetition, and how much service
+// time result caching would have saved — the columns of Table 1.
+package loganalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adltrace"
+)
+
+// Row is one line of Table 1.
+type Row struct {
+	// ThresholdSeconds is the lower execution-time bound for requests
+	// included in the row.
+	ThresholdSeconds float64
+	// LongRequests is the number of CGI requests exceeding the threshold.
+	LongRequests int
+	// TotalRepeats is the number of occurrences that repeat an earlier
+	// request (i.e. would have been cache hits with an infinite cache).
+	TotalRepeats int
+	// UniqueRepeated is the number of distinct requests with at least one
+	// repeat — the cache entries needed to exploit all repetition.
+	UniqueRepeated int
+	// TimeSavedSeconds is the total service time of the repeat occurrences.
+	TimeSavedSeconds float64
+	// SavedPercent is TimeSavedSeconds as a share of the trace's total
+	// service time (files included), the paper's headline ~29%.
+	SavedPercent float64
+}
+
+// Analyze computes Table 1 rows for the given thresholds (paper: 0.5, 1, 2,
+// 4 seconds). Only CGI requests are considered cacheable; the saved-time
+// percentage is relative to the full trace's service time.
+func Analyze(trace *adltrace.Trace, thresholds []float64) []Row {
+	totalService := 0.0
+	for _, r := range trace.Records {
+		totalService += r.Service
+	}
+
+	rows := make([]Row, 0, len(thresholds))
+	for _, th := range thresholds {
+		counts := make(map[string]int)
+		service := make(map[string]float64)
+		row := Row{ThresholdSeconds: th}
+		for _, r := range trace.Records {
+			if !r.IsCGI || r.Service <= th {
+				continue
+			}
+			row.LongRequests++
+			counts[r.Key]++
+			service[r.Key] = r.Service
+		}
+		for key, n := range counts {
+			if n < 2 {
+				continue
+			}
+			row.UniqueRepeated++
+			row.TotalRepeats += n - 1
+			row.TimeSavedSeconds += float64(n-1) * service[key]
+		}
+		if totalService > 0 {
+			row.SavedPercent = 100 * row.TimeSavedSeconds / totalService
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].ThresholdSeconds < rows[j].ThresholdSeconds
+	})
+	return rows
+}
+
+// String renders a row like the paper's table.
+func (r Row) String() string {
+	return fmt.Sprintf("%.1f sec: long=%d repeats=%d unique=%d saved=%.0fs (%.1f%%)",
+		r.ThresholdSeconds, r.LongRequests, r.TotalRepeats, r.UniqueRepeated,
+		r.TimeSavedSeconds, r.SavedPercent)
+}

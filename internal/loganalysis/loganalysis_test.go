@@ -1,0 +1,163 @@
+package loganalysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/accesslog"
+	"repro/internal/adltrace"
+)
+
+// tinyTrace builds a hand-checkable trace:
+//
+//	CGI "a" (2.0 s) x3, CGI "b" (0.8 s) x2, CGI "c" (5.0 s) x1,
+//	file "f" (0.1 s) x4.
+func tinyTrace() *adltrace.Trace {
+	mk := func(key string, cgi bool, svc float64) adltrace.Record {
+		return adltrace.Record{Key: key, URI: "/" + key, IsCGI: cgi, Service: svc}
+	}
+	return &adltrace.Trace{Records: []adltrace.Record{
+		mk("a", true, 2.0), mk("a", true, 2.0), mk("a", true, 2.0),
+		mk("b", true, 0.8), mk("b", true, 0.8),
+		mk("c", true, 5.0),
+		mk("f", false, 0.1), mk("f", false, 0.1), mk("f", false, 0.1), mk("f", false, 0.1),
+	}}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAnalyzeTinyTraceHalfSecond(t *testing.T) {
+	rows := Analyze(tinyTrace(), []float64{0.5})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	// Above 0.5 s: a x3, b x2, c x1 = 6 long requests.
+	if r.LongRequests != 6 {
+		t.Fatalf("LongRequests = %d, want 6", r.LongRequests)
+	}
+	// Repeats: a contributes 2, b contributes 1.
+	if r.TotalRepeats != 3 {
+		t.Fatalf("TotalRepeats = %d, want 3", r.TotalRepeats)
+	}
+	if r.UniqueRepeated != 2 {
+		t.Fatalf("UniqueRepeated = %d, want 2", r.UniqueRepeated)
+	}
+	// Saved: 2*2.0 + 1*0.8 = 4.8 s.
+	if !approx(r.TimeSavedSeconds, 4.8) {
+		t.Fatalf("TimeSaved = %v, want 4.8", r.TimeSavedSeconds)
+	}
+	// Total service = 3*2 + 2*0.8 + 5 + 4*0.1 = 13.0 s.
+	if !approx(r.SavedPercent, 100*4.8/13.0) {
+		t.Fatalf("SavedPercent = %v", r.SavedPercent)
+	}
+}
+
+func TestAnalyzeTinyTraceOneSecond(t *testing.T) {
+	r := Analyze(tinyTrace(), []float64{1})[0]
+	// Above 1 s: only a x3 and c.
+	if r.LongRequests != 4 {
+		t.Fatalf("LongRequests = %d, want 4", r.LongRequests)
+	}
+	if r.TotalRepeats != 2 || r.UniqueRepeated != 1 {
+		t.Fatalf("repeats = %d/%d, want 2/1", r.TotalRepeats, r.UniqueRepeated)
+	}
+	if !approx(r.TimeSavedSeconds, 4.0) {
+		t.Fatalf("TimeSaved = %v, want 4.0", r.TimeSavedSeconds)
+	}
+}
+
+func TestAnalyzeThresholdAboveAll(t *testing.T) {
+	r := Analyze(tinyTrace(), []float64{10})[0]
+	if r.LongRequests != 0 || r.TotalRepeats != 0 || r.TimeSavedSeconds != 0 {
+		t.Fatalf("row = %+v, want zeros", r)
+	}
+}
+
+func TestAnalyzeIgnoresFiles(t *testing.T) {
+	// Files repeat 4x but must never be counted.
+	r := Analyze(tinyTrace(), []float64{0.05})[0]
+	if r.TotalRepeats != 3 {
+		t.Fatalf("TotalRepeats = %d; file repeats leaked in", r.TotalRepeats)
+	}
+}
+
+func TestRowsSortedByThreshold(t *testing.T) {
+	rows := Analyze(tinyTrace(), []float64{4, 0.5, 2, 1})
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ThresholdSeconds < rows[i-1].ThresholdSeconds {
+			t.Fatal("rows not sorted by threshold")
+		}
+	}
+}
+
+func TestMonotonicityAcrossThresholds(t *testing.T) {
+	// On the full synthetic trace, raising the threshold must not increase
+	// any count.
+	rows := Analyze(adltrace.Generate(adltrace.Default()), []float64{0.5, 1, 2, 4})
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LongRequests > rows[i-1].LongRequests ||
+			rows[i].TotalRepeats > rows[i-1].TotalRepeats ||
+			rows[i].UniqueRepeated > rows[i-1].UniqueRepeated ||
+			rows[i].TimeSavedSeconds > rows[i-1].TimeSavedSeconds {
+			t.Fatalf("threshold %v row exceeds threshold %v row",
+				rows[i].ThresholdSeconds, rows[i-1].ThresholdSeconds)
+		}
+	}
+}
+
+func TestPaperShapeAtOneSecond(t *testing.T) {
+	// The headline claim: ~29% of service time saved at the 1 s threshold
+	// with only a couple hundred cache entries.
+	rows := Analyze(adltrace.Generate(adltrace.Default()), []float64{1})
+	r := rows[0]
+	if r.SavedPercent < 20 || r.SavedPercent > 35 {
+		t.Fatalf("SavedPercent = %.1f, want 20-35 (paper: ~29)", r.SavedPercent)
+	}
+	if r.UniqueRepeated < 100 || r.UniqueRepeated > 400 {
+		t.Fatalf("UniqueRepeated = %d, want O(200) (paper: 189)", r.UniqueRepeated)
+	}
+	if r.TotalRepeats < 2000 || r.TotalRepeats > 4000 {
+		t.Fatalf("TotalRepeats = %d, want ~2900", r.TotalRepeats)
+	}
+}
+
+// TestAnalyzeFromAccessLogEntries mirrors what cmd/loganalyze -swala does:
+// convert parsed access-log entries into a trace and analyze it.
+func TestAnalyzeFromAccessLogEntries(t *testing.T) {
+	entries := []accesslog.Entry{
+		{Method: "GET", URI: "/cgi-bin/q?a=1", Duration: 2 * time.Second, CacheSource: "executed"},
+		{Method: "GET", URI: "/cgi-bin/q?a=1", Duration: 10 * time.Millisecond, CacheSource: "local"},
+		{Method: "GET", URI: "/cgi-bin/q?a=2", Duration: 3 * time.Second, CacheSource: "executed"},
+		{Method: "GET", URI: "/index.html", Duration: 5 * time.Millisecond},
+	}
+	trace := &adltrace.Trace{}
+	for _, e := range entries {
+		trace.Records = append(trace.Records, adltrace.Record{
+			Key:     e.Key(),
+			URI:     e.URI,
+			IsCGI:   e.Dynamic(),
+			Service: e.Duration.Seconds(),
+		})
+	}
+	rows := Analyze(trace, []float64{1})
+	r := rows[0]
+	// Only the two executed CGI entries exceed 1 s; the cached repeat of
+	// q?a=1 took 10 ms, so above the threshold nothing repeats.
+	if r.LongRequests != 2 || r.TotalRepeats != 0 {
+		t.Fatalf("row = %+v, want 2 long requests and no repeats", r)
+	}
+	// At a 5 ms threshold the cached repeat counts as a repeat of q?a=1.
+	r = Analyze(trace, []float64{0.005})[0]
+	if r.TotalRepeats != 1 || r.UniqueRepeated != 1 {
+		t.Fatalf("row = %+v, want the cached repeat counted", r)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{ThresholdSeconds: 1, LongRequests: 10, TotalRepeats: 3, UniqueRepeated: 2, TimeSavedSeconds: 4.5, SavedPercent: 12.3}
+	if got := r.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

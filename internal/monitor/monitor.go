@@ -1,0 +1,189 @@
+// Package monitor implements source-file monitoring for cache invalidation
+// — the mechanism the paper discusses as an alternative to TTL expiry
+// (Section 4.2, citing Vahdat & Anderson's Transparent Result Caching): the
+// inputs of a CGI program are watched, and when a source changes, the cached
+// results that depend on it are invalidated.
+//
+// A Monitor polls the modification time and size of registered files on a
+// configurable interval (stat-based polling keeps the implementation
+// dependency-free and portable) and calls the bound invalidation function —
+// normally core.Server.Invalidate — with the dependent key pattern.
+package monitor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Invalidator receives the key pattern whose cached results became stale.
+// core.Server.Invalidate satisfies this signature.
+type Invalidator func(pattern string) int
+
+// Watch binds one source file to the cache-key pattern that depends on it.
+type Watch struct {
+	// Path of the watched source file.
+	Path string
+	// Pattern is the cache-key pattern to invalidate when Path changes
+	// (cacheability.Match syntax against keys like "GET /cgi-bin/q?a=1").
+	Pattern string
+}
+
+type watchState struct {
+	watch   Watch
+	exists  bool
+	modTime time.Time
+	size    int64
+}
+
+// Monitor polls watched files and fires invalidations.
+type Monitor struct {
+	invalidate Invalidator
+	interval   time.Duration
+	clk        clock.Clock
+
+	mu      sync.Mutex
+	watches map[string]*watchState
+	fired   int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New creates a monitor that calls invalidate when a watched source changes.
+// interval <= 0 defaults to one second (the original monitored "every few
+// seconds"). A nil clk uses the real clock.
+func New(invalidate Invalidator, interval time.Duration, clk clock.Clock) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Monitor{
+		invalidate: invalidate,
+		interval:   interval,
+		clk:        clk,
+		watches:    make(map[string]*watchState),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// Add registers a watch. The file's current state (or absence) becomes the
+// baseline; the first observed change fires the invalidation.
+func (m *Monitor) Add(w Watch) error {
+	if w.Path == "" || w.Pattern == "" {
+		return fmt.Errorf("monitor: watch needs both path and pattern: %+v", w)
+	}
+	st := &watchState{watch: w}
+	st.observe()
+	m.mu.Lock()
+	m.watches[w.Path] = st
+	m.mu.Unlock()
+	return nil
+}
+
+// Remove drops the watch on path.
+func (m *Monitor) Remove(path string) {
+	m.mu.Lock()
+	delete(m.watches, path)
+	m.mu.Unlock()
+}
+
+// Watches returns the watched paths, sorted.
+func (m *Monitor) Watches() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.watches))
+	for p := range m.watches {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fired reports how many invalidations the monitor has issued.
+func (m *Monitor) Fired() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fired
+}
+
+// observe refreshes the baseline and reports whether the file changed since
+// the previous observation.
+func (st *watchState) observe() (changed bool) {
+	info, err := os.Stat(st.watch.Path)
+	if err != nil {
+		changed = st.exists // existed before, gone now
+		st.exists = false
+		st.modTime = time.Time{}
+		st.size = -1
+		return changed
+	}
+	if !st.exists {
+		// Appearing counts as a change only if we had previously seen the
+		// file (handled above); first sight of a created file after a
+		// missing baseline is also a change.
+		changed = st.size == -1
+	} else {
+		changed = !info.ModTime().Equal(st.modTime) || info.Size() != st.size
+	}
+	st.exists = true
+	st.modTime = info.ModTime()
+	st.size = info.Size()
+	return changed
+}
+
+// Poll checks every watch once and fires invalidations for changed sources.
+// It returns the number of invalidations fired. The background loop calls
+// this on each tick; tests may call it directly.
+func (m *Monitor) Poll() int {
+	m.mu.Lock()
+	states := make([]*watchState, 0, len(m.watches))
+	for _, st := range m.watches {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+
+	fired := 0
+	for _, st := range states {
+		if st.observe() {
+			m.invalidate(st.watch.Pattern)
+			fired++
+		}
+	}
+	if fired > 0 {
+		m.mu.Lock()
+		m.fired += int64(fired)
+		m.mu.Unlock()
+	}
+	return fired
+}
+
+// Start launches the polling loop. Call Stop to end it.
+func (m *Monitor) Start() {
+	go func() {
+		defer close(m.done)
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-m.clk.After(m.interval):
+				m.Poll()
+			}
+		}
+	}()
+}
+
+// Stop ends the polling loop and waits for it to exit. Safe to call more
+// than once, but only after Start.
+func (m *Monitor) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}

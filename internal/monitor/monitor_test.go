@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// recorder collects invalidation calls.
+type recorder struct {
+	mu       sync.Mutex
+	patterns []string
+}
+
+func (r *recorder) invalidate(pattern string) int {
+	r.mu.Lock()
+	r.patterns = append(r.patterns, pattern)
+	r.mu.Unlock()
+	return 1
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.patterns)
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// touch bumps a file's mtime decisively (filesystem mtime granularity can be
+// coarse).
+func touch(t *testing.T, path string) {
+	t.Helper()
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRequiresPathAndPattern(t *testing.T) {
+	m := New(func(string) int { return 0 }, time.Second, nil)
+	if err := m.Add(Watch{Path: "", Pattern: "x"}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if err := m.Add(Watch{Path: "x", Pattern: ""}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+func TestPollNoChangeNoFire(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "data.db")
+	writeFile(t, src, "v1")
+
+	var rec recorder
+	m := New(rec.invalidate, time.Second, nil)
+	if err := m.Add(Watch{Path: src, Pattern: "GET /cgi-bin/q*"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if fired := m.Poll(); fired != 0 {
+			t.Fatalf("poll %d fired %d invalidations without a change", i, fired)
+		}
+	}
+	if rec.count() != 0 {
+		t.Fatalf("invalidations = %d, want 0", rec.count())
+	}
+}
+
+func TestPollFiresOnModification(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "data.db")
+	writeFile(t, src, "v1")
+
+	var rec recorder
+	m := New(rec.invalidate, time.Second, nil)
+	m.Add(Watch{Path: src, Pattern: "GET /cgi-bin/q*"})
+
+	writeFile(t, src, "v2 with more bytes")
+	touch(t, src)
+	if fired := m.Poll(); fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if rec.count() != 1 || rec.patterns[0] != "GET /cgi-bin/q*" {
+		t.Fatalf("patterns = %v", rec.patterns)
+	}
+	// Stable afterwards.
+	if fired := m.Poll(); fired != 0 {
+		t.Fatalf("second poll fired %d", fired)
+	}
+	if m.Fired() != 1 {
+		t.Fatalf("Fired() = %d", m.Fired())
+	}
+}
+
+func TestPollFiresOnDeletion(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "data.db")
+	writeFile(t, src, "v1")
+
+	var rec recorder
+	m := New(rec.invalidate, time.Second, nil)
+	m.Add(Watch{Path: src, Pattern: "GET /x*"})
+
+	os.Remove(src)
+	if fired := m.Poll(); fired != 1 {
+		t.Fatalf("fired = %d, want 1 on deletion", fired)
+	}
+	// Still gone: no repeat fire.
+	if fired := m.Poll(); fired != 0 {
+		t.Fatalf("repeat fire on steady absence: %d", fired)
+	}
+	// Recreation fires again.
+	writeFile(t, src, "v2")
+	if fired := m.Poll(); fired != 1 {
+		t.Fatalf("fired = %d, want 1 on recreation", fired)
+	}
+}
+
+func TestWatchMissingFileBaseline(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "not-yet.db")
+	var rec recorder
+	m := New(rec.invalidate, time.Second, nil)
+	m.Add(Watch{Path: src, Pattern: "GET /y*"})
+
+	if fired := m.Poll(); fired != 0 {
+		t.Fatal("fired while file still missing")
+	}
+	writeFile(t, src, "created")
+	if fired := m.Poll(); fired != 1 {
+		t.Fatalf("fired = %d, want 1 when file appears", fired)
+	}
+}
+
+func TestRemoveStopsWatching(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "data.db")
+	writeFile(t, src, "v1")
+
+	var rec recorder
+	m := New(rec.invalidate, time.Second, nil)
+	m.Add(Watch{Path: src, Pattern: "GET /z*"})
+	m.Remove(src)
+	writeFile(t, src, "v2 longer")
+	touch(t, src)
+	if fired := m.Poll(); fired != 0 {
+		t.Fatalf("fired = %d after Remove", fired)
+	}
+	if len(m.Watches()) != 0 {
+		t.Fatalf("Watches = %v", m.Watches())
+	}
+}
+
+func TestStartPollsOnTicks(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "data.db")
+	writeFile(t, src, "v1")
+
+	fake := clock.NewFake(time.Unix(0, 0))
+	var rec recorder
+	m := New(rec.invalidate, time.Second, fake)
+	m.Add(Watch{Path: src, Pattern: "GET /t*"})
+	m.Start()
+	defer m.Stop()
+
+	writeFile(t, src, "v2 changed content")
+	touch(t, src)
+	// Wait for the loop to arm its timer, then tick.
+	for i := 0; fake.Waiters() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	fake.Advance(time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never fired on tick")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	m := New(func(string) int { return 0 }, 0, nil)
+	if m.interval != time.Second {
+		t.Fatalf("interval = %v, want 1s default", m.interval)
+	}
+}

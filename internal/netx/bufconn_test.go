@@ -1,0 +1,206 @@
+package netx
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pair() (net.Conn, net.Conn) {
+	return newBufferedPair(memAddr("client"), memAddr("server"))
+}
+
+func TestBufConnEcho(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(s, buf)
+		s.Write(buf)
+	}()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+}
+
+func TestBufConnWriteDoesNotBlockWithinBuffer(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+
+	// A write smaller than the buffer must complete without any reader.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.Write(make([]byte, bufferSize/2)); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("buffered write blocked without reader")
+	}
+}
+
+func TestBufConnLargeTransfer(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+
+	payload := make([]byte, 3*bufferSize+12345)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var got bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.CopyN(&got, s, int64(len(payload)))
+	}()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatal("large transfer corrupted")
+	}
+}
+
+func TestBufConnCloseGivesEOFAfterDrain(t *testing.T) {
+	c, s := pair()
+	c.Write([]byte("tail"))
+	c.Close()
+
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "tail" {
+		t.Fatalf("drained %q", buf)
+	}
+	if _, err := s.Read(buf); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestBufConnWriteToClosedPeer(t *testing.T) {
+	c, s := pair()
+	s.Close()
+	// The close propagates to the write ring; writes eventually fail.
+	_, err := c.Write(make([]byte, bufferSize*2))
+	if err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestBufConnReadDeadline(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, err := c.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want timeout net.Error", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline ignored")
+	}
+
+	// Clearing the deadline restores reads.
+	c.SetReadDeadline(time.Time{})
+	go s.Write([]byte("x"))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after clearing deadline: %v", err)
+	}
+}
+
+func TestBufConnWriteDeadline(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+
+	// Fill the buffer so the next write must block, then let the deadline
+	// fire.
+	if _, err := c.Write(make([]byte, bufferSize)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	_, err := c.Write([]byte("overflow"))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want timeout net.Error", err)
+	}
+}
+
+func TestBufConnAddrs(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+	if c.LocalAddr().String() != "client" || c.RemoteAddr().String() != "server" {
+		t.Fatalf("client addrs = %v/%v", c.LocalAddr(), c.RemoteAddr())
+	}
+	if s.LocalAddr().String() != "server" || s.RemoteAddr().String() != "client" {
+		t.Fatalf("server addrs = %v/%v", s.LocalAddr(), s.RemoteAddr())
+	}
+}
+
+func TestBufConnConcurrentBidirectional(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+
+	const chunk = 1 << 20
+	var wg sync.WaitGroup
+	pump := func(w net.Conn, r net.Conn) {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			io.CopyN(io.Discard, r, chunk)
+		}()
+		data := make([]byte, chunk)
+		w.Write(data)
+		inner.Wait()
+	}
+	wg.Add(2)
+	go pump(c, c)
+	go pump(s, s)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("bidirectional transfer deadlocked")
+	}
+}
+
+func TestBufConnDoubleCloseSafe(t *testing.T) {
+	c, s := pair()
+	s.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package netx
+
+import (
+	"net"
+	"time"
+)
+
+// Delayed decorates a Network with symmetric one-way latency: every Write on
+// a dialed or accepted connection is delayed by Delay before the bytes are
+// passed through. It models LAN/WAN distance between cluster nodes — the
+// paper assumes "the latency between the nodes is expected to be low"; the
+// latency-sweep experiment uses this decorator to test how cooperative
+// caching degrades when that assumption is relaxed.
+type Delayed struct {
+	Network Network
+	// Delay is the one-way latency added to every write.
+	Delay time.Duration
+}
+
+// Listen implements Network.
+func (d Delayed) Listen(addr string) (net.Listener, error) {
+	l, err := d.Network.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return delayedListener{Listener: l, delay: d.Delay}, nil
+}
+
+// Dial implements Network.
+func (d Delayed) Dial(addr string) (net.Conn, error) {
+	conn, err := d.Network.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	// Connection establishment itself costs a round trip.
+	if d.Delay > 0 {
+		time.Sleep(2 * d.Delay)
+	}
+	return delayedConn{Conn: conn, delay: d.Delay}, nil
+}
+
+type delayedListener struct {
+	net.Listener
+	delay time.Duration
+}
+
+func (l delayedListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return delayedConn{Conn: conn, delay: l.delay}, nil
+}
+
+type delayedConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+// Write delays, then forwards. Delaying on the write side approximates
+// propagation delay: the reader sees bytes Delay later than they were sent.
+func (c delayedConn) Write(p []byte) (int, error) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Write(p)
+}

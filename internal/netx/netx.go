@@ -1,0 +1,120 @@
+// Package netx provides network plumbing shared by the Swala server and the
+// cluster layer: a Dialer/Listener abstraction over real TCP, and an
+// in-memory implementation with the same semantics for tests and
+// single-process simulations that should not open sockets.
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Network abstracts listening and dialing so components can run over real
+// TCP or an in-memory fabric interchangeably.
+type Network interface {
+	// Listen starts accepting connections on addr. For TCP, addr is a
+	// host:port (":0" picks a free port); for the in-memory network it is an
+	// arbitrary name.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the real network. The zero value is ready to use.
+type TCP struct{}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Mem is an in-memory Network. Connections are buffered full-duplex pairs
+// (64 KiB per direction, like a kernel socket buffer); addresses are plain
+// names. The zero value is not usable — call NewMem.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMem creates an empty in-memory network.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Network.
+func (m *Mem) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("netx: address %q already in use", addr)
+	}
+	l := &memListener{
+		addr:   memAddr(addr),
+		conns:  make(chan net.Conn),
+		closed: make(chan struct{}),
+		onClose: func() {
+			m.mu.Lock()
+			delete(m.listeners, addr)
+			m.mu.Unlock()
+		},
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (m *Mem) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netx: connection refused: %q", addr)
+	}
+	client, server := newBufferedPair(memAddr("dialer"), memAddr(addr))
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("netx: connection refused: %q (listener closed)", addr)
+	}
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+type memListener struct {
+	addr      memAddr
+	conns     chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+	onClose   func()
+}
+
+// ErrClosed is returned by Accept after the listener is closed.
+var ErrClosed = errors.New("netx: listener closed")
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.onClose()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return l.addr }

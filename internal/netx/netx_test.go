@@ -1,0 +1,228 @@
+package netx
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testNetwork(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		conn.Write(buf)
+	}()
+
+	conn, err := n.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestTCPEcho(t *testing.T) {
+	testNetwork(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestMemEcho(t *testing.T) {
+	testNetwork(t, NewMem(), "node-a")
+}
+
+func TestMemDialUnknownAddr(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("ghost"); err == nil {
+		t.Fatal("Dial to unknown address succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := m.Listen("a"); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+}
+
+func TestMemListenAfterClose(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// The name must be free again.
+	l2, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
+
+func TestMemAcceptAfterClose(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("a")
+	l.Close()
+	if _, err := l.Accept(); err != ErrClosed {
+		t.Fatalf("Accept after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemDialAfterListenerClose(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("a")
+	l.Close()
+	if _, err := m.Dial("a"); err == nil {
+		t.Fatal("Dial after close succeeded")
+	}
+}
+
+func TestMemDoubleCloseIsSafe(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("a")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAddr(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("node-7")
+	defer l.Close()
+	if l.Addr().String() != "node-7" || l.Addr().Network() != "mem" {
+		t.Fatalf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+func TestDelayedAddsLatency(t *testing.T) {
+	mem := NewMem()
+	d := Delayed{Network: mem, Delay: 20 * time.Millisecond}
+	l, err := d.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		conn.Read(buf)
+		conn.Write(buf) // reply also pays the delay
+	}()
+
+	start := time.Now()
+	conn, err := d.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Dial (2x) + request (1x) + reply (1x) = at least 4 one-way delays.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 80ms with 20ms one-way latency", elapsed)
+	}
+}
+
+func TestDelayedZeroIsTransparent(t *testing.T) {
+	mem := NewMem()
+	testNetwork(t, Delayed{Network: mem}, "zero-delay")
+}
+
+func TestMemConcurrentDials(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("srv")
+	defer l.Close()
+
+	const n = 16
+	var accepted sync.WaitGroup
+	accepted.Add(n)
+	go func() {
+		for i := 0; i < n; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			go func(c net.Conn) {
+				defer accepted.Done()
+				defer c.Close()
+				buf := make([]byte, 1)
+				c.Read(buf)
+				c.Write(buf)
+			}(conn)
+		}
+	}()
+
+	var dialers sync.WaitGroup
+	for i := 0; i < n; i++ {
+		dialers.Add(1)
+		go func() {
+			defer dialers.Done()
+			conn, err := m.Dial("srv")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			conn.Write([]byte{42})
+			buf := make([]byte, 1)
+			conn.Read(buf)
+			if buf[0] != 42 {
+				t.Errorf("echo = %d", buf[0])
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { dialers.Wait(); accepted.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent dials deadlocked")
+	}
+}

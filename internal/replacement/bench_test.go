@@ -1,0 +1,32 @@
+package replacement
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchPolicy(b *testing.B, kind Kind) {
+	p := MustNew(kind)
+	const capacity = 2000
+	keys := make([]string, capacity)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("GET /cgi-bin/q?id=%d", i)
+		p.Insert(keys[i], Meta{Size: int64(i%50) * 100, ExecTime: time.Duration(i%20) * 100 * time.Millisecond})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A steady-state cache: one hit, one insert-with-eviction per round.
+		p.Access(keys[i%capacity])
+		key := fmt.Sprintf("GET /cgi-bin/new?id=%d", i)
+		p.Insert(key, Meta{Size: 1024, ExecTime: time.Second})
+		p.Evict()
+	}
+}
+
+func BenchmarkLRU(b *testing.B)  { benchPolicy(b, LRU) }
+func BenchmarkFIFO(b *testing.B) { benchPolicy(b, FIFO) }
+func BenchmarkLFU(b *testing.B)  { benchPolicy(b, LFU) }
+func BenchmarkSIZE(b *testing.B) { benchPolicy(b, SIZE) }
+func BenchmarkGDS(b *testing.B)  { benchPolicy(b, GDS) }

@@ -1,0 +1,36 @@
+package replacement_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/replacement"
+)
+
+// Example compares two policies on the same insertion sequence: LRU evicts
+// by recency while GDS keeps the result that is expensive to recompute.
+func Example() {
+	type entry struct {
+		key  string
+		meta replacement.Meta
+	}
+	entries := []entry{
+		{"cheap-report", replacement.Meta{Size: 1000, ExecTime: 50 * time.Millisecond}},
+		{"costly-map", replacement.Meta{Size: 1000, ExecTime: 30 * time.Second}},
+		{"medium-query", replacement.Meta{Size: 1000, ExecTime: 2 * time.Second}},
+	}
+	for _, kind := range []replacement.Kind{replacement.LRU, replacement.GDS} {
+		p := replacement.MustNew(kind)
+		for _, e := range entries {
+			p.Insert(e.key, e.meta)
+		}
+		// The cheap report was just used again: recency-based LRU now
+		// protects it and sacrifices the 30-second map render, while
+		// cost-aware GDS still lets the cheap result go.
+		p.Access("cheap-report")
+		fmt.Printf("%-3s evicts first: %s\n", kind, p.Evict())
+	}
+	// Output:
+	// lru evicts first: costly-map
+	// gds evicts first: cheap-report
+}

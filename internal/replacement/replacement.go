@@ -1,0 +1,344 @@
+// Package replacement implements the five cache-replacement policies the
+// Swala paper refers to (its Section 3 cites the companion technical report
+// for "the five replacement methods implemented in Swala"): keeping the most
+// important requests in terms of access recency, access frequency, insertion
+// order, result size, and execution time.
+//
+//   - LRU: evict the least recently used entry.
+//   - FIFO: evict the oldest inserted entry.
+//   - LFU: evict the least frequently accessed entry.
+//   - SIZE: evict the largest entry (frees the most room per eviction).
+//   - GDS: GreedyDual-Size with execution time as the cost metric — the
+//     cost-aware policy motivated by Section 3's observation that the cache
+//     should retain the requests that are most expensive to recompute.
+//
+// A Policy tracks metadata only; the cache manager owns the bodies. Policies
+// are not safe for concurrent use; the directory's table lock serializes
+// access, mirroring the paper's locking design.
+package replacement
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// Meta describes a cache entry for replacement decisions.
+type Meta struct {
+	// Size is the cached body size in bytes.
+	Size int64
+	// ExecTime is how long the CGI ran to produce the entry.
+	ExecTime time.Duration
+}
+
+// Policy decides which entry to evict when the cache is full.
+type Policy interface {
+	// Insert registers a new entry. Inserting an existing key is a no-op.
+	Insert(key string, m Meta)
+	// Access records a cache hit on key. Unknown keys are ignored.
+	Access(key string)
+	// Remove unregisters an entry (explicit deletion or TTL expiry).
+	Remove(key string)
+	// Victim returns the key the policy would evict next, without removing
+	// it. It returns "" when the policy tracks no entries.
+	Victim() string
+	// Evict removes and returns the victim. It returns "" when empty.
+	Evict() string
+	// Len reports how many entries the policy tracks.
+	Len() int
+	// Name returns the policy's canonical name.
+	Name() string
+}
+
+// Kind names a built-in policy.
+type Kind string
+
+// Built-in policy kinds.
+const (
+	LRU  Kind = "lru"
+	FIFO Kind = "fifo"
+	LFU  Kind = "lfu"
+	SIZE Kind = "size"
+	GDS  Kind = "gds"
+)
+
+// Kinds lists every built-in policy kind in a stable order.
+func Kinds() []Kind { return []Kind{LRU, FIFO, LFU, SIZE, GDS} }
+
+// New constructs a policy by kind.
+func New(k Kind) (Policy, error) {
+	switch k {
+	case LRU:
+		return newListPolicy(string(LRU), true), nil
+	case FIFO:
+		return newListPolicy(string(FIFO), false), nil
+	case LFU:
+		return newHeapPolicy(string(LFU), lfuLess), nil
+	case SIZE:
+		return newHeapPolicy(string(SIZE), sizeLess), nil
+	case GDS:
+		return newGDS(), nil
+	default:
+		return nil, fmt.Errorf("replacement: unknown policy %q", k)
+	}
+}
+
+// MustNew is New for known-good kinds; it panics on error.
+func MustNew(k Kind) Policy {
+	p, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- LRU / FIFO: doubly linked list, evict from back ---
+
+type listPolicy struct {
+	name        string
+	moveOnTouch bool // true: LRU; false: FIFO
+	ll          *list.List
+	index       map[string]*list.Element
+}
+
+func newListPolicy(name string, moveOnTouch bool) *listPolicy {
+	return &listPolicy{
+		name:        name,
+		moveOnTouch: moveOnTouch,
+		ll:          list.New(),
+		index:       make(map[string]*list.Element),
+	}
+}
+
+func (p *listPolicy) Name() string { return p.name }
+func (p *listPolicy) Len() int     { return p.ll.Len() }
+
+func (p *listPolicy) Insert(key string, _ Meta) {
+	if _, ok := p.index[key]; ok {
+		return
+	}
+	p.index[key] = p.ll.PushFront(key)
+}
+
+func (p *listPolicy) Access(key string) {
+	if e, ok := p.index[key]; ok && p.moveOnTouch {
+		p.ll.MoveToFront(e)
+	}
+}
+
+func (p *listPolicy) Remove(key string) {
+	if e, ok := p.index[key]; ok {
+		p.ll.Remove(e)
+		delete(p.index, key)
+	}
+}
+
+func (p *listPolicy) Victim() string {
+	if e := p.ll.Back(); e != nil {
+		return e.Value.(string)
+	}
+	return ""
+}
+
+func (p *listPolicy) Evict() string {
+	v := p.Victim()
+	if v != "" {
+		p.Remove(v)
+	}
+	return v
+}
+
+// --- heap-based policies (LFU, SIZE, GDS) ---
+
+type heapEntry struct {
+	key   string
+	meta  Meta
+	freq  int64
+	prio  float64 // GDS priority
+	seq   int64   // insertion sequence, for deterministic tie-breaks
+	index int     // heap index
+}
+
+type lessFunc func(a, b *heapEntry) bool
+
+// lfuLess orders by ascending frequency; ties evict the older entry.
+func lfuLess(a, b *heapEntry) bool {
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.seq < b.seq
+}
+
+// sizeLess orders by descending size (largest evicted first); ties evict the
+// older entry.
+func sizeLess(a, b *heapEntry) bool {
+	if a.meta.Size != b.meta.Size {
+		return a.meta.Size > b.meta.Size
+	}
+	return a.seq < b.seq
+}
+
+type entryHeap struct {
+	entries []*heapEntry
+	less    lessFunc
+}
+
+func (h *entryHeap) Len() int           { return len(h.entries) }
+func (h *entryHeap) Less(i, j int) bool { return h.less(h.entries[i], h.entries[j]) }
+func (h *entryHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].index = i
+	h.entries[j].index = j
+}
+
+func (h *entryHeap) Push(x any) {
+	e := x.(*heapEntry)
+	e.index = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+
+func (h *entryHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	h.entries = old[:n-1]
+	return e
+}
+
+type heapPolicy struct {
+	name  string
+	h     entryHeap
+	index map[string]*heapEntry
+	seq   int64
+}
+
+func newHeapPolicy(name string, less lessFunc) *heapPolicy {
+	return &heapPolicy{name: name, h: entryHeap{less: less}, index: make(map[string]*heapEntry)}
+}
+
+func (p *heapPolicy) Name() string { return p.name }
+func (p *heapPolicy) Len() int     { return len(p.index) }
+
+func (p *heapPolicy) Insert(key string, m Meta) {
+	if _, ok := p.index[key]; ok {
+		return
+	}
+	p.seq++
+	e := &heapEntry{key: key, meta: m, freq: 1, seq: p.seq}
+	p.index[key] = e
+	heap.Push(&p.h, e)
+}
+
+func (p *heapPolicy) Access(key string) {
+	if e, ok := p.index[key]; ok {
+		e.freq++
+		heap.Fix(&p.h, e.index)
+	}
+}
+
+func (p *heapPolicy) Remove(key string) {
+	if e, ok := p.index[key]; ok {
+		heap.Remove(&p.h, e.index)
+		delete(p.index, key)
+	}
+}
+
+func (p *heapPolicy) Victim() string {
+	if len(p.h.entries) == 0 {
+		return ""
+	}
+	return p.h.entries[0].key
+}
+
+func (p *heapPolicy) Evict() string {
+	if len(p.h.entries) == 0 {
+		return ""
+	}
+	e := heap.Pop(&p.h).(*heapEntry)
+	delete(p.index, e.key)
+	return e.key
+}
+
+// --- GDS: GreedyDual-Size with execution time as cost ---
+
+// gds implements GreedyDual-Size (Cao & Irani, USITS'97, cited as [5] in the
+// paper) with priority H = L + cost/size. Cost is the entry's execution time
+// in milliseconds, so expensive-to-recompute results survive longest; L is
+// the inflation value, raised to the evicted entry's priority on each
+// eviction so recently touched entries outrank long-untouched ones.
+type gds struct {
+	h     entryHeap
+	index map[string]*heapEntry
+	seq   int64
+	l     float64
+}
+
+func newGDS() *gds {
+	g := &gds{index: make(map[string]*heapEntry)}
+	g.h.less = func(a, b *heapEntry) bool {
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		return a.seq < b.seq
+	}
+	return g
+}
+
+func (g *gds) Name() string { return string(GDS) }
+func (g *gds) Len() int     { return len(g.index) }
+
+func (g *gds) priority(m Meta) float64 {
+	size := float64(m.Size)
+	if size <= 0 {
+		size = 1
+	}
+	costMillis := float64(m.ExecTime) / float64(time.Millisecond)
+	if costMillis <= 0 {
+		costMillis = 1
+	}
+	return g.l + costMillis/size
+}
+
+func (g *gds) Insert(key string, m Meta) {
+	if _, ok := g.index[key]; ok {
+		return
+	}
+	g.seq++
+	e := &heapEntry{key: key, meta: m, seq: g.seq, prio: g.priority(m)}
+	g.index[key] = e
+	heap.Push(&g.h, e)
+}
+
+func (g *gds) Access(key string) {
+	if e, ok := g.index[key]; ok {
+		e.prio = g.priority(e.meta)
+		heap.Fix(&g.h, e.index)
+	}
+}
+
+func (g *gds) Remove(key string) {
+	if e, ok := g.index[key]; ok {
+		heap.Remove(&g.h, e.index)
+		delete(g.index, key)
+	}
+}
+
+func (g *gds) Victim() string {
+	if len(g.h.entries) == 0 {
+		return ""
+	}
+	return g.h.entries[0].key
+}
+
+func (g *gds) Evict() string {
+	if len(g.h.entries) == 0 {
+		return ""
+	}
+	e := heap.Pop(&g.h).(*heapEntry)
+	delete(g.index, e.key)
+	g.l = e.prio // inflate: future entries outrank anything older
+	return e.key
+}

@@ -1,0 +1,288 @@
+package replacement
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("bogus")); err == nil {
+		t.Fatal("New(bogus) succeeded, want error")
+	}
+}
+
+func TestKindsCoverAllPolicies(t *testing.T) {
+	if len(Kinds()) != 5 {
+		t.Fatalf("Kinds() = %v, want 5 policies", Kinds())
+	}
+	for _, k := range Kinds() {
+		p := MustNew(k)
+		if p.Name() != string(k) {
+			t.Fatalf("policy %q reports name %q", k, p.Name())
+		}
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := MustNew(LRU)
+	p.Insert("a", Meta{})
+	p.Insert("b", Meta{})
+	p.Insert("c", Meta{})
+	p.Access("a") // a is now most recent; b is least recent
+	if got := p.Evict(); got != "b" {
+		t.Fatalf("first eviction = %q, want b", got)
+	}
+	if got := p.Evict(); got != "c" {
+		t.Fatalf("second eviction = %q, want c", got)
+	}
+	if got := p.Evict(); got != "a" {
+		t.Fatalf("third eviction = %q, want a", got)
+	}
+}
+
+func TestFIFOIgnoresAccess(t *testing.T) {
+	p := MustNew(FIFO)
+	p.Insert("a", Meta{})
+	p.Insert("b", Meta{})
+	p.Access("a")
+	p.Access("a")
+	if got := p.Evict(); got != "a" {
+		t.Fatalf("eviction = %q, want a (FIFO ignores accesses)", got)
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	p := MustNew(LFU)
+	p.Insert("hot", Meta{})
+	p.Insert("cold", Meta{})
+	for i := 0; i < 5; i++ {
+		p.Access("hot")
+	}
+	if got := p.Evict(); got != "cold" {
+		t.Fatalf("eviction = %q, want cold", got)
+	}
+}
+
+func TestLFUTieBreaksOlderFirst(t *testing.T) {
+	p := MustNew(LFU)
+	p.Insert("first", Meta{})
+	p.Insert("second", Meta{})
+	if got := p.Evict(); got != "first" {
+		t.Fatalf("eviction = %q, want first (older entry on tie)", got)
+	}
+}
+
+func TestSIZEEvictsLargest(t *testing.T) {
+	p := MustNew(SIZE)
+	p.Insert("small", Meta{Size: 100})
+	p.Insert("big", Meta{Size: 100000})
+	p.Insert("medium", Meta{Size: 5000})
+	if got := p.Evict(); got != "big" {
+		t.Fatalf("eviction = %q, want big", got)
+	}
+	if got := p.Evict(); got != "medium" {
+		t.Fatalf("eviction = %q, want medium", got)
+	}
+}
+
+func TestGDSPrefersExpensiveEntries(t *testing.T) {
+	p := MustNew(GDS)
+	p.Insert("cheap", Meta{Size: 1000, ExecTime: 10 * time.Millisecond})
+	p.Insert("costly", Meta{Size: 1000, ExecTime: 10 * time.Second})
+	if got := p.Evict(); got != "cheap" {
+		t.Fatalf("eviction = %q, want cheap (GDS keeps expensive results)", got)
+	}
+}
+
+func TestGDSPrefersSmallEntriesAtEqualCost(t *testing.T) {
+	p := MustNew(GDS)
+	p.Insert("small", Meta{Size: 100, ExecTime: time.Second})
+	p.Insert("large", Meta{Size: 100000, ExecTime: time.Second})
+	if got := p.Evict(); got != "large" {
+		t.Fatalf("eviction = %q, want large", got)
+	}
+}
+
+func TestGDSInflationAgesOldEntries(t *testing.T) {
+	// "old" has priority 0 + 100s/1000B = 100 (in ms/byte units). Each filler
+	// has priority L + 10ms/10B = L + 1, so evicting 50 of them raises L to
+	// about 50 without ever touching "old". A fresh entry with the same
+	// metadata as "old" then gets priority ~150 and outranks it: inflation
+	// has aged the untouched entry.
+	p := MustNew(GDS)
+	p.Insert("old", Meta{Size: 1000, ExecTime: 100 * time.Second})
+	for i := 0; i < 50; i++ {
+		p.Insert(fmt.Sprintf("filler%d", i), Meta{Size: 10, ExecTime: 10 * time.Millisecond})
+		if got := p.Evict(); got != fmt.Sprintf("filler%d", i) {
+			t.Fatalf("iteration %d evicted %q, want the filler", i, got)
+		}
+	}
+	p.Insert("fresh", Meta{Size: 1000, ExecTime: 99 * time.Second})
+	if got := p.Victim(); got != "old" {
+		t.Fatalf("victim = %q, want old (inflation must age untouched entries)", got)
+	}
+	// Accessing "old" refreshes its priority (L + 100 > fresh's L + 99).
+	p.Access("old")
+	if got := p.Victim(); got != "fresh" {
+		t.Fatalf("victim after access = %q, want fresh", got)
+	}
+}
+
+func TestDuplicateInsertIsNoop(t *testing.T) {
+	for _, k := range Kinds() {
+		p := MustNew(k)
+		p.Insert("a", Meta{Size: 1})
+		p.Insert("a", Meta{Size: 99999})
+		if p.Len() != 1 {
+			t.Fatalf("%s: Len = %d after duplicate insert, want 1", k, p.Len())
+		}
+	}
+}
+
+func TestRemoveUnknownIsNoop(t *testing.T) {
+	for _, k := range Kinds() {
+		p := MustNew(k)
+		p.Remove("ghost")
+		p.Access("ghost")
+		if p.Len() != 0 {
+			t.Fatalf("%s: Len = %d, want 0", k, p.Len())
+		}
+	}
+}
+
+func TestEmptyVictimAndEvict(t *testing.T) {
+	for _, k := range Kinds() {
+		p := MustNew(k)
+		if p.Victim() != "" || p.Evict() != "" {
+			t.Fatalf("%s: empty policy returned a victim", k)
+		}
+	}
+}
+
+func TestVictimMatchesEvict(t *testing.T) {
+	for _, k := range Kinds() {
+		p := MustNew(k)
+		for i := 0; i < 20; i++ {
+			p.Insert(fmt.Sprintf("k%d", i), Meta{Size: int64(i * 100), ExecTime: time.Duration(i) * time.Millisecond})
+		}
+		p.Access("k3")
+		p.Access("k3")
+		p.Access("k7")
+		for p.Len() > 0 {
+			v := p.Victim()
+			if got := p.Evict(); got != v {
+				t.Fatalf("%s: Victim() = %q but Evict() = %q", k, v, got)
+			}
+		}
+	}
+}
+
+func TestRemoveVictimAdvances(t *testing.T) {
+	for _, k := range Kinds() {
+		p := MustNew(k)
+		p.Insert("a", Meta{Size: 10})
+		p.Insert("b", Meta{Size: 5})
+		v := p.Victim()
+		p.Remove(v)
+		if p.Len() != 1 {
+			t.Fatalf("%s: Len = %d, want 1", k, p.Len())
+		}
+		if got := p.Victim(); got == v || got == "" {
+			t.Fatalf("%s: victim after removal = %q, want the other key", k, got)
+		}
+	}
+}
+
+// Property: across all policies, every inserted key is evicted exactly once,
+// and Len always equals inserts minus removals.
+func TestEvictionIsPermutationProperty(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		f := func(sizes []uint16, accessIdx []uint8) bool {
+			if len(sizes) == 0 {
+				return true
+			}
+			if len(sizes) > 64 {
+				sizes = sizes[:64]
+			}
+			p := MustNew(k)
+			keys := make(map[string]bool, len(sizes))
+			for i, s := range sizes {
+				key := fmt.Sprintf("key-%d", i)
+				keys[key] = true
+				p.Insert(key, Meta{Size: int64(s), ExecTime: time.Duration(s) * time.Millisecond})
+			}
+			for _, idx := range accessIdx {
+				p.Access(fmt.Sprintf("key-%d", int(idx)%len(sizes)))
+			}
+			if p.Len() != len(keys) {
+				return false
+			}
+			seen := make(map[string]bool)
+			for p.Len() > 0 {
+				v := p.Evict()
+				if v == "" || seen[v] || !keys[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			return len(seen) == len(keys)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+	}
+}
+
+// Property: SIZE eviction order is non-increasing in size.
+func TestSizeOrderProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		p := MustNew(SIZE)
+		bySize := make(map[string]int64)
+		for i, s := range sizes {
+			key := fmt.Sprintf("k%d", i)
+			bySize[key] = int64(s)
+			p.Insert(key, Meta{Size: int64(s)})
+		}
+		last := int64(1<<62 - 1)
+		for p.Len() > 0 {
+			sz := bySize[p.Evict()]
+			if sz > last {
+				return false
+			}
+			last = sz
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LRU never evicts the most recently accessed key while other
+// keys remain.
+func TestLRUKeepsMostRecentProperty(t *testing.T) {
+	f := func(n uint8, hot uint8) bool {
+		count := int(n%20) + 2
+		p := MustNew(LRU)
+		for i := 0; i < count; i++ {
+			p.Insert(fmt.Sprintf("k%d", i), Meta{})
+		}
+		hotKey := fmt.Sprintf("k%d", int(hot)%count)
+		p.Access(hotKey)
+		for p.Len() > 1 {
+			if p.Evict() == hotKey {
+				return false
+			}
+		}
+		return p.Evict() == hotKey
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

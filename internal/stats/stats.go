@@ -1,0 +1,240 @@
+// Package stats collects latency and cache-effectiveness measurements for
+// the Swala experiments: per-request response-time recorders, summary
+// statistics (mean, percentiles), hit-ratio accounting, and speedup
+// computation. All recorders are safe for concurrent use by the many client
+// threads the load generators run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates response-time samples from concurrent clients.
+// The zero value is ready to use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one response-time sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count reports the number of samples recorded so far.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Reset discards all samples.
+func (r *LatencyRecorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Summary computes summary statistics over the recorded samples.
+func (r *LatencyRecorder) Summary() Summary {
+	r.mu.Lock()
+	samples := make([]time.Duration, len(r.samples))
+	copy(samples, r.samples)
+	r.mu.Unlock()
+	return Summarize(samples)
+}
+
+// Summary holds aggregate statistics for a set of duration samples.
+type Summary struct {
+	Count  int
+	Total  time.Duration
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	P50    time.Duration
+	P90    time.Duration
+	P99    time.Duration
+	Stddev time.Duration
+}
+
+// Summarize computes a Summary from a sample set. An empty input yields a
+// zero Summary.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	mean := total / time.Duration(len(sorted))
+
+	var sq float64
+	for _, d := range sorted {
+		diff := float64(d - mean)
+		sq += diff * diff
+	}
+	std := time.Duration(math.Sqrt(sq / float64(len(sorted))))
+
+	return Summary{
+		Count:  len(sorted),
+		Total:  total,
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    Percentile(sorted, 50),
+		P90:    Percentile(sorted, 90),
+		P99:    Percentile(sorted, 99),
+		Stddev: std,
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// sample set using nearest-rank interpolation.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v min=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.Min, s.Max)
+}
+
+// HitCounter tracks cache-lookup outcomes. All methods are safe for
+// concurrent use. The zero value is ready to use.
+type HitCounter struct {
+	mu          sync.Mutex
+	localHits   int64
+	remoteHits  int64
+	misses      int64
+	falseMisses int64
+	falseHits   int64
+	inserts     int64
+	evictions   int64
+}
+
+// LocalHit records a hit served from the node's own cache.
+func (h *HitCounter) LocalHit() { h.add(&h.localHits) }
+
+// RemoteHit records a hit served from a peer's cache.
+func (h *HitCounter) RemoteHit() { h.add(&h.remoteHits) }
+
+// Miss records a cache miss (CGI executed).
+func (h *HitCounter) Miss() { h.add(&h.misses) }
+
+// FalseMiss records a miss that an ideal (instantaneous-consistency) cache
+// would have served as a hit.
+func (h *HitCounter) FalseMiss() { h.add(&h.falseMisses) }
+
+// FalseHit records a directory hit whose remote fetch failed because the
+// entry was already deleted.
+func (h *HitCounter) FalseHit() { h.add(&h.falseHits) }
+
+// Insert records a cache insertion.
+func (h *HitCounter) Insert() { h.add(&h.inserts) }
+
+// Eviction records a replacement-policy eviction.
+func (h *HitCounter) Eviction() { h.add(&h.evictions) }
+
+func (h *HitCounter) add(p *int64) {
+	h.mu.Lock()
+	*p++
+	h.mu.Unlock()
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (h *HitCounter) Snapshot() HitSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HitSnapshot{
+		LocalHits:   h.localHits,
+		RemoteHits:  h.remoteHits,
+		Misses:      h.misses,
+		FalseMisses: h.falseMisses,
+		FalseHits:   h.falseHits,
+		Inserts:     h.inserts,
+		Evictions:   h.evictions,
+	}
+}
+
+// HitSnapshot is an immutable view of a HitCounter.
+type HitSnapshot struct {
+	LocalHits   int64
+	RemoteHits  int64
+	Misses      int64
+	FalseMisses int64
+	FalseHits   int64
+	Inserts     int64
+	Evictions   int64
+}
+
+// Hits returns local + remote hits.
+func (s HitSnapshot) Hits() int64 { return s.LocalHits + s.RemoteHits }
+
+// Lookups returns total cacheable lookups (hits + misses).
+func (s HitSnapshot) Lookups() int64 { return s.Hits() + s.Misses }
+
+// HitRatio returns hits / lookups, or 0 when no lookups happened.
+func (s HitSnapshot) HitRatio() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(n)
+}
+
+// Add returns the element-wise sum of two snapshots, used to aggregate
+// counters across cluster nodes.
+func (s HitSnapshot) Add(o HitSnapshot) HitSnapshot {
+	return HitSnapshot{
+		LocalHits:   s.LocalHits + o.LocalHits,
+		RemoteHits:  s.RemoteHits + o.RemoteHits,
+		Misses:      s.Misses + o.Misses,
+		FalseMisses: s.FalseMisses + o.FalseMisses,
+		FalseHits:   s.FalseHits + o.FalseHits,
+		Inserts:     s.Inserts + o.Inserts,
+		Evictions:   s.Evictions + o.Evictions,
+	}
+}
+
+// String renders the snapshot compactly.
+func (s HitSnapshot) String() string {
+	return fmt.Sprintf("hits=%d (local=%d remote=%d) misses=%d falseMiss=%d falseHit=%d inserts=%d evictions=%d",
+		s.Hits(), s.LocalHits, s.RemoteHits, s.Misses, s.FalseMisses, s.FalseHits, s.Inserts, s.Evictions)
+}
+
+// Speedup returns base/measured as a factor (e.g. 2.0 means twice as fast);
+// it returns 0 if measured is zero.
+func Speedup(base, measured time.Duration) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return float64(base) / float64(measured)
+}

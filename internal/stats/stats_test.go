@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Total != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{5 * time.Millisecond})
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	for name, got := range map[string]time.Duration{
+		"Mean": s.Mean, "Min": s.Min, "Max": s.Max, "P50": s.P50, "P99": s.P99,
+	} {
+		if got != 5*time.Millisecond {
+			t.Fatalf("%s = %v, want 5ms", name, got)
+		}
+	}
+	if s.Stddev != 0 {
+		t.Fatalf("Stddev = %v, want 0", s.Stddev)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	samples := []time.Duration{
+		4 * time.Millisecond,
+		2 * time.Millisecond,
+		6 * time.Millisecond,
+		8 * time.Millisecond,
+	}
+	s := Summarize(samples)
+	if s.Mean != 5*time.Millisecond {
+		t.Fatalf("Mean = %v, want 5ms", s.Mean)
+	}
+	if s.Min != 2*time.Millisecond || s.Max != 8*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v, want 2ms/8ms", s.Min, s.Max)
+	}
+	if s.Total != 20*time.Millisecond {
+		t.Fatalf("Total = %v, want 20ms", s.Total)
+	}
+	if s.P50 != 5*time.Millisecond { // interpolated between 4 and 6
+		t.Fatalf("P50 = %v, want 5ms", s.P50)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{3, 1, 2}
+	Summarize(samples)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatalf("Summarize mutated its input: %v", samples)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Fatalf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(sorted, 100); got != 5 {
+		t.Fatalf("P100 = %v, want 5", got)
+	}
+	if got := Percentile(sorted, 50); got != 3 {
+		t.Fatalf("P50 = %v, want 3", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("P50(nil) = %v, want 0", got)
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v % 1_000_000)
+		}
+		s := Summarize(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Count == len(samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var r LatencyRecorder
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	s := r.Summary()
+	if s.Mean != time.Millisecond {
+		t.Fatalf("Mean = %v, want 1ms", s.Mean)
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatal("Reset did not clear samples")
+	}
+}
+
+func TestHitCounterAccounting(t *testing.T) {
+	var h HitCounter
+	h.LocalHit()
+	h.LocalHit()
+	h.RemoteHit()
+	h.Miss()
+	h.FalseMiss()
+	h.FalseHit()
+	h.Insert()
+	h.Eviction()
+
+	s := h.Snapshot()
+	if s.LocalHits != 2 || s.RemoteHits != 1 || s.Misses != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Hits() != 3 {
+		t.Fatalf("Hits() = %d, want 3", s.Hits())
+	}
+	if s.Lookups() != 4 {
+		t.Fatalf("Lookups() = %d, want 4", s.Lookups())
+	}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Fatalf("HitRatio() = %v, want 0.75", got)
+	}
+	if s.FalseMisses != 1 || s.FalseHits != 1 || s.Inserts != 1 || s.Evictions != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHitCounterConcurrent(t *testing.T) {
+	var h HitCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.LocalHit()
+				h.Miss()
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.LocalHits != 8000 || s.Misses != 8000 {
+		t.Fatalf("snapshot = %+v, want 8000/8000", s)
+	}
+}
+
+func TestHitRatioEmptyIsZero(t *testing.T) {
+	var s HitSnapshot
+	if got := s.HitRatio(); got != 0 {
+		t.Fatalf("HitRatio of empty snapshot = %v, want 0", got)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a := HitSnapshot{LocalHits: 1, RemoteHits: 2, Misses: 3, FalseMisses: 4, FalseHits: 5, Inserts: 6, Evictions: 7}
+	b := HitSnapshot{LocalHits: 10, RemoteHits: 20, Misses: 30, FalseMisses: 40, FalseHits: 50, Inserts: 60, Evictions: 70}
+	got := a.Add(b)
+	want := HitSnapshot{LocalHits: 11, RemoteHits: 22, Misses: 33, FalseMisses: 44, FalseHits: 55, Inserts: 66, Evictions: 77}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2*time.Second, time.Second); got != 2 {
+		t.Fatalf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Fatalf("Speedup(x, 0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,44 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkMemoryPutGet(b *testing.B) {
+	s := NewMemory()
+	defer s.Close()
+	body := make([]byte, 4096)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%100)
+		if err := s.Put(key, "text/html", body); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskPutGet(b *testing.B) {
+	s, err := NewDisk(filepath.Join(b.TempDir(), "cache"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	body := make([]byte, 4096)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%100)
+		if err := s.Put(key, "text/html", body); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package store holds cached CGI result bodies. Following the paper's
+// design, the production backend keeps each cached result in its own
+// operating-system file and relies on the OS file cache to make recently
+// used entries cheap to serve; only meta-data lives in memory. An in-memory
+// backend with the same interface serves tests and experiments that should
+// not touch disk.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// ErrNotFound is returned when a key has no stored body.
+var ErrNotFound = errors.New("store: entry not found")
+
+// Store persists cache entry bodies keyed by the canonical request key.
+// Implementations are safe for concurrent use.
+type Store interface {
+	// Put stores body under key, overwriting any existing body.
+	Put(key string, contentType string, body []byte) error
+	// Get returns the body and content type for key.
+	Get(key string) (contentType string, body []byte, err error)
+	// Delete removes key's body. Deleting an absent key is not an error.
+	Delete(key string) error
+	// Len reports how many bodies are stored.
+	Len() int
+	// Close releases resources (and, for the disk store, removes files).
+	Close() error
+}
+
+// --- in-memory store ---
+
+type memEntry struct {
+	contentType string
+	body        []byte
+}
+
+// Memory is a map-backed Store for tests and simulation runs.
+type Memory struct {
+	mu      sync.RWMutex
+	entries map[string]memEntry
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{entries: make(map[string]memEntry)}
+}
+
+// Put implements Store.
+func (m *Memory) Put(key, contentType string, body []byte) error {
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	m.mu.Lock()
+	m.entries[key] = memEntry{contentType: contentType, body: cp}
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) (string, []byte, error) {
+	m.mu.RLock()
+	e, ok := m.entries[key]
+	m.mu.RUnlock()
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	cp := make([]byte, len(e.body))
+	copy(cp, e.body)
+	return e.contentType, cp, nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	delete(m.entries, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	m.entries = make(map[string]memEntry)
+	m.mu.Unlock()
+	return nil
+}
+
+// --- disk store ---
+
+// Disk stores one file per entry under a directory, as the paper's server
+// does. File names are sequence numbers; the key-to-file mapping is the
+// in-memory meta-data. The content type is stored as a one-line prefix so
+// each cache file is self-contained.
+type Disk struct {
+	dir string
+
+	mu      sync.RWMutex
+	files   map[string]string // key -> file path
+	nextSeq int64
+	closed  bool
+}
+
+// NewDisk creates a disk store rooted at dir, creating it if necessary.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Disk{dir: dir, files: make(map[string]string)}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Put implements Store.
+func (d *Disk) Put(key, contentType string, body []byte) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("store: disk store closed")
+	}
+	d.nextSeq++
+	path := filepath.Join(d.dir, "entry-"+strconv.FormatInt(d.nextSeq, 10)+".cache")
+	old := d.files[key]
+	d.files[key] = path
+	d.mu.Unlock()
+
+	data := make([]byte, 0, len(contentType)+1+len(body))
+	data = append(data, contentType...)
+	data = append(data, '\n')
+	data = append(data, body...)
+	if err := writeFileAtomic(path, data); err != nil {
+		d.mu.Lock()
+		if d.files[key] == path {
+			if old != "" {
+				d.files[key] = old
+			} else {
+				delete(d.files, key)
+			}
+		}
+		d.mu.Unlock()
+		return err
+	}
+	if old != "" && old != path {
+		os.Remove(old)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename so that a
+// concurrent Get never observes a torn body.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) (string, []byte, error) {
+	d.mu.RLock()
+	path, ok := d.files[key]
+	d.mu.RUnlock()
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	for i, b := range data {
+		if b == '\n' {
+			return string(data[:i]), data[i+1:], nil
+		}
+	}
+	return "", nil, fmt.Errorf("store: %s: missing content-type prefix", path)
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string) error {
+	d.mu.Lock()
+	path, ok := d.files[key]
+	delete(d.files, key)
+	d.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Len implements Store.
+func (d *Disk) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.files)
+}
+
+// Close implements Store. It removes all cache files and the directory.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.files = make(map[string]string)
+	d.mu.Unlock()
+	return os.RemoveAll(d.dir)
+}

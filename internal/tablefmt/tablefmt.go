@@ -1,0 +1,202 @@
+// Package tablefmt renders the experiment results as aligned text tables
+// and simple ASCII charts, one per table/figure of the paper, so that
+// cmd/benchsuite output can be compared side by side with the published
+// numbers.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled, aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// New creates a table with a title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Columns)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a minimal ASCII scatter/line chart for the paper's figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height of the plot area in characters (defaults 60x16).
+	Width, Height int
+}
+
+// Render draws the chart to w. Each series is plotted with its own marker
+// (1, 2, 3, ... by series order) on a shared scale.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at 0 like the paper's plots
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	if points == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := byte('1' + si)
+		if si >= 9 {
+			marker = byte('a' + si - 9)
+		}
+		for i := range s.X {
+			px := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			py := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - py
+			grid[row][px] = marker
+		}
+	}
+
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(w, "  %s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "  %s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(w, "  %s  %-*s%*s\n", strings.Repeat(" ", labelW), width/2,
+		fmt.Sprintf("%.3g", minX), width-width/2, fmt.Sprintf("%.3g", maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "  x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		marker := string(byte('1' + si))
+		if si >= 9 {
+			marker = string(byte('a' + si - 9))
+		}
+		fmt.Fprintf(w, "  [%s] %s\n", marker, s.Name)
+	}
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	c.Render(&sb)
+	return sb.String()
+}

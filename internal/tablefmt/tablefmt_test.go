@@ -1,0 +1,98 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := New("My Title", "col1", "column-two")
+	tab.AddRow("a", "X")
+	tab.AddRow("longer-cell", "Y")
+	out := tab.String()
+
+	if !strings.HasPrefix(out, "My Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"col1", "column-two", "longer-cell", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: every data line has the same prefix width for
+	// column 2.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	posX := strings.Index(lines[3], "X")
+	posY := strings.Index(lines[4], "Y")
+	if posX != posY {
+		t.Fatalf("column 2 misaligned (%d vs %d):\n%s", posX, posY, out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow("1")
+	tab.AddRow("1", "2", "3")
+	out := tab.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := New("", "x", "y")
+	tab.AddRowf("%d\t%s", 42, "hi")
+	out := tab.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "hi") {
+		t.Fatalf("AddRowf cells missing:\n%s", out)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "Latency",
+		XLabel: "nodes",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "no cache", X: []float64{1, 2, 4, 8}, Y: []float64{8, 4, 2, 1}},
+			{Name: "cache", X: []float64{1, 2, 4, 8}, Y: []float64{6, 3, 1.5, 0.8}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"Latency", "[1] no cache", "[2] cache", "nodes", "seconds", "1", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "Empty"}
+	out := c.String()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "one", X: []float64{5}, Y: []float64{3}}}}
+	out := c.String()
+	if !strings.Contains(out, "1") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartMarkerPlacement(t *testing.T) {
+	// A rising series: the marker for the max Y must be on the first grid
+	// row (top), min Y on the last.
+	c := &Chart{Width: 20, Height: 5,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 10}}}}
+	out := c.String()
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "1") { // top row holds the max
+		t.Fatalf("max not on top row:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+// Package timescale converts between "paper seconds" — the wall-clock units
+// reported in the HPDC'98 Swala evaluation on its Sun Ultra testbed — and the
+// scaled durations this reproduction actually measures. Running every
+// experiment at full scale (1 s CGI programs, 180-request batches, 8 nodes)
+// would take hours; scaling service times down uniformly preserves every
+// ratio the paper reports while keeping the benchmark suite fast.
+package timescale
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultScale maps 1 paper-second to 10 ms of measured time.
+const DefaultScale = 10 * time.Millisecond
+
+// Scale converts paper seconds to measured durations.
+type Scale struct {
+	// PerSecond is the measured duration corresponding to one paper second.
+	PerSecond time.Duration
+}
+
+// Default returns the standard experiment scale (1 s -> 10 ms).
+func Default() Scale { return Scale{PerSecond: DefaultScale} }
+
+// FullScale returns an identity scale (1 s -> 1 s), for running experiments
+// at the paper's original magnitudes.
+func FullScale() Scale { return Scale{PerSecond: time.Second} }
+
+// D converts a duration expressed in paper seconds into measured time.
+func (s Scale) D(paperSeconds float64) time.Duration {
+	per := s.PerSecond
+	if per == 0 {
+		per = DefaultScale
+	}
+	return time.Duration(paperSeconds * float64(per))
+}
+
+// PaperSeconds converts a measured duration back into paper seconds.
+func (s Scale) PaperSeconds(d time.Duration) float64 {
+	per := s.PerSecond
+	if per == 0 {
+		per = DefaultScale
+	}
+	return float64(d) / float64(per)
+}
+
+// Factor reports how many times faster than real time the scale runs.
+func (s Scale) Factor() float64 {
+	per := s.PerSecond
+	if per == 0 {
+		per = DefaultScale
+	}
+	return float64(time.Second) / float64(per)
+}
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	return fmt.Sprintf("1 paper-second = %v measured", s.PerSecond)
+}

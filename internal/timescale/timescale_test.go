@@ -1,0 +1,80 @@
+package timescale
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultScale(t *testing.T) {
+	s := Default()
+	if got := s.D(1); got != 10*time.Millisecond {
+		t.Fatalf("Default().D(1) = %v, want 10ms", got)
+	}
+}
+
+func TestFullScale(t *testing.T) {
+	s := FullScale()
+	if got := s.D(1); got != time.Second {
+		t.Fatalf("FullScale().D(1) = %v, want 1s", got)
+	}
+	if got := s.Factor(); got != 1 {
+		t.Fatalf("FullScale().Factor() = %v, want 1", got)
+	}
+}
+
+func TestZeroValueUsesDefault(t *testing.T) {
+	var s Scale
+	if got := s.D(2); got != 20*time.Millisecond {
+		t.Fatalf("zero Scale D(2) = %v, want 20ms", got)
+	}
+	if got := s.PaperSeconds(10 * time.Millisecond); got != 1 {
+		t.Fatalf("zero Scale PaperSeconds(10ms) = %v, want 1", got)
+	}
+	if got := s.Factor(); got != 100 {
+		t.Fatalf("zero Scale Factor() = %v, want 100", got)
+	}
+}
+
+func TestFractionalSeconds(t *testing.T) {
+	s := Default()
+	if got := s.D(0.5); got != 5*time.Millisecond {
+		t.Fatalf("D(0.5) = %v, want 5ms", got)
+	}
+	if got := s.D(0.001); got != 10*time.Microsecond {
+		t.Fatalf("D(0.001) = %v, want 10µs", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := Default()
+	f := func(ms uint16) bool {
+		paper := float64(ms) / 1000 // 0 .. 65.5 paper-seconds
+		back := s.PaperSeconds(s.D(paper))
+		return math.Abs(back-paper) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleMonotoneProperty(t *testing.T) {
+	s := Default()
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s.D(x) <= s.D(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Default().String(); got != "1 paper-second = 10ms measured" {
+		t.Fatalf("String() = %q", got)
+	}
+}

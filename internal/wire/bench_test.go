@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func BenchmarkMarshalInsert(b *testing.B) {
+	m := &Insert{Owner: 3, Key: "GET /cgi-bin/query?zoom=3&layer=roads", Size: 4096,
+		ExecTime: 1500 * time.Millisecond, Expires: time.Unix(12345, 0)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalInsert(b *testing.B) {
+	frame := Marshal(&Insert{Owner: 3, Key: "GET /cgi-bin/query?zoom=3&layer=roads", Size: 4096,
+		ExecTime: 1500 * time.Millisecond})
+	payload := frame[4:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripFetchReply4K(b *testing.B) {
+	body := make([]byte, 4096)
+	m := &FetchReply{Seq: 9, OK: true, ContentType: "text/html", Body: body}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	for i := 0; i < b.N; i++ {
+		frame := Marshal(m)
+		if _, err := ReadMessage(bytes.NewReader(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

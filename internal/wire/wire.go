@@ -1,0 +1,548 @@
+// Package wire defines the binary inter-node protocol Swala nodes use to
+// exchange cache meta-data and data: directory insert/delete broadcasts,
+// remote cache fetches, and membership hellos. Messages are length-prefixed
+// and encoded with a compact big-endian binary format so that the protocol
+// has a stable, language-independent wire representation.
+//
+// Frame layout:
+//
+//	uint32  total payload length (excluding this prefix)
+//	uint8   message type
+//	...     type-specific payload
+//
+// Strings and byte slices are encoded as uint32 length + bytes. Times are
+// int64 Unix nanoseconds. Durations are int64 nanoseconds.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// MsgType identifies the kind of a protocol message.
+type MsgType uint8
+
+// Message types exchanged between Swala nodes.
+const (
+	// MsgHello announces a node's identity when a peer link is opened.
+	MsgHello MsgType = iota + 1
+	// MsgInsert broadcasts a new cache directory entry.
+	MsgInsert
+	// MsgDelete broadcasts removal of a cache directory entry.
+	MsgDelete
+	// MsgFetch requests the body of a cached entry from its owner.
+	MsgFetch
+	// MsgFetchReply carries a fetched cache body (or a miss indication).
+	MsgFetchReply
+	// MsgPing is a liveness probe.
+	MsgPing
+	// MsgPong answers MsgPing.
+	MsgPong
+	// MsgStats requests a node's counter snapshot (used by swalactl).
+	MsgStats
+	// MsgStatsReply answers MsgStats.
+	MsgStatsReply
+	// MsgInvalidate asks every node to drop cached entries whose key matches
+	// a pattern — the application-driven invalidation the paper lists as
+	// future work (Section 4.2, citing Iyengar & Challenger).
+	MsgInvalidate
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgInsert:
+		return "insert"
+	case MsgDelete:
+		return "delete"
+	case MsgFetch:
+		return "fetch"
+	case MsgFetchReply:
+		return "fetch-reply"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgStats:
+		return "stats"
+	case MsgStatsReply:
+		return "stats-reply"
+	case MsgInvalidate:
+		return "invalidate"
+	default:
+		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
+	}
+}
+
+// MaxFrameSize bounds a single frame; larger frames are rejected as corrupt.
+// Cached CGI results in the paper's workload are well under a megabyte, but
+// allow room for large dynamic results.
+const MaxFrameSize = 64 << 20
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadMessage    = errors.New("wire: malformed message")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the message's wire type tag.
+	Type() MsgType
+	encode(e *encoder)
+	decode(d *decoder) error
+}
+
+// Hello announces the sending node when a peer connection is established.
+type Hello struct {
+	NodeID   uint32
+	NodeName string
+	// Addr is the address at which the sender accepts cluster connections.
+	Addr string
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return MsgHello }
+
+// Insert broadcasts a newly cached entry's meta-data to all peers.
+type Insert struct {
+	// Owner is the node that holds the cached body.
+	Owner uint32
+	// Key canonically identifies the request whose result was cached.
+	Key string
+	// Size is the body size in bytes.
+	Size int64
+	// ExecTime is how long the CGI took to produce the result.
+	ExecTime time.Duration
+	// Expires is the absolute expiry time (TTL already applied); zero means
+	// no expiry.
+	Expires time.Time
+}
+
+// Type implements Message.
+func (*Insert) Type() MsgType { return MsgInsert }
+
+// Delete broadcasts removal of a cached entry (eviction or expiry).
+type Delete struct {
+	Owner uint32
+	Key   string
+}
+
+// Type implements Message.
+func (*Delete) Type() MsgType { return MsgDelete }
+
+// Fetch asks the owner node for a cached body.
+type Fetch struct {
+	// Seq correlates the reply with the request on a multiplexed link.
+	Seq uint64
+	Key string
+}
+
+// Type implements Message.
+func (*Fetch) Type() MsgType { return MsgFetch }
+
+// FetchReply returns a cached body, or reports that the entry is gone
+// (a "false hit" in the paper's terminology).
+type FetchReply struct {
+	Seq uint64
+	// OK is false when the entry was deleted before the fetch arrived.
+	OK          bool
+	ContentType string
+	Body        []byte
+}
+
+// Type implements Message.
+func (*FetchReply) Type() MsgType { return MsgFetchReply }
+
+// Ping is a liveness probe.
+type Ping struct{ Seq uint64 }
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return MsgPing }
+
+// Pong answers a Ping.
+type Pong struct{ Seq uint64 }
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return MsgPong }
+
+// Stats requests a node's counters.
+type Stats struct{ Seq uint64 }
+
+// Type implements Message.
+func (*Stats) Type() MsgType { return MsgStats }
+
+// StatsReply carries a node's cache counters.
+type StatsReply struct {
+	Seq         uint64
+	LocalHits   int64
+	RemoteHits  int64
+	Misses      int64
+	FalseMisses int64
+	FalseHits   int64
+	Inserts     int64
+	Evictions   int64
+	Entries     int64
+}
+
+// Type implements Message.
+func (*StatsReply) Type() MsgType { return MsgStatsReply }
+
+// Invalidate asks the receiver to drop its own cached entries whose key
+// matches Pattern ('*' wildcards, cacheability.Match semantics). Each node
+// deletes only entries it owns; the resulting per-entry Delete broadcasts
+// keep the replicated directories converging.
+type Invalidate struct {
+	// Origin is the node (or administrative client) that issued the
+	// invalidation.
+	Origin  uint32
+	Pattern string
+}
+
+// Type implements Message.
+func (*Invalidate) Type() MsgType { return MsgInvalidate }
+
+// --- encoding ---
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) timeVal(t time.Time) {
+	if t.IsZero() {
+		e.i64(math.MinInt64)
+		return
+	}
+	e.i64(t.UnixNano())
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrBadMessage
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
+func (d *decoder) timeVal() time.Time {
+	v := d.i64()
+	if v == math.MinInt64 {
+		return time.Time{}
+	}
+	return time.Unix(0, v)
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (m *Hello) encode(e *encoder) {
+	e.u32(m.NodeID)
+	e.str(m.NodeName)
+	e.str(m.Addr)
+}
+
+func (m *Hello) decode(d *decoder) error {
+	m.NodeID = d.u32()
+	m.NodeName = d.str()
+	m.Addr = d.str()
+	return d.finish()
+}
+
+func (m *Insert) encode(e *encoder) {
+	e.u32(m.Owner)
+	e.str(m.Key)
+	e.i64(m.Size)
+	e.i64(int64(m.ExecTime))
+	e.timeVal(m.Expires)
+}
+
+func (m *Insert) decode(d *decoder) error {
+	m.Owner = d.u32()
+	m.Key = d.str()
+	m.Size = d.i64()
+	m.ExecTime = time.Duration(d.i64())
+	m.Expires = d.timeVal()
+	return d.finish()
+}
+
+func (m *Delete) encode(e *encoder) {
+	e.u32(m.Owner)
+	e.str(m.Key)
+}
+
+func (m *Delete) decode(d *decoder) error {
+	m.Owner = d.u32()
+	m.Key = d.str()
+	return d.finish()
+}
+
+func (m *Fetch) encode(e *encoder) {
+	e.u64(m.Seq)
+	e.str(m.Key)
+}
+
+func (m *Fetch) decode(d *decoder) error {
+	m.Seq = d.u64()
+	m.Key = d.str()
+	return d.finish()
+}
+
+func (m *FetchReply) encode(e *encoder) {
+	e.u64(m.Seq)
+	e.boolean(m.OK)
+	e.str(m.ContentType)
+	e.bytes(m.Body)
+}
+
+func (m *FetchReply) decode(d *decoder) error {
+	m.Seq = d.u64()
+	m.OK = d.boolean()
+	m.ContentType = d.str()
+	m.Body = d.bytes()
+	return d.finish()
+}
+
+func (m *Ping) encode(e *encoder) { e.u64(m.Seq) }
+
+func (m *Ping) decode(d *decoder) error {
+	m.Seq = d.u64()
+	return d.finish()
+}
+
+func (m *Pong) encode(e *encoder) { e.u64(m.Seq) }
+
+func (m *Pong) decode(d *decoder) error {
+	m.Seq = d.u64()
+	return d.finish()
+}
+
+func (m *Stats) encode(e *encoder) { e.u64(m.Seq) }
+
+func (m *Stats) decode(d *decoder) error {
+	m.Seq = d.u64()
+	return d.finish()
+}
+
+func (m *StatsReply) encode(e *encoder) {
+	e.u64(m.Seq)
+	e.i64(m.LocalHits)
+	e.i64(m.RemoteHits)
+	e.i64(m.Misses)
+	e.i64(m.FalseMisses)
+	e.i64(m.FalseHits)
+	e.i64(m.Inserts)
+	e.i64(m.Evictions)
+	e.i64(m.Entries)
+}
+
+func (m *StatsReply) decode(d *decoder) error {
+	m.Seq = d.u64()
+	m.LocalHits = d.i64()
+	m.RemoteHits = d.i64()
+	m.Misses = d.i64()
+	m.FalseMisses = d.i64()
+	m.FalseHits = d.i64()
+	m.Inserts = d.i64()
+	m.Evictions = d.i64()
+	m.Entries = d.i64()
+	return d.finish()
+}
+
+func (m *Invalidate) encode(e *encoder) {
+	e.u32(m.Origin)
+	e.str(m.Pattern)
+}
+
+func (m *Invalidate) decode(d *decoder) error {
+	m.Origin = d.u32()
+	m.Pattern = d.str()
+	return d.finish()
+}
+
+// Marshal encodes a message into a self-delimiting frame.
+func Marshal(m Message) []byte {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u32(0) // placeholder for length
+	e.u8(uint8(m.Type()))
+	m.encode(e)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	return e.buf
+}
+
+// Unmarshal decodes one message from a frame payload (type byte + body,
+// without the length prefix).
+func Unmarshal(payload []byte) (Message, error) {
+	if len(payload) < 1 {
+		return nil, ErrBadMessage
+	}
+	var m Message
+	switch MsgType(payload[0]) {
+	case MsgHello:
+		m = &Hello{}
+	case MsgInsert:
+		m = &Insert{}
+	case MsgDelete:
+		m = &Delete{}
+	case MsgFetch:
+		m = &Fetch{}
+	case MsgFetchReply:
+		m = &FetchReply{}
+	case MsgPing:
+		m = &Ping{}
+	case MsgPong:
+		m = &Pong{}
+	case MsgStats:
+		m = &Stats{}
+	case MsgStatsReply:
+		m = &StatsReply{}
+	case MsgInvalidate:
+		m = &Invalidate{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, payload[0])
+	}
+	d := &decoder{buf: payload[1:]}
+	if err := m.decode(d); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteMessage writes one framed message to w.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(Marshal(m))
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return nil, ErrBadMessage
+	}
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Unmarshal(payload)
+}
+
+// Conn wraps a byte stream with buffered, mutex-free message reading. Writes
+// must be externally serialized by the caller (the cluster peer link does
+// this with a send mutex).
+type Conn struct {
+	r *bufio.Reader
+	w io.Writer
+}
+
+// NewConn wraps rw for message exchange.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReaderSize(rw, 32<<10), w: rw}
+}
+
+// Read reads the next message.
+func (c *Conn) Read() (Message, error) { return ReadMessage(c.r) }
+
+// Write writes one message.
+func (c *Conn) Write(m Message) error { return WriteMessage(c.w, m) }

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	frame := Marshal(m)
+	got, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("ReadMessage(%v): %v", m.Type(), err)
+	}
+	return got
+}
+
+func TestRoundTripHello(t *testing.T) {
+	in := &Hello{NodeID: 7, NodeName: "node-7", Addr: "127.0.0.1:9007"}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripInsert(t *testing.T) {
+	in := &Insert{
+		Owner:    3,
+		Key:      "GET /cgi-bin/query?zoom=3",
+		Size:     4096,
+		ExecTime: 1500 * time.Millisecond,
+		Expires:  time.Unix(12345, 67890),
+	}
+	got := roundTrip(t, in).(*Insert)
+	if got.Owner != in.Owner || got.Key != in.Key || got.Size != in.Size || got.ExecTime != in.ExecTime {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	if !got.Expires.Equal(in.Expires) {
+		t.Fatalf("Expires = %v, want %v", got.Expires, in.Expires)
+	}
+}
+
+func TestRoundTripInsertZeroExpiry(t *testing.T) {
+	in := &Insert{Owner: 1, Key: "k"}
+	got := roundTrip(t, in).(*Insert)
+	if !got.Expires.IsZero() {
+		t.Fatalf("zero expiry did not survive round trip: %v", got.Expires)
+	}
+}
+
+func TestRoundTripDelete(t *testing.T) {
+	in := &Delete{Owner: 2, Key: "GET /a?b=c"}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripFetchAndReply(t *testing.T) {
+	f := &Fetch{Seq: 99, Key: "GET /x"}
+	if got := roundTrip(t, f); !reflect.DeepEqual(got, f) {
+		t.Fatalf("got %+v, want %+v", got, f)
+	}
+	r := &FetchReply{Seq: 99, OK: true, ContentType: "text/html", Body: []byte("hello")}
+	if got := roundTrip(t, r); !reflect.DeepEqual(got, r) {
+		t.Fatalf("got %+v, want %+v", got, r)
+	}
+}
+
+func TestRoundTripFetchReplyMiss(t *testing.T) {
+	r := &FetchReply{Seq: 5, OK: false}
+	got := roundTrip(t, r).(*FetchReply)
+	if got.OK {
+		t.Fatal("OK = true, want false")
+	}
+	if len(got.Body) != 0 {
+		t.Fatalf("Body = %q, want empty", got.Body)
+	}
+}
+
+func TestRoundTripControlMessages(t *testing.T) {
+	for _, m := range []Message{
+		&Ping{Seq: 1},
+		&Pong{Seq: 2},
+		&Stats{Seq: 3},
+		&StatsReply{Seq: 3, LocalHits: 10, RemoteHits: 4, Misses: 2, FalseMisses: 1, FalseHits: 1, Inserts: 12, Evictions: 3, Entries: 9},
+		&Invalidate{Origin: 7, Pattern: "GET /cgi-bin/map*"},
+	} {
+		if got := roundTrip(t, m); !reflect.DeepEqual(got, m) {
+			t.Fatalf("got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestUnmarshalUnknownType(t *testing.T) {
+	_, err := Unmarshal([]byte{0xEE, 1, 2, 3})
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestUnmarshalEmpty(t *testing.T) {
+	_, err := Unmarshal(nil)
+	if !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	frame := Marshal(&Insert{Owner: 1, Key: "abcdefgh", Size: 10})
+	payload := frame[4:]
+	for cut := 1; cut < len(payload); cut++ {
+		if _, err := Unmarshal(payload[:cut]); err == nil {
+			t.Fatalf("Unmarshal of %d/%d-byte prefix succeeded, want error", cut, len(payload))
+		}
+	}
+}
+
+func TestUnmarshalTrailingGarbage(t *testing.T) {
+	frame := Marshal(&Ping{Seq: 1})
+	payload := append(frame[4:], 0xFF)
+	if _, err := Unmarshal(payload); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestReadMessageFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], MaxFrameSize+1)
+	buf.Write(lenBuf[:])
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadMessageZeroLength(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 0})); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestReadMessageEOF(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadMessageTruncatedPayload(t *testing.T) {
+	frame := Marshal(&Hello{NodeID: 1, NodeName: "n", Addr: "a"})
+	_, err := ReadMessage(bytes.NewReader(frame[:len(frame)-2]))
+	if err == nil {
+		t.Fatal("truncated frame read succeeded, want error")
+	}
+}
+
+func TestConnStream(t *testing.T) {
+	var buf bytes.Buffer
+	conn := NewConn(&buf)
+	msgs := []Message{
+		&Hello{NodeID: 1, NodeName: "a", Addr: "x"},
+		&Insert{Owner: 1, Key: "GET /q", Size: 7, ExecTime: time.Second},
+		&Delete{Owner: 1, Key: "GET /q"},
+		&Ping{Seq: 42},
+	}
+	for _, m := range msgs {
+		if err := conn.Write(m); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := conn.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("message %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := conn.Read(); err != io.EOF {
+		t.Fatalf("Read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestInsertRoundTripProperty(t *testing.T) {
+	f := func(owner uint32, key string, size int64, exec int64) bool {
+		in := &Insert{Owner: owner, Key: key, Size: size, ExecTime: time.Duration(exec)}
+		got, err := ReadMessage(bytes.NewReader(Marshal(in)))
+		if err != nil {
+			return false
+		}
+		out, ok := got.(*Insert)
+		return ok && out.Owner == in.Owner && out.Key == in.Key &&
+			out.Size == in.Size && out.ExecTime == in.ExecTime && out.Expires.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchReplyRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, ok bool, ct string, body []byte) bool {
+		in := &FetchReply{Seq: seq, OK: ok, ContentType: ct, Body: body}
+		got, err := ReadMessage(bytes.NewReader(Marshal(in)))
+		if err != nil {
+			return false
+		}
+		out, o := got.(*FetchReply)
+		if !o || out.Seq != seq || out.OK != ok || out.ContentType != ct {
+			return false
+		}
+		return bytes.Equal(out.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	cases := map[MsgType]string{
+		MsgHello:      "hello",
+		MsgInsert:     "insert",
+		MsgDelete:     "delete",
+		MsgFetch:      "fetch",
+		MsgFetchReply: "fetch-reply",
+		MsgPing:       "ping",
+		MsgPong:       "pong",
+		MsgStats:      "stats",
+		MsgStatsReply: "stats-reply",
+		MsgInvalidate: "invalidate",
+		MsgType(200):  "wire.MsgType(200)",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("MsgType(%d).String() = %q, want %q", uint8(in), got, want)
+		}
+	}
+}

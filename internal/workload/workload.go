@@ -1,0 +1,408 @@
+// Package workload drives Swala and the baseline servers with the loads the
+// paper's evaluation uses: the WebStone static-file mix (Table 2), the
+// null-CGI load (Figure 3), unique-request streams (Tables 3 and 4), the
+// synthetic ADL-derived trace (Figure 4), and the 1600-request / 1122-unique
+// cache-hit workload (Tables 5 and 6). A Driver runs N concurrent client
+// threads against one or more server addresses and records per-request
+// response times.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpclient"
+	"repro/internal/httpmsg"
+	"repro/internal/stats"
+)
+
+// monoBase anchors a monotonic timestamp for latency measurement.
+var monoBase = time.Now()
+
+func nowMono() time.Duration { return time.Since(monoBase) }
+
+// Source yields the seq-th request for a client thread; ok=false ends that
+// client's run. Implementations must be safe for concurrent use across
+// client indices (each client uses only its own index).
+type Source func(client, seq int) (addr, uri string, ok bool)
+
+// Driver issues requests from concurrent client threads, as WebStone does.
+type Driver struct {
+	// Client is the HTTP client (shared connection pools).
+	Client *httpclient.Client
+	// Clients is the number of concurrent client threads.
+	Clients int
+	// Source produces each client's request stream.
+	Source Source
+	// KeepAlive reuses connections between requests. WebStone speaks
+	// HTTP/1.0 with one connection per request, so the default (false) sends
+	// Connection: close; this also prevents a client population larger than
+	// the server's request-thread pool from parking on idle connections.
+	KeepAlive bool
+}
+
+// Result of a driver run.
+type Result struct {
+	// Latency summarizes per-request response times.
+	Latency stats.Summary
+	// Requests is the total completed request count.
+	Requests int
+	// Errors counts failed requests (transport errors or non-2xx).
+	Errors int
+	// Bytes is the total response body bytes received.
+	Bytes int64
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// Throughput returns completed requests per second of wall-clock time.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// BytesPerSecond returns the body-byte transfer rate.
+func (r Result) BytesPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds()
+}
+
+// Run executes all client threads to completion.
+func (d *Driver) Run() Result {
+	var rec stats.LatencyRecorder
+	var mu sync.Mutex
+	errCount := 0
+	var bytes int64
+
+	runStart := nowMono()
+	var wg sync.WaitGroup
+	for c := 0; c < d.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				addr, uri, ok := d.Source(c, seq)
+				if !ok {
+					return
+				}
+				req := httpmsg.NewRequest("GET", uri)
+				if !d.KeepAlive {
+					req.Header.Set("Connection", "close")
+				}
+				start := nowMono()
+				resp, err := d.Client.Do(addr, req)
+				elapsed := nowMono() - start
+				if err != nil || resp.StatusCode >= 400 {
+					mu.Lock()
+					errCount++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				bytes += int64(len(resp.Body))
+				mu.Unlock()
+				rec.Record(elapsed)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return Result{
+		Latency:  rec.Summary(),
+		Requests: rec.Count(),
+		Errors:   errCount,
+		Bytes:    bytes,
+		Elapsed:  nowMono() - runStart,
+	}
+}
+
+// --- WebStone file mix ---
+
+// WebStoneItem is one entry of the file mix.
+type WebStoneItem struct {
+	URI    string
+	Weight float64
+}
+
+// WebStoneMix returns the paper's Table 2 file mix: 500 B 35%, 5 KB 50%,
+// 50 KB 14%, 500 KB 0.9%, 1 MB 0.1%. The URIs match
+// content.WebStoneMix's registered paths.
+func WebStoneMix() []WebStoneItem {
+	return []WebStoneItem{
+		{URI: "/files/file500b.html", Weight: 35},
+		{URI: "/files/file5k.html", Weight: 50},
+		{URI: "/files/file50k.html", Weight: 14},
+		{URI: "/files/file500k.html", Weight: 0.9},
+		{URI: "/files/file1m.html", Weight: 0.1},
+	}
+}
+
+// Weighted picks items with probability proportional to weight,
+// deterministically given a seeded source.
+type Weighted struct {
+	items []WebStoneItem
+	cum   []float64
+	total float64
+}
+
+// NewWeighted builds a weighted chooser. Items with non-positive weight are
+// ignored.
+func NewWeighted(items []WebStoneItem) *Weighted {
+	w := &Weighted{}
+	for _, it := range items {
+		if it.Weight <= 0 {
+			continue
+		}
+		w.total += it.Weight
+		w.items = append(w.items, it)
+		w.cum = append(w.cum, w.total)
+	}
+	return w
+}
+
+// Pick returns one URI.
+func (w *Weighted) Pick(r *rand.Rand) string {
+	if len(w.items) == 0 {
+		return ""
+	}
+	x := r.Float64() * w.total
+	i := sort.SearchFloat64s(w.cum, x)
+	if i >= len(w.items) {
+		i = len(w.items) - 1
+	}
+	return w.items[i].URI
+}
+
+// FileMixSource builds a Source where each client issues perClient requests
+// drawn from the WebStone mix against addrs (round-robin by client).
+func FileMixSource(addrs []string, perClient int, seed int64) Source {
+	mixes := map[int]*clientState{}
+	var mu sync.Mutex
+	getState := func(c int) *clientState {
+		mu.Lock()
+		defer mu.Unlock()
+		st, ok := mixes[c]
+		if !ok {
+			st = &clientState{
+				rng: rand.New(rand.NewSource(seed + int64(c)*7919)),
+				w:   NewWeighted(WebStoneMix()),
+			}
+			mixes[c] = st
+		}
+		return st
+	}
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		st := getState(client)
+		return addrs[client%len(addrs)], st.w.Pick(st.rng), true
+	}
+}
+
+type clientState struct {
+	rng *rand.Rand
+	w   *Weighted
+}
+
+// --- fixed-URI sources ---
+
+// RepeatSource issues the same URI perClient times per client, all to
+// addrs[client % len(addrs)] — the Figure 3 null-CGI load.
+func RepeatSource(addrs []string, uri string, perClient int) Source {
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		return addrs[client%len(addrs)], uri, true
+	}
+}
+
+// UniqueSource issues globally unique cacheable requests (every request is a
+// compulsory miss plus insert) — the Table 3 insertion-overhead load. All
+// requests go to addr. The cost query parameter requests the given paper-
+// millisecond execution time from the ADL synthetic program.
+func UniqueSource(addr string, perClient int, costMillis int) Source {
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		uri := fmt.Sprintf("/cgi-bin/adl?q=unique-c%d-s%d&cost=%d", client, seq, costMillis)
+		return addr, uri, true
+	}
+}
+
+// UncacheableSource issues unique uncacheable requests (path chosen to miss
+// the cacheability rules) — the Table 4 directory-maintenance load.
+func UncacheableSource(addr string, perClient int, costMillis int) Source {
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		uri := fmt.Sprintf("/cgi-bin/private?q=u-c%d-s%d&cost=%d", client, seq, costMillis)
+		return addr, uri, true
+	}
+}
+
+// --- trace replay ---
+
+// TraceRequest is one replayable request.
+type TraceRequest struct {
+	URI string
+}
+
+// SliceSource partitions a request list across clients: client c takes
+// requests c, c+Clients, c+2*Clients, ... preserving each client's relative
+// order. Each client targets addrs[client % len(addrs)], matching the
+// paper's setup where every client thread launches requests at one node.
+func SliceSource(addrs []string, reqs []TraceRequest, clients int) Source {
+	return func(client, seq int) (string, string, bool) {
+		idx := client + seq*clients
+		if idx >= len(reqs) {
+			return "", "", false
+		}
+		return addrs[client%len(addrs)], reqs[idx].URI, true
+	}
+}
+
+// --- Tables 5/6 cache-hit workload ---
+
+// HitWorkloadConfig parameterizes the Tables 5/6 request stream.
+type HitWorkloadConfig struct {
+	// Total requests (paper: 1600).
+	Total int
+	// Unique keys among them (paper: 1122).
+	Unique int
+	// CostMillis is the per-request execution time in paper milliseconds
+	// (the paper's requests run about one second).
+	CostMillis int
+	// HotFraction is the fraction of unique keys that receive the repeat
+	// traffic (popularity concentration). Default 0.25.
+	HotFraction float64
+	// LocalityWindow places each repeat within this many positions after an
+	// earlier occurrence of its key, reproducing the temporal locality of
+	// the original log (Section 5.2 replays "the same amount of temporal
+	// locality"). 0 scatters repeats uniformly.
+	LocalityWindow int
+	// Seed drives the deterministic shuffle.
+	Seed int64
+}
+
+// HitWorkload builds a shuffled request list with exactly cfg.Total requests
+// over exactly cfg.Unique distinct keys; the Total-Unique repeats land on a
+// hot subset of keys with linearly decaying popularity. The exact repeat
+// count is the workload's "upper bound" on cache hits (an infinite shared
+// cache hits every repeat).
+func HitWorkload(cfg HitWorkloadConfig) []TraceRequest {
+	if cfg.Total <= 0 || cfg.Unique <= 0 || cfg.Unique > cfg.Total {
+		panic(fmt.Sprintf("workload: invalid hit workload config %+v", cfg))
+	}
+	if cfg.HotFraction <= 0 || cfg.HotFraction > 1 {
+		cfg.HotFraction = 0.25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	uri := func(k int) string {
+		return fmt.Sprintf("/cgi-bin/adl?q=key%04d&cost=%d", k, cfg.CostMillis)
+	}
+
+	// One occurrence of every unique key, in shuffled order.
+	reqs := make([]TraceRequest, 0, cfg.Total)
+	for k := 0; k < cfg.Unique; k++ {
+		reqs = append(reqs, TraceRequest{URI: uri(k)})
+	}
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+
+	// Repeats over the hot subset with linearly decaying weights.
+	hot := int(float64(cfg.Unique) * cfg.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	weights := make([]float64, hot)
+	total := 0.0
+	for i := range weights {
+		weights[i] = float64(hot - i)
+		total += weights[i]
+	}
+	repeats := cfg.Total - cfg.Unique
+	repeatKeys := make([]int, repeats)
+	for r := range repeatKeys {
+		x := rng.Float64() * total
+		acc := 0.0
+		k := hot - 1
+		for i, w := range weights {
+			acc += w
+			if x < acc {
+				k = i
+				break
+			}
+		}
+		repeatKeys[r] = k
+	}
+
+	if cfg.LocalityWindow <= 0 {
+		// No locality: scatter repeats uniformly.
+		for _, k := range repeatKeys {
+			pos := rng.Intn(len(reqs) + 1)
+			reqs = append(reqs, TraceRequest{})
+			copy(reqs[pos+1:], reqs[pos:])
+			reqs[pos] = TraceRequest{URI: uri(k)}
+		}
+		return reqs
+	}
+
+	// Temporal locality: each repeat lands within LocalityWindow positions
+	// after an existing occurrence of its key.
+	lastPos := make(map[string]int, cfg.Unique)
+	for i, r := range reqs {
+		lastPos[r.URI] = i
+	}
+	for _, k := range repeatKeys {
+		u := uri(k)
+		base := lastPos[u]
+		pos := base + 1 + rng.Intn(cfg.LocalityWindow)
+		if pos > len(reqs) {
+			pos = len(reqs)
+		}
+		reqs = append(reqs, TraceRequest{})
+		copy(reqs[pos+1:], reqs[pos:])
+		reqs[pos] = TraceRequest{URI: u}
+		// Track positions lazily: shifting invalidates indexes after pos,
+		// but the approximation keeps repeats clustered, which is all the
+		// experiment needs.
+		lastPos[u] = pos
+	}
+	return reqs
+}
+
+// UpperBoundHits returns the maximum possible cache hits for a request list:
+// total occurrences minus distinct keys (an infinite, instantly consistent
+// shared cache hits every repeat). Section 5.3 computes Tables 5/6's upper
+// bound exactly this way.
+func UpperBoundHits(reqs []TraceRequest) int {
+	seen := make(map[string]struct{}, len(reqs))
+	hits := 0
+	for _, r := range reqs {
+		if _, ok := seen[r.URI]; ok {
+			hits++
+		} else {
+			seen[r.URI] = struct{}{}
+		}
+	}
+	return hits
+}
+
+// CountUnique returns the number of distinct URIs in a request list.
+func CountUnique(reqs []TraceRequest) int {
+	seen := make(map[string]struct{}, len(reqs))
+	for _, r := range reqs {
+		seen[r.URI] = struct{}{}
+	}
+	return len(seen)
+}

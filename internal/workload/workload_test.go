@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgi"
+	"repro/internal/httpclient"
+	"repro/internal/httpmsg"
+	"repro/internal/httpserver"
+	"repro/internal/netx"
+)
+
+func TestWeightedDistribution(t *testing.T) {
+	w := NewWeighted(WebStoneMix())
+	rng := rand.New(rand.NewSource(42))
+	counts := make(map[string]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Pick(rng)]++
+	}
+	got500 := float64(counts["/files/file500b.html"]) / n
+	got5k := float64(counts["/files/file5k.html"]) / n
+	if got500 < 0.33 || got500 > 0.37 {
+		t.Fatalf("500B share = %.3f, want ~0.35", got500)
+	}
+	if got5k < 0.48 || got5k > 0.52 {
+		t.Fatalf("5K share = %.3f, want ~0.50", got5k)
+	}
+	if counts["/files/file1m.html"] == 0 {
+		t.Fatal("1MB file never chosen in 100k draws")
+	}
+}
+
+func TestWeightedIgnoresNonPositive(t *testing.T) {
+	w := NewWeighted([]WebStoneItem{{URI: "/a", Weight: 0}, {URI: "/b", Weight: -1}, {URI: "/c", Weight: 1}})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := w.Pick(rng); got != "/c" {
+			t.Fatalf("Pick = %q, want /c", got)
+		}
+	}
+}
+
+func TestWeightedEmpty(t *testing.T) {
+	w := NewWeighted(nil)
+	if got := w.Pick(rand.New(rand.NewSource(1))); got != "" {
+		t.Fatalf("Pick on empty = %q", got)
+	}
+}
+
+func TestFileMixSourceBounds(t *testing.T) {
+	src := FileMixSource([]string{"a", "b"}, 3, 1)
+	for c := 0; c < 2; c++ {
+		for s := 0; s < 3; s++ {
+			addr, uri, ok := src(c, s)
+			if !ok {
+				t.Fatalf("client %d seq %d ended early", c, s)
+			}
+			want := []string{"a", "b"}[c%2]
+			if addr != want {
+				t.Fatalf("client %d addr = %q, want %q", c, addr, want)
+			}
+			if !strings.HasPrefix(uri, "/files/") {
+				t.Fatalf("uri = %q", uri)
+			}
+		}
+		if _, _, ok := src(c, 3); ok {
+			t.Fatal("source did not end after perClient requests")
+		}
+	}
+}
+
+func TestRepeatSource(t *testing.T) {
+	src := RepeatSource([]string{"x"}, "/cgi-bin/null", 2)
+	addr, uri, ok := src(0, 0)
+	if !ok || addr != "x" || uri != "/cgi-bin/null" {
+		t.Fatalf("got (%q, %q, %v)", addr, uri, ok)
+	}
+	if _, _, ok := src(0, 2); ok {
+		t.Fatal("source did not end")
+	}
+}
+
+func TestUniqueSourceAllDistinct(t *testing.T) {
+	src := UniqueSource("n", 10, 1000)
+	seen := make(map[string]bool)
+	for c := 0; c < 4; c++ {
+		for s := 0; s < 10; s++ {
+			_, uri, ok := src(c, s)
+			if !ok {
+				t.Fatal("ended early")
+			}
+			if seen[uri] {
+				t.Fatalf("duplicate uri %q", uri)
+			}
+			seen[uri] = true
+			if !strings.Contains(uri, "cost=1000") {
+				t.Fatalf("uri missing cost: %q", uri)
+			}
+		}
+	}
+}
+
+func TestUncacheableSourcePath(t *testing.T) {
+	src := UncacheableSource("n", 1, 500)
+	_, uri, _ := src(0, 0)
+	if !strings.HasPrefix(uri, "/cgi-bin/private?") {
+		t.Fatalf("uri = %q", uri)
+	}
+}
+
+func TestSliceSourcePartition(t *testing.T) {
+	reqs := make([]TraceRequest, 10)
+	for i := range reqs {
+		reqs[i] = TraceRequest{URI: string(rune('a' + i))}
+	}
+	src := SliceSource([]string{"n0", "n1"}, reqs, 3)
+	// Client 0 gets indexes 0,3,6,9; client 1: 1,4,7; client 2: 2,5,8.
+	var got []string
+	for s := 0; ; s++ {
+		_, uri, ok := src(0, s)
+		if !ok {
+			break
+		}
+		got = append(got, uri)
+	}
+	want := []string{"a", "d", "g", "j"}
+	if len(got) != len(want) {
+		t.Fatalf("client 0 got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("client 0 got %v, want %v", got, want)
+		}
+	}
+	// Every request assigned exactly once across clients.
+	seen := make(map[string]int)
+	for c := 0; c < 3; c++ {
+		for s := 0; ; s++ {
+			_, uri, ok := src(c, s)
+			if !ok {
+				break
+			}
+			seen[uri]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d of 10 requests", len(seen))
+	}
+	for uri, n := range seen {
+		if n != 1 {
+			t.Fatalf("request %q assigned %d times", uri, n)
+		}
+	}
+}
+
+func TestHitWorkloadExactCounts(t *testing.T) {
+	reqs := HitWorkload(HitWorkloadConfig{Total: 1600, Unique: 1122, CostMillis: 1000, Seed: 9})
+	if len(reqs) != 1600 {
+		t.Fatalf("total = %d, want 1600", len(reqs))
+	}
+	if got := CountUnique(reqs); got != 1122 {
+		t.Fatalf("unique = %d, want 1122", got)
+	}
+	if got := UpperBoundHits(reqs); got != 1600-1122 {
+		t.Fatalf("upper bound = %d, want %d", got, 1600-1122)
+	}
+}
+
+func TestHitWorkloadDeterministic(t *testing.T) {
+	cfg := HitWorkloadConfig{Total: 100, Unique: 60, CostMillis: 10, Seed: 3}
+	a := HitWorkload(cfg)
+	b := HitWorkload(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestHitWorkloadInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unique > total")
+		}
+	}()
+	HitWorkload(HitWorkloadConfig{Total: 5, Unique: 10})
+}
+
+func TestHitWorkloadProperty(t *testing.T) {
+	f := func(totalRaw, uniqueRaw uint8, seed int64) bool {
+		total := int(totalRaw)%200 + 2
+		unique := int(uniqueRaw)%total + 1
+		reqs := HitWorkload(HitWorkloadConfig{Total: total, Unique: unique, CostMillis: 5, Seed: seed})
+		return len(reqs) == total && CountUnique(reqs) == unique &&
+			UpperBoundHits(reqs) == total-unique
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBoundHitsEmpty(t *testing.T) {
+	if UpperBoundHits(nil) != 0 || CountUnique(nil) != 0 {
+		t.Fatal("empty workload should have zero bounds")
+	}
+}
+
+func TestDriverAgainstRealServer(t *testing.T) {
+	mem := netx.NewMem()
+	l, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	handled := 0
+	var handler httpserver.Handler = httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+		handled++ // single request thread => no race
+		resp := httpmsg.NewResponse(200)
+		resp.Body = cgi.GenerateBody(req.Path, req.Query, 64)
+		return resp
+	})
+	s := httpserver.New(handler, httpserver.Config{RequestThreads: 1})
+	s.Serve(l)
+	defer s.Close()
+
+	client := httpclient.New(mem)
+	defer client.Close()
+
+	d := &Driver{
+		Client:  client,
+		Clients: 4,
+		Source:  RepeatSource([]string{"srv"}, "/x", 5),
+	}
+	res := d.Run()
+	if res.Requests != 20 {
+		t.Fatalf("requests = %d, want 20", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Latency.Count != 20 || res.Latency.Mean <= 0 {
+		t.Fatalf("latency = %+v", res.Latency)
+	}
+}
+
+func TestDriverThroughputAccounting(t *testing.T) {
+	mem := netx.NewMem()
+	l, _ := mem.Listen("srv")
+	s := httpserver.New(httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+		resp := httpmsg.NewResponse(200)
+		resp.Body = make([]byte, 100)
+		return resp
+	}), httpserver.Config{RequestThreads: 2})
+	s.Serve(l)
+	defer s.Close()
+
+	client := httpclient.New(mem)
+	defer client.Close()
+	d := &Driver{Client: client, Clients: 2, Source: RepeatSource([]string{"srv"}, "/x", 5)}
+	res := d.Run()
+	if res.Bytes != 10*100 {
+		t.Fatalf("Bytes = %d, want 1000", res.Bytes)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v", res.Elapsed)
+	}
+	if res.Throughput() <= 0 || res.BytesPerSecond() <= 0 {
+		t.Fatalf("throughput = %v req/s, %v B/s", res.Throughput(), res.BytesPerSecond())
+	}
+	if zero := (Result{}); zero.Throughput() != 0 || zero.BytesPerSecond() != 0 {
+		t.Fatal("zero result must report zero rates")
+	}
+}
+
+func TestDriverCountsErrors(t *testing.T) {
+	mem := netx.NewMem()
+	l, _ := mem.Listen("srv")
+	s := httpserver.New(httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+		return httpmsg.NewResponse(404)
+	}), httpserver.Config{RequestThreads: 1})
+	s.Serve(l)
+	defer s.Close()
+
+	client := httpclient.New(mem)
+	defer client.Close()
+	d := &Driver{Client: client, Clients: 2, Source: RepeatSource([]string{"srv"}, "/gone", 3)}
+	res := d.Run()
+	if res.Errors != 6 || res.Requests != 0 {
+		t.Fatalf("result = %+v, want 6 errors", res)
+	}
+}
