@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -114,12 +115,20 @@ func main() {
 		scaleFlag = flag.Duration("scale", 0, "measured duration of one paper second (0 = per-experiment default)")
 		seed      = flag.Int64("seed", 1998, "workload seed")
 		list      = flag.Bool("list", false, "list experiments and exit")
+		hotpath   = flag.String("hotpath", "", "run the hot-path optimisation comparison and write JSON to this file instead of the paper suite")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range suite {
 			fmt.Printf("  %-8s  %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	if *hotpath != "" {
+		if err := runHotpath(*hotpath, *quick, *seed); err != nil {
+			log.Fatalf("hotpath failed: %v", err)
 		}
 		return
 	}
@@ -161,4 +170,30 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runHotpath measures the beyond-the-paper hot-path optimisations
+// (miss coalescing, memory store tier, striped directory locks, pooled wire
+// buffers) and writes a machine-readable JSON report so successive changes
+// can be compared against it.
+func runHotpath(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala hot-path comparison — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunHotpath(experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(hotpath in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -53,6 +53,8 @@ func main() {
 		watches   = flag.String("watch", "", "comma-separated file=pattern source watches; a change to file invalidates cached keys matching pattern")
 		watchIvl  = flag.Duration("watch-interval", time.Second, "source watch poll interval")
 		accessLog = flag.String("accesslog", "", "write an extended-CLF access log to this file (analyze with loganalyze -swala)")
+		coalesce  = flag.Bool("coalesce", false, "coalesce concurrent identical cache misses into one CGI execution (beyond the paper)")
+		memCache  = flag.Int64("memcache", 0, "in-memory read-cache tier budget in bytes over the store, 0 disables (beyond the paper)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -70,6 +72,8 @@ func main() {
 		Policy:         replacement.Kind(*policy),
 		RequestThreads: *threads,
 		Logger:         logger,
+		CoalesceMisses: *coalesce,
+		MemCacheBytes:  *memCache,
 	}
 	if *cfgPath != "" {
 		f, err := os.Open(*cfgPath)

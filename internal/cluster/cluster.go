@@ -22,6 +22,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netx"
@@ -107,7 +108,7 @@ type Node struct {
 	done         chan struct{} // closed when the node shuts down
 	wg           sync.WaitGroup
 
-	dropped uint64 // broadcasts dropped due to full peer queues
+	dropped atomic.Uint64 // broadcasts dropped due to full peer queues
 }
 
 // NewNode creates a node; call Start to listen and ConnectPeer to join the
@@ -483,20 +484,14 @@ func (n *Node) Broadcast(m wire.Message) {
 		select {
 		case l.queue <- m:
 		default:
-			n.mu.Lock()
-			n.dropped++
-			n.mu.Unlock()
+			n.dropped.Add(1)
 			n.logf("broadcast queue full for peer %d; dropped %v", l.id, m.Type())
 		}
 	}
 }
 
 // Dropped reports broadcasts dropped due to full peer queues.
-func (n *Node) Dropped() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
-}
+func (n *Node) Dropped() uint64 { return n.dropped.Load() }
 
 // Fetch retrieves a cached body from the peer that owns it. ok=false with a
 // nil error is a false hit: the owner no longer has the entry.
@@ -526,13 +521,18 @@ func (n *Node) Fetch(owner uint32, key string) (contentType string, body []byte,
 		return "", nil, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
 	}
 
+	// A stopped timer instead of time.After: under load, every fetch that
+	// completes before the timeout would otherwise leak its timer until it
+	// fires.
+	timer := time.NewTimer(n.cfg.FetchTimeout)
+	defer timer.Stop()
 	select {
 	case reply, open := <-ch:
 		if !open {
 			return "", nil, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 		}
 		return reply.ContentType, reply.Body, reply.OK, nil
-	case <-time.After(n.cfg.FetchTimeout):
+	case <-timer.C:
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
@@ -556,12 +556,19 @@ func (n *Node) Ping(peer uint32, timeout time.Duration) error {
 	link.mu.Unlock()
 
 	if err := link.send(&wire.Ping{Seq: seq}); err != nil {
+		// Deregister, as Fetch does — otherwise the pong channel would sit
+		// in link.pongs forever.
+		link.mu.Lock()
+		delete(link.pongs, seq)
+		link.mu.Unlock()
 		return err
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(timeout):
+	case <-timer.C:
 		link.mu.Lock()
 		delete(link.pongs, seq)
 		link.mu.Unlock()

@@ -464,3 +464,35 @@ func TestMeshOverTCP(t *testing.T) {
 	a.Broadcast(&wire.Insert{Owner: 1, Key: "GET /i"})
 	waitFor(t, "insert over TCP", func() bool { return h2.insertCount() == 1 })
 }
+
+func TestPingSendErrorDeregistersPong(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem, DisableReconnect: true}, nil)
+	b := NewNode(Config{NodeID: 2, Network: mem, DisableReconnect: true}, nil)
+	if err := a.Start("ping-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start("ping-b"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	if err := a.ConnectPeer(2, "ping-b"); err != nil {
+		t.Fatal(err)
+	}
+
+	a.mu.Lock()
+	link := a.peers[2]
+	a.mu.Unlock()
+	// Kill the transport under the link so the ping's send fails.
+	link.conn.Close()
+
+	if err := a.Ping(2, 100*time.Millisecond); err == nil {
+		t.Fatal("ping over closed transport succeeded")
+	}
+	link.mu.Lock()
+	leaked := len(link.pongs)
+	link.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d pong registrations leaked after failed ping", leaked)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -75,3 +76,62 @@ func BenchmarkCGIMissInsert(b *testing.B) {
 		}
 	}
 }
+
+// benchDuplicateMissWave drives a duplicate-heavy miss workload: each
+// iteration is a wave of `dups` concurrent identical requests for a fresh
+// key. With coalescing off, every request in the wave executes the CGI
+// (the paper's false misses); with it on, one executes and the rest share.
+func benchDuplicateMissWave(b *testing.B, coalesce bool) {
+	b.Helper()
+	mem := netx.NewMem()
+	s := New(Config{
+		NodeID: 1,
+		Mode:   StandAlone,
+		// A spawn cost well above host sleep granularity, so duplicate
+		// executions visibly occupy the simulated CPU as they do in the
+		// paper (the virtual-time queue makes queueing exact, but each
+		// response still pays one real sleep).
+		Costs:          CostModel{SpawnCost: 2 * time.Millisecond},
+		PurgeInterval:  time.Hour,
+		Network:        mem,
+		CoalesceMisses: coalesce,
+	})
+	s.CGI().Register("/cgi-bin/null", &cgi.Synthetic{OutputSize: 128})
+	if err := s.Start("http", "clu"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+
+	const dups = 4
+	clients := make([]*httpclient.Client, dups)
+	for i := range clients {
+		c := httpclient.New(mem)
+		clients[i] = c
+		b.Cleanup(func() { c.Close() })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uri := fmt.Sprintf("/cgi-bin/null?wave=%d", i)
+		var wg sync.WaitGroup
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *httpclient.Client) {
+				defer wg.Done()
+				resp, err := c.Get("http", uri)
+				if err != nil || resp.StatusCode != 200 {
+					b.Errorf("resp=%v err=%v", resp, err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkDuplicateMissesUncoalesced is the paper's behaviour: K identical
+// concurrent misses run K CGI executions (K-1 false misses).
+func BenchmarkDuplicateMissesUncoalesced(b *testing.B) { benchDuplicateMissWave(b, false) }
+
+// BenchmarkDuplicateMissesCoalesced runs the same wave with single-flight
+// miss coalescing: one execution per wave, the rest piggyback.
+func BenchmarkDuplicateMissesCoalesced(b *testing.B) { benchDuplicateMissWave(b, true) }

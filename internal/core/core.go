@@ -39,6 +39,7 @@ import (
 	"repro/internal/httpserver"
 	"repro/internal/netx"
 	"repro/internal/replacement"
+	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/timescale"
@@ -140,6 +141,19 @@ type Config struct {
 	Cacheability *cacheability.Policy
 	// Store holds cached bodies; nil defaults to an in-memory store.
 	Store store.Store
+	// MemCacheBytes, when >0, layers a size-bounded in-memory LRU read
+	// cache of that many bytes over Store, so repeated local hits and
+	// peer fetches for hot keys skip the backing store (beyond the paper,
+	// which relies on the OS file cache; default off for paper fidelity).
+	MemCacheBytes int64
+	// CoalesceMisses, when true, makes concurrent identical cacheable
+	// misses share a single CGI execution instead of each running their
+	// own. The paper executes all of them and counts the duplicates as
+	// false misses; coalescing is the beyond-the-paper alternative, so it
+	// defaults off to preserve the paper's false-miss accounting
+	// (EXPERIMENTS.md). Coalesced waiters are counted under the Coalesced
+	// stats counter.
+	CoalesceMisses bool
 	// Network carries HTTP traffic (nil = real TCP).
 	Network netx.Network
 	// ClusterNetwork carries inter-node traffic; nil uses Network. The
@@ -176,6 +190,10 @@ type Server struct {
 
 	counters stats.HitCounter
 
+	// flight coalesces concurrent identical misses when
+	// cfg.CoalesceMisses is on.
+	flight singleflight.Group[execShare]
+
 	inflightMu sync.Mutex
 	inflight   map[string]int // cacheable keys currently executing
 
@@ -200,6 +218,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Store == nil {
 		cfg.Store = store.NewMemory()
+	}
+	if cfg.MemCacheBytes > 0 {
+		cfg.Store = store.NewTiered(cfg.Store, cfg.MemCacheBytes)
 	}
 	if cfg.Network == nil {
 		cfg.Network = netx.TCP{}
@@ -407,6 +428,8 @@ func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
 		entry.CacheSource = "local"
 	case "remote":
 		entry.CacheSource = "remote"
+	case "coalesced":
+		entry.CacheSource = "coalesced"
 	default:
 		if _, ok := s.engine.Lookup(req.Path); ok {
 			entry.CacheSource = "executed"
@@ -455,8 +478,8 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		snap.LocalHits, snap.RemoteHits, snap.Misses)
 	fmt.Fprintf(&b, "<li>false misses: %d</li><li>false hits: %d</li>\n",
 		snap.FalseMisses, snap.FalseHits)
-	fmt.Fprintf(&b, "<li>inserts: %d</li><li>evictions: %d</li><li>hit ratio: %.1f%%</li>\n",
-		snap.Inserts, snap.Evictions, 100*snap.HitRatio())
+	fmt.Fprintf(&b, "<li>inserts: %d</li><li>evictions: %d</li><li>coalesced: %d</li><li>hit ratio: %.1f%%</li>\n",
+		snap.Inserts, snap.Evictions, snap.Coalesced, 100*snap.HitRatio())
 	fmt.Fprintf(&b, "</ul>\n")
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
@@ -533,6 +556,9 @@ func (s *Server) serveDynamic(req *httpmsg.Request) *httpmsg.Response {
 	}
 
 	// Miss: execute the CGI, tee the result into the cache, broadcast.
+	if s.cfg.CoalesceMisses {
+		return s.serveCoalescedMiss(key, creq, ttl)
+	}
 	s.trackInflight(key, +1)
 	defer s.trackInflight(key, -1)
 
@@ -550,6 +576,54 @@ func (s *Server) serveDynamic(req *httpmsg.Request) *httpmsg.Response {
 		s.insertResult(key, res, execTime, ttl)
 	}
 	return cgiResponse(res)
+}
+
+// execShare is one CGI execution's outcome, shared between the leader that
+// ran it and the coalesced waiters that piggybacked on it.
+type execShare struct {
+	res      cgi.Result
+	execTime time.Duration
+	err      error
+}
+
+// serveCoalescedMiss handles a cacheable miss with miss coalescing on: the
+// first request for a key executes the CGI (and inserts the result exactly
+// as the uncoalesced path does); concurrent duplicates block until that
+// execution finishes and share its result, paying only the file-fetch-
+// equivalent streaming cost — as if the entry had already been cached.
+func (s *Server) serveCoalescedMiss(key string, creq cgi.Request, ttl time.Duration) *httpmsg.Response {
+	v, _, shared := s.flight.Do(key, func() (execShare, error) {
+		res, execTime, err := s.execCGI(creq)
+		// Insert inside the singleflight window: by the time any waiter is
+		// released (or a new request becomes a fresh leader), the result is
+		// already in the directory, so no duplicate execution can slip in
+		// between execution and insertion.
+		if err == nil && res.Status == 200 &&
+			s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
+			s.insertResult(key, res, execTime, ttl)
+		}
+		return execShare{res: res, execTime: execTime, err: err}, nil
+	})
+	if v.err != nil {
+		// Failed executions are never cached; every coalesced caller sees
+		// the shared failure as its own miss.
+		s.counters.Miss()
+		return errorResponse(502, "cgi failed: "+v.err.Error())
+	}
+	if shared {
+		s.counters.Coalesced()
+		// Streaming the shared body to this client costs the same as
+		// serving it from the local cache.
+		cost := s.cfg.Costs.FileBaseCost + time.Duration(len(v.res.Body))*s.cfg.Costs.PerByte
+		if _, err := s.node.Run(context.Background(), cost); err != nil {
+			return errorResponse(503, "server shutting down")
+		}
+		resp := cgiResponse(v.res)
+		resp.Header.Set("X-Swala-Cache", "coalesced")
+		return resp
+	}
+	s.counters.Miss()
+	return cgiResponse(v.res)
 }
 
 // serveLocalHit returns the cached body from the local store, or nil if the

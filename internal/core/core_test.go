@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"repro/internal/httpmsg"
 	"repro/internal/netx"
 	"repro/internal/replacement"
+	"repro/internal/store"
 )
 
 // harness bundles a test cluster and a client.
@@ -591,5 +594,196 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := h.servers[0].Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// countingCGI counts real executions and serves a fixed body after an
+// optional delay, for coalescing tests that must observe duplicate
+// suppression directly.
+type countingCGI struct {
+	execs atomic.Int64
+	delay time.Duration
+	gen   cgi.Synthetic
+}
+
+func (p *countingCGI) Run(ctx context.Context, req cgi.Request) (cgi.Result, error) {
+	p.execs.Add(1)
+	if p.delay > 0 {
+		select {
+		case <-time.After(p.delay):
+		case <-ctx.Done():
+			return cgi.Result{}, ctx.Err()
+		}
+	}
+	return p.gen.Run(ctx, req)
+}
+
+func TestCoalescedConcurrentMissesShareOneExecution(t *testing.T) {
+	h := startCluster(t, 1, func(i int, cfg *Config) {
+		cfg.Mode = StandAlone
+		cfg.CoalesceMisses = true
+	})
+	s := h.servers[0]
+	prog := &countingCGI{delay: 100 * time.Millisecond, gen: cgi.Synthetic{OutputSize: 64}}
+	s.CGI().Register("/cgi-bin/slow", prog)
+
+	const dups = 8
+	var wg sync.WaitGroup
+	var bodies sync.Map
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := httpclient.New(h.mem)
+			defer c.Close()
+			resp, err := c.Get(h.addr(0), "/cgi-bin/slow?x=1")
+			if err != nil || resp.StatusCode != 200 {
+				t.Errorf("GET: %v status=%v", err, resp)
+				return
+			}
+			bodies.Store(i, string(resp.Body))
+		}(i)
+	}
+	wg.Wait()
+
+	if n := prog.execs.Load(); n != 1 {
+		t.Fatalf("CGI executions = %d, want 1 (coalescing must suppress all duplicates)", n)
+	}
+	snap := s.Counters()
+	if snap.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (only the leader)", snap.Misses)
+	}
+	if snap.Coalesced != dups-1 {
+		t.Fatalf("coalesced = %d, want %d", snap.Coalesced, dups-1)
+	}
+	if snap.FalseMisses != 0 {
+		t.Fatalf("false misses = %d, want 0 with coalescing on", snap.FalseMisses)
+	}
+	var first string
+	bodies.Range(func(_, v any) bool {
+		if first == "" {
+			first = v.(string)
+		} else if v.(string) != first {
+			t.Error("coalesced responses differ")
+			return false
+		}
+		return true
+	})
+
+	// The leader's execution was inserted: the next request is a local hit.
+	resp := h.get(t, 0, "/cgi-bin/slow?x=1")
+	if resp.Header.Get("X-Swala-Cache") != "local" {
+		t.Fatalf("follow-up not a local hit: %v", resp.Header)
+	}
+	if prog.execs.Load() != 1 {
+		t.Fatalf("follow-up hit re-executed the CGI")
+	}
+}
+
+func TestCoalescedDistinctKeysExecuteIndependently(t *testing.T) {
+	h := startCluster(t, 1, func(i int, cfg *Config) {
+		cfg.Mode = StandAlone
+		cfg.CoalesceMisses = true
+	})
+	s := h.servers[0]
+	prog := &countingCGI{gen: cgi.Synthetic{OutputSize: 16}}
+	s.CGI().Register("/cgi-bin/q", prog)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := httpclient.New(h.mem)
+			defer c.Close()
+			if _, err := c.Get(h.addr(0), fmt.Sprintf("/cgi-bin/q?x=%d", i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := prog.execs.Load(); n != 6 {
+		t.Fatalf("executions = %d, want 6 (distinct keys must not coalesce)", n)
+	}
+}
+
+func TestCoalescedFailedExecutionNotCached(t *testing.T) {
+	h := startCluster(t, 1, func(i int, cfg *Config) {
+		cfg.Mode = StandAlone
+		cfg.CoalesceMisses = true
+	})
+	s := h.servers[0]
+	s.CGI().Register("/cgi-bin/fail", &cgi.Synthetic{Fail: true})
+
+	resp := h.get(t, 0, "/cgi-bin/fail?x=1")
+	if resp.StatusCode != 502 {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if s.Directory().LocalLen() != 0 {
+		t.Fatal("failed execution was cached")
+	}
+}
+
+// TestFalseHitLocalExecutionWithCoalescing covers the false-hit fallback
+// (Figure 2's last arrow) with miss coalescing enabled: the remote owner
+// deletes the entry between this node's directory lookup and the fetch; the
+// request must fall back to a (coalesced) local execution, count a false
+// hit, and still succeed.
+func TestFalseHitLocalExecutionWithCoalescing(t *testing.T) {
+	h := startCluster(t, 2, func(i int, cfg *Config) { cfg.CoalesceMisses = true })
+	for _, s := range h.servers {
+		registerNullCGI(s)
+	}
+	h.get(t, 0, "/cgi-bin/null?x=1")
+	key := "GET /cgi-bin/null?x=1"
+	waitUntil(t, "directory propagation", func() bool {
+		_, ok := h.servers[1].Directory().Lookup(key, time.Now())
+		return ok
+	})
+
+	// The owner drops the entry; node 2's directory replica still points at
+	// it (the delete broadcast is "in flight"), so node 2's next lookup is
+	// a false hit and its remote fetch comes back empty.
+	h.servers[0].Directory().RemoveLocal(key)
+
+	resp := h.get(t, 1, "/cgi-bin/null?x=1")
+	if resp.StatusCode != 200 || len(resp.Body) == 0 {
+		t.Fatalf("status = %d, body %d bytes; want a served response", resp.StatusCode, len(resp.Body))
+	}
+	snap := h.servers[1].Counters()
+	if snap.FalseHits != 1 {
+		t.Fatalf("counters = %+v, want 1 false hit", snap)
+	}
+	if snap.Misses != 1 {
+		t.Fatalf("counters = %+v, want 1 miss (local fallback execution)", snap)
+	}
+	// The fallback execution re-cached the result locally on node 2.
+	if _, ok := h.servers[1].Directory().LookupLocal(key, time.Now()); !ok {
+		t.Fatal("fallback execution was not re-cached locally")
+	}
+}
+
+func TestMemCacheTierServesRepeatedHits(t *testing.T) {
+	h := startCluster(t, 1, func(i int, cfg *Config) {
+		cfg.Mode = StandAlone
+		cfg.MemCacheBytes = 1 << 20
+	})
+	s := h.servers[0]
+	registerNullCGI(s)
+
+	h.get(t, 0, "/cgi-bin/null?x=1")
+	for i := 0; i < 3; i++ {
+		resp := h.get(t, 0, "/cgi-bin/null?x=1")
+		if resp.Header.Get("X-Swala-Cache") != "local" {
+			t.Fatalf("request %d not a local hit", i)
+		}
+	}
+	tiered, ok := s.store.(*store.Tiered)
+	if !ok {
+		t.Fatalf("store is %T, want *store.Tiered", s.store)
+	}
+	_, _, hits, _ := tiered.MemStats()
+	if hits < 3 {
+		t.Fatalf("memory-tier hits = %d, want >= 3", hits)
 	}
 }

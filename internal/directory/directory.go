@@ -1,9 +1,15 @@
 // Package directory implements Swala's replicated global cache directory.
 // Every node keeps one table per cluster node; each table records what is
-// cached at the corresponding node. Following the paper's intra-node
-// consistency protocol, locking is at table granularity with read/write
-// locks — one lock per directory would serialize lookups, per-entry locks
-// would cost a lock/unlock pair per probed entry.
+// cached at the corresponding node. The paper's intra-node consistency
+// protocol locks at table granularity with read/write locks — one lock per
+// directory would serialize lookups, per-entry locks would cost a
+// lock/unlock pair per probed entry. This implementation goes one step
+// further along the same axis: each table is hash-striped into a fixed
+// number of shards, each with its own RW lock, so that concurrent writers
+// to the same table (inserts racing touches racing expiry) stop
+// serializing too. Readers and writers of different keys proceed fully in
+// parallel; the paper's argument (coarser = contention, finer = overhead)
+// picks the stripe count as the middle ground.
 //
 // The directory stores meta-data only. The local table additionally enforces
 // a capacity (in entries, as in the paper's experiments with cache sizes
@@ -43,20 +49,53 @@ func (e *Entry) Expired(now time.Time) bool {
 	return !e.Expires.IsZero() && now.After(e.Expires)
 }
 
-// table is the per-node portion of the directory.
-type table struct {
+// numStripes is the per-table shard count. 32 stripes keep the per-stripe
+// maps small and make lock collisions between concurrent accessors of
+// different keys unlikely at the goroutine counts the server runs (tens of
+// request threads), while the fixed array keeps stripe selection a single
+// hash + mask with no allocation.
+const numStripes = 32
+
+// stripe is one lock-shard of a table.
+type stripe struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 }
 
+// table is the per-node portion of the directory, hash-striped so that
+// concurrent operations on different keys do not contend on one lock.
+type table struct {
+	stripes [numStripes]stripe
+}
+
 func newTable() *table {
-	return &table{entries: make(map[string]*Entry)}
+	t := &table{}
+	for i := range t.stripes {
+		t.stripes[i].entries = make(map[string]*Entry)
+	}
+	return t
+}
+
+// stripeFor selects the shard for key with FNV-1a, inlined to avoid the
+// hash.Hash allocation on every directory operation.
+func (t *table) stripeFor(key string) *stripe {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &t.stripes[h%numStripes]
 }
 
 func (t *table) lookup(key string, now time.Time) (Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	e, ok := t.entries[key]
+	s := t.stripeFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[key]
 	if !ok || e.Expired(now) {
 		return Entry{}, false
 	}
@@ -64,35 +103,80 @@ func (t *table) lookup(key string, now time.Time) (Entry, bool) {
 }
 
 func (t *table) insert(e *Entry) {
-	t.mu.Lock()
-	t.entries[e.Key] = e
-	t.mu.Unlock()
+	s := t.stripeFor(e.Key)
+	s.mu.Lock()
+	s.entries[e.Key] = e
+	s.mu.Unlock()
+}
+
+// insertReporting stores e and reports whether the key was already present
+// (the caller's capacity bookkeeping needs to know).
+func (t *table) insertReporting(e *Entry) (existed bool) {
+	s := t.stripeFor(e.Key)
+	s.mu.Lock()
+	_, existed = s.entries[e.Key]
+	s.entries[e.Key] = e
+	s.mu.Unlock()
+	return existed
+}
+
+// touch bumps the hit counter of key if present.
+func (t *table) touch(key string) {
+	s := t.stripeFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.Hits++
+	}
+	s.mu.Unlock()
 }
 
 func (t *table) remove(key string) bool {
-	t.mu.Lock()
-	_, ok := t.entries[key]
-	delete(t.entries, key)
-	t.mu.Unlock()
+	s := t.stripeFor(key)
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	s.mu.Unlock()
 	return ok
 }
 
 func (t *table) len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.entries)
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 func (t *table) expiredKeys(now time.Time) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var out []string
-	for k, e := range t.entries {
-		if e.Expired(now) {
-			out = append(out, k)
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for k, e := range s.entries {
+			if e.Expired(now) {
+				out = append(out, k)
+			}
 		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
+	return out
+}
+
+// snapshot returns copies of all entries in the table.
+func (t *table) snapshot() []Entry {
+	var out []Entry
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			out = append(out, *e)
+		}
+		s.mu.RUnlock()
+	}
 	return out
 }
 
@@ -195,11 +279,8 @@ func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 	d.localMu.Lock()
 	defer d.localMu.Unlock()
 
-	t.mu.Lock()
-	_, exists := t.entries[e.Key]
 	ec := e
-	t.entries[e.Key] = &ec
-	t.mu.Unlock()
+	exists := t.insertReporting(&ec)
 
 	if exists {
 		d.policy.Access(e.Key)
@@ -223,12 +304,7 @@ func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 // and informs the replacement policy. The paper has the owning node update
 // meta-data statistics after each fetch.
 func (d *Directory) TouchLocal(key string) {
-	t := d.tableFor(d.self, false)
-	t.mu.Lock()
-	if e, ok := t.entries[key]; ok {
-		e.Hits++
-	}
-	t.mu.Unlock()
+	d.tableFor(d.self, false).touch(key)
 
 	d.localMu.Lock()
 	d.policy.Access(key)
@@ -347,13 +423,7 @@ func (d *Directory) Nodes() []uint32 {
 // SnapshotLocal returns copies of all local entries, sorted by key, for
 // inspection and tests.
 func (d *Directory) SnapshotLocal() []Entry {
-	t := d.tableFor(d.self, false)
-	t.mu.RLock()
-	out := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
-		out = append(out, *e)
-	}
-	t.mu.RUnlock()
+	out := d.tableFor(d.self, false).snapshot()
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }

@@ -6,6 +6,7 @@ import (
 )
 
 func TestLatencySweepShape(t *testing.T) {
+	skipTimingShapeUnderRace(t)
 	res, err := RunLatencySweep(latencyOpts())
 	if err != nil {
 		t.Fatal(err)

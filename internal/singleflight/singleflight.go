@@ -1,0 +1,75 @@
+// Package singleflight provides duplicate-call suppression: concurrent calls
+// with the same key share a single execution of the underlying function
+// instead of each running it.
+//
+// The Swala paper tolerates duplicate concurrent CGI executions for the same
+// request and merely accounts for them as "false misses"; this package is the
+// beyond-the-paper alternative the core server can opt into
+// (core.Config.CoalesceMisses): the first request for a key becomes the
+// leader and executes, every concurrent duplicate blocks until the leader
+// finishes and then shares its result. With CGI executions an order of
+// magnitude more expensive than cache fetches (Figure 3), coalescing turns
+// K identical concurrent misses from K executions into one.
+package singleflight
+
+import "sync"
+
+// call is one in-flight execution that duplicate callers wait on.
+type call[V any] struct {
+	wg sync.WaitGroup
+
+	// val and err are written once by the leader before wg.Done and only
+	// read by waiters after wg.Wait, so they need no extra locking.
+	val V
+	err error
+
+	// waiters counts the duplicate callers sharing this execution
+	// (excluding the leader). Guarded by the Group mutex.
+	waiters int
+}
+
+// Group coalesces duplicate concurrent calls by key. The zero value is ready
+// to use. A Group must not be copied after first use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+// Do executes fn and returns its result, ensuring that at any moment only
+// one execution per key is in flight. Duplicate callers block until the
+// in-flight execution completes and receive the same result with
+// shared=true; the executing caller gets shared=false. The result value is
+// shared by reference: callers must treat it as read-only.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+
+	return c.val, c.err, false
+}
+
+// InFlight reports how many keys currently have an execution in flight,
+// for tests and introspection.
+func (g *Group[V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

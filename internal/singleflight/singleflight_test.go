@@ -1,0 +1,162 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialCallsEachExecute(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (int, error) {
+			execs.Add(1)
+			return 42, nil
+		})
+		if err != nil || v != 42 || shared {
+			t.Fatalf("Do = %d, %v, shared=%v", v, err, shared)
+		}
+	}
+	if n := execs.Load(); n != 3 {
+		t.Fatalf("execs = %d, want 3 (no in-flight overlap, no suppression)", n)
+	}
+}
+
+func TestConcurrentDuplicatesShareOneExecution(t *testing.T) {
+	var g Group[string]
+	var execs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const dups = 16
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	leaderRunning := func() (string, error) {
+		execs.Add(1)
+		close(started)
+		<-release
+		return "result", nil
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := g.Do("k", leaderRunning)
+		if v != "result" || err != nil {
+			t.Errorf("leader Do = %q, %v", v, err)
+		}
+	}()
+	<-started
+
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (string, error) {
+				execs.Add(1)
+				return "duplicate execution", nil
+			})
+			if v != "result" || err != nil {
+				t.Errorf("waiter Do = %q, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+
+	// Let the waiters enqueue, then release the leader.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.waiterCount("k") < dups {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters enqueued", g.waiterCount("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("execs = %d, want 1", n)
+	}
+	if n := sharedCount.Load(); n != dups {
+		t.Fatalf("shared results = %d, want %d", n, dups)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after completion", g.InFlight())
+	}
+}
+
+func TestErrorsAreShared(t *testing.T) {
+	var g Group[int]
+	errBoom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 0, errBoom
+		})
+		if !errors.Is(err, errBoom) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-started
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, shared := g.Do("k", func() (int, error) { return 7, nil })
+		if !errors.Is(err, errBoom) || !shared {
+			t.Errorf("waiter err = %v shared = %v, want shared boom", err, shared)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.waiterCount("k") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Do(string(rune('a'+i)), func() (int, error) {
+				execs.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return i, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 8 {
+		t.Fatalf("execs = %d, want 8 (distinct keys must all run)", n)
+	}
+}
+
+// waiterCount exposes the waiter count for tests.
+func (g *Group[V]) waiterCount(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

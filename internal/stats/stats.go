@@ -138,6 +138,7 @@ type HitCounter struct {
 	falseHits   int64
 	inserts     int64
 	evictions   int64
+	coalesced   int64
 }
 
 // LocalHit records a hit served from the node's own cache.
@@ -163,6 +164,13 @@ func (h *HitCounter) Insert() { h.add(&h.inserts) }
 // Eviction records a replacement-policy eviction.
 func (h *HitCounter) Eviction() { h.add(&h.evictions) }
 
+// Coalesced records a request that piggybacked on a concurrent identical
+// CGI execution instead of running its own (miss coalescing, a
+// beyond-the-paper optimisation; see core.Config.CoalesceMisses). Coalesced
+// requests are deliberately excluded from Lookups/HitRatio so the paper's
+// hit-ratio accounting is unchanged when the feature is off.
+func (h *HitCounter) Coalesced() { h.add(&h.coalesced) }
+
 func (h *HitCounter) add(p *int64) {
 	h.mu.Lock()
 	*p++
@@ -181,6 +189,7 @@ func (h *HitCounter) Snapshot() HitSnapshot {
 		FalseHits:   h.falseHits,
 		Inserts:     h.inserts,
 		Evictions:   h.evictions,
+		Coalesced:   h.coalesced,
 	}
 }
 
@@ -193,6 +202,7 @@ type HitSnapshot struct {
 	FalseHits   int64
 	Inserts     int64
 	Evictions   int64
+	Coalesced   int64
 }
 
 // Hits returns local + remote hits.
@@ -221,13 +231,14 @@ func (s HitSnapshot) Add(o HitSnapshot) HitSnapshot {
 		FalseHits:   s.FalseHits + o.FalseHits,
 		Inserts:     s.Inserts + o.Inserts,
 		Evictions:   s.Evictions + o.Evictions,
+		Coalesced:   s.Coalesced + o.Coalesced,
 	}
 }
 
 // String renders the snapshot compactly.
 func (s HitSnapshot) String() string {
-	return fmt.Sprintf("hits=%d (local=%d remote=%d) misses=%d falseMiss=%d falseHit=%d inserts=%d evictions=%d",
-		s.Hits(), s.LocalHits, s.RemoteHits, s.Misses, s.FalseMisses, s.FalseHits, s.Inserts, s.Evictions)
+	return fmt.Sprintf("hits=%d (local=%d remote=%d) misses=%d falseMiss=%d falseHit=%d inserts=%d evictions=%d coalesced=%d",
+		s.Hits(), s.LocalHits, s.RemoteHits, s.Misses, s.FalseMisses, s.FalseHits, s.Inserts, s.Evictions, s.Coalesced)
 }
 
 // Speedup returns base/measured as a factor (e.g. 2.0 means twice as fast);

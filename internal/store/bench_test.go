@@ -23,6 +23,52 @@ func BenchmarkMemoryPutGet(b *testing.B) {
 	}
 }
 
+// BenchmarkDiskGetHot measures repeated Gets of a small hot key set straight
+// from the disk store: every hit pays an os.ReadFile.
+func BenchmarkDiskGetHot(b *testing.B) {
+	s, err := NewDisk(filepath.Join(b.TempDir(), "cache"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	benchGetHot(b, s)
+}
+
+// BenchmarkTieredDiskGetHot measures the same workload through the memory
+// tier: after the first pass every hot key is served from the in-memory LRU.
+func BenchmarkTieredDiskGetHot(b *testing.B) {
+	disk, err := NewDisk(filepath.Join(b.TempDir(), "cache"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewTiered(disk, 1<<20)
+	defer s.Close()
+	benchGetHot(b, s)
+}
+
+func benchGetHot(b *testing.B, s Store) {
+	b.Helper()
+	body := make([]byte, 4096)
+	const hotKeys = 16
+	for i := 0; i < hotKeys; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), "text/html", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]string, hotKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(keys[i%hotKeys]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDiskPutGet(b *testing.B) {
 	s, err := NewDisk(filepath.Join(b.TempDir(), "cache"))
 	if err != nil {

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestTieredWriteThroughAndReadBack(t *testing.T) {
+	backing := NewMemory()
+	ts := NewTiered(backing, 1<<20)
+	defer ts.Close()
+
+	if err := ts.Put("k", "text/html", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// The body must be in the backing store (write-through)...
+	if ct, body, err := backing.Get("k"); err != nil || ct != "text/html" || string(body) != "hello" {
+		t.Fatalf("backing.Get = %q, %q, %v", ct, body, err)
+	}
+	// ...and the read must come from memory.
+	ct, body, err := ts.Get("k")
+	if err != nil || ct != "text/html" || string(body) != "hello" {
+		t.Fatalf("Get = %q, %q, %v", ct, body, err)
+	}
+	if _, _, hits, _ := ts.MemStats(); hits != 1 {
+		t.Fatalf("mem hits = %d, want 1", hits)
+	}
+}
+
+func TestTieredGetPromotesFromBacking(t *testing.T) {
+	backing := NewMemory()
+	if err := backing.Put("k", "text/plain", []byte("preloaded")); err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTiered(backing, 1<<20)
+	defer ts.Close()
+
+	// First Get falls through; second is served from memory.
+	for i := 0; i < 2; i++ {
+		if _, body, err := ts.Get("k"); err != nil || string(body) != "preloaded" {
+			t.Fatalf("Get #%d = %q, %v", i, body, err)
+		}
+	}
+	entries, _, hits, misses := ts.MemStats()
+	if entries != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("mem stats = %d entries, %d hits, %d misses; want 1/1/1", entries, hits, misses)
+	}
+}
+
+func TestTieredDeleteInvalidatesMemory(t *testing.T) {
+	ts := NewTiered(NewMemory(), 1<<20)
+	defer ts.Close()
+	if err := ts.Put("k", "t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ts.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
+	}
+	if entries, bytes, _, _ := ts.MemStats(); entries != 0 || bytes != 0 {
+		t.Fatalf("memory tier not empty after delete: %d entries, %d bytes", entries, bytes)
+	}
+}
+
+func TestTieredLRUEvictionStaysWithinBudget(t *testing.T) {
+	// Budget of 3 x 100-byte bodies.
+	ts := NewTiered(NewMemory(), 300)
+	defer ts.Close()
+	body := make([]byte, 100)
+	for i := 0; i < 5; i++ {
+		if err := ts.Put(fmt.Sprintf("k%d", i), "t", body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, curBytes, _, _ := ts.MemStats()
+	if entries != 3 || curBytes != 300 {
+		t.Fatalf("after 5 puts: %d entries, %d bytes resident; want 3, 300", entries, curBytes)
+	}
+	// k0 and k1 were evicted (LRU); k2..k4 resident. Probe the resident
+	// keys first — a miss promotes and would churn the residents.
+	_, _, hitsBefore, _ := ts.MemStats()
+	for i := 2; i < 5; i++ {
+		if _, _, err := ts.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("Get k%d: %v", i, err)
+		}
+	}
+	_, _, hitsAfter, _ := ts.MemStats()
+	if got := hitsAfter - hitsBefore; got != 3 {
+		t.Fatalf("mem hits for resident keys = %d, want 3 (k2..k4 resident)", got)
+	}
+	// The evicted keys still come back correctly via the backing store.
+	for i := 0; i < 2; i++ {
+		if _, _, err := ts.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("Get k%d: %v", i, err)
+		}
+	}
+	if _, _, _, misses := ts.MemStats(); misses != 2 {
+		t.Fatalf("mem misses = %d, want 2 (k0, k1 evicted)", misses)
+	}
+}
+
+func TestTieredLRUOrderRespectsGets(t *testing.T) {
+	ts := NewTiered(NewMemory(), 200)
+	defer ts.Close()
+	body := make([]byte, 100)
+	ts.Put("a", "t", body)
+	ts.Put("b", "t", body)
+	// Touch a so b becomes the LRU victim.
+	if _, _, err := ts.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	ts.Put("c", "t", body) // evicts b
+	_, _, hitsBefore, _ := ts.MemStats()
+	ts.Get("a")
+	ts.Get("c")
+	_, _, hitsAfter, _ := ts.MemStats()
+	if got := hitsAfter - hitsBefore; got != 2 {
+		t.Fatalf("a and c should both be resident; mem hits = %d, want 2", got)
+	}
+	_, _, _, missesBefore := ts.MemStats()
+	ts.Get("b")
+	_, _, _, missesAfter := ts.MemStats()
+	if missesAfter-missesBefore != 1 {
+		t.Fatal("b should have been the LRU eviction victim")
+	}
+}
+
+func TestTieredOversizedBodyBypassesMemory(t *testing.T) {
+	ts := NewTiered(NewMemory(), 64)
+	defer ts.Close()
+	big := make([]byte, 128)
+	if err := ts.Put("big", "t", big); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _, _, _ := ts.MemStats(); entries != 0 {
+		t.Fatalf("oversized body resident in memory tier (%d entries)", entries)
+	}
+	if _, body, err := ts.Get("big"); err != nil || len(body) != 128 {
+		t.Fatalf("Get big = %d bytes, %v", len(body), err)
+	}
+}
+
+func TestTieredReturnedBodyIsStable(t *testing.T) {
+	ts := NewTiered(NewMemory(), 1<<20)
+	defer ts.Close()
+	ts.Put("k", "t", []byte("original"))
+	_, body, err := ts.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned slice must not corrupt the resident copy.
+	for i := range body {
+		body[i] = 'X'
+	}
+	_, again, err := ts.Get("k")
+	if err != nil || !bytes.Equal(again, []byte("original")) {
+		t.Fatalf("resident body corrupted: %q, %v", again, err)
+	}
+}
+
+func TestTieredOverDisk(t *testing.T) {
+	disk, err := NewDisk(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTiered(disk, 1<<20)
+	defer ts.Close()
+	if err := ts.Put("k", "text/html", []byte("on disk and in memory")); err != nil {
+		t.Fatal(err)
+	}
+	if _, body, err := ts.Get("k"); err != nil || string(body) != "on disk and in memory" {
+		t.Fatalf("Get = %q, %v", body, err)
+	}
+	if err := ts.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Len() != 0 {
+		t.Fatal("delete did not reach the disk store")
+	}
+}
+
+func TestTieredConcurrent(t *testing.T) {
+	ts := NewTiered(NewMemory(), 4096)
+	defer ts.Close()
+	body := make([]byte, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%40)
+				switch i % 5 {
+				case 0:
+					if err := ts.Put(key, "t", body); err != nil {
+						t.Error(err)
+						return
+					}
+				case 4:
+					ts.Delete(key)
+				default:
+					if _, b, err := ts.Get(key); err == nil && len(b) != len(body) {
+						t.Errorf("Get %s: %d bytes", key, len(b))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

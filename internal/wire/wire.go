@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -454,14 +455,32 @@ func (m *Invalidate) decode(d *decoder) error {
 	return d.finish()
 }
 
-// Marshal encodes a message into a self-delimiting frame.
-func Marshal(m Message) []byte {
-	e := &encoder{buf: make([]byte, 0, 64)}
+// maxPooledBuf caps the capacity of buffers returned to the encode/decode
+// pools: the occasional giant frame (a multi-megabyte FetchReply body) is
+// allocated and freed normally rather than pinned in the pool forever.
+const maxPooledBuf = 1 << 20
+
+// encPool recycles encoder buffers across WriteMessage calls so the hot
+// broadcast/fetch path does not allocate a fresh frame per message.
+var encPool = sync.Pool{
+	New: func() any { return &encoder{buf: make([]byte, 0, 512)} },
+}
+
+// AppendFrame appends m's self-delimiting frame encoding to buf and returns
+// the extended slice (append-style; buf may be nil).
+func AppendFrame(buf []byte, m Message) []byte {
+	e := &encoder{buf: buf}
+	start := len(e.buf)
 	e.u32(0) // placeholder for length
 	e.u8(uint8(m.Type()))
 	m.encode(e)
-	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	binary.BigEndian.PutUint32(e.buf[start:], uint32(len(e.buf)-start-4))
 	return e.buf
+}
+
+// Marshal encodes a message into a self-delimiting frame.
+func Marshal(m Message) []byte {
+	return AppendFrame(make([]byte, 0, 64), m)
 }
 
 // Unmarshal decodes one message from a frame payload (type byte + body,
@@ -502,13 +521,38 @@ func Unmarshal(payload []byte) (Message, error) {
 	return m, nil
 }
 
-// WriteMessage writes one framed message to w.
+// WriteMessage writes one framed message to w. The frame is encoded into a
+// pooled buffer, so steady-state writes do not allocate.
 func WriteMessage(w io.Writer, m Message) error {
-	_, err := w.Write(Marshal(m))
+	// Encode inline on the pooled encoder rather than via AppendFrame: a
+	// stack-constructed encoder would escape through the Message interface
+	// call and cost an allocation per write.
+	e := encPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	e.u32(0) // placeholder for length
+	e.u8(uint8(m.Type()))
+	m.encode(e)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	_, err := w.Write(e.buf)
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
+	}
 	return err
 }
 
-// ReadMessage reads one framed message from r.
+// payloadPool recycles frame read buffers across ReadMessage calls. Safe
+// because Unmarshal copies everything it keeps (strings and byte slices)
+// out of the payload before returning.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// ReadMessage reads one framed message from r. The frame payload is read
+// into a pooled buffer — the decoded message owns only its own copies — so
+// steady-state reads allocate just the message and its fields.
 func ReadMessage(r io.Reader) (Message, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -521,11 +565,24 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	bp := payloadPool.Get().(*[]byte)
+	payload := *bp
+	if cap(payload) < int(n) {
+		payload = make([]byte, n)
+	} else {
+		payload = payload[:n]
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
+		*bp = payload[:0]
+		payloadPool.Put(bp)
 		return nil, err
 	}
-	return Unmarshal(payload)
+	m, err := Unmarshal(payload)
+	*bp = payload[:0]
+	if cap(payload) <= maxPooledBuf {
+		payloadPool.Put(bp)
+	}
+	return m, err
 }
 
 // Conn wraps a byte stream with buffered, mutex-free message reading. Writes
