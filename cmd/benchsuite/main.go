@@ -116,6 +116,7 @@ func main() {
 		seed      = flag.Int64("seed", 1998, "workload seed")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		hotpath   = flag.String("hotpath", "", "run the hot-path optimisation comparison and write JSON to this file instead of the paper suite")
+		pipeline  = flag.String("pipeline", "", "run the fetch-pipeline overhead comparison and write JSON to this file instead of the paper suite")
 	)
 	flag.Parse()
 
@@ -129,6 +130,13 @@ func main() {
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath, *quick, *seed); err != nil {
 			log.Fatalf("hotpath failed: %v", err)
+		}
+		return
+	}
+
+	if *pipeline != "" {
+		if err := runPipeline(*pipeline, *quick, *seed); err != nil {
+			log.Fatalf("pipeline failed: %v", err)
 		}
 		return
 	}
@@ -185,6 +193,32 @@ func runHotpath(path string, quick bool, seed int64) error {
 	}
 	fmt.Print(r.Render())
 	fmt.Printf("(hotpath in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runPipeline measures the layered fetch chain against a hand-inlined
+// equivalent of the pre-refactor request path (local-hit and remote-hit
+// shapes) and writes a machine-readable JSON report; the chain's budget is
+// to stay within 5% of the inline path.
+func runPipeline(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala fetch-pipeline comparison — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunPipeline(experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(pipeline in %v)\n", time.Since(start).Round(time.Millisecond))
 
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -55,6 +55,8 @@ func main() {
 		accessLog = flag.String("accesslog", "", "write an extended-CLF access log to this file (analyze with loganalyze -swala)")
 		coalesce  = flag.Bool("coalesce", false, "coalesce concurrent identical cache misses into one CGI execution (beyond the paper)")
 		memCache  = flag.Int64("memcache", 0, "in-memory read-cache tier budget in bytes over the store, 0 disables (beyond the paper)")
+		reqTO     = flag.Duration("request-timeout", 0, "end-to-end deadline per request through the whole fetch chain, 0 disables (overruns answer 504)")
+		fetchTO   = flag.Duration("fetch-timeout", 0, "bound on one remote cache fetch; a timeout falls back to local execution (0 = no bound)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -74,6 +76,8 @@ func main() {
 		Logger:         logger,
 		CoalesceMisses: *coalesce,
 		MemCacheBytes:  *memCache,
+		RequestTimeout: *reqTO,
+		FetchTimeout:   *fetchTO,
 	}
 	if *cfgPath != "" {
 		f, err := os.Open(*cfgPath)

@@ -174,7 +174,7 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
+func (s *Server) serveHTTP(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 	n := s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
@@ -185,7 +185,7 @@ func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
 
 	if f, ok := s.files.Get(req.Path); ok {
 		cost := overhead + s.costs.FileBase + time.Duration(len(f.Body))*s.costs.PerByte
-		if _, err := s.node.Run(context.Background(), cost); err != nil {
+		if _, err := s.node.Run(ctx, cost); err != nil {
 			return errorResponse(503, "server shutting down")
 		}
 		resp := httpmsg.NewResponse(200)
@@ -202,7 +202,7 @@ func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
 		if overhead > s.costs.CGISpawn {
 			extra = overhead - s.costs.CGISpawn
 		}
-		res, _, err := s.engine.ExecWithOverhead(context.Background(),
+		res, _, err := s.engine.ExecWithOverhead(ctx,
 			cgi.Request{Method: req.Method, Path: req.Path, Query: req.Query, Body: req.Body}, extra)
 		if err != nil {
 			return errorResponse(502, "cgi failed: "+err.Error())

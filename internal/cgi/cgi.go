@@ -133,6 +133,12 @@ func (e *Engine) Exec(ctx context.Context, req Request) (Result, time.Duration, 
 // spawn (the baseline servers use this for their process-per-request and
 // contention costs so a request makes a single CPU reservation).
 func (e *Engine) ExecWithOverhead(ctx context.Context, req Request, extra time.Duration) (Result, time.Duration, error) {
+	// Honor an already-dead caller context before spending any CPU: a
+	// request whose client is gone or whose deadline has passed must not
+	// spawn work nobody will receive.
+	if err := ctx.Err(); err != nil {
+		return Result{}, 0, err
+	}
 	p, ok := e.Lookup(req.Path)
 	if !ok {
 		return Result{}, 0, fmt.Errorf("%w: %q", ErrNoProgram, req.Path)

@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -303,7 +304,23 @@ func (p *peerLink) close() {
 // peerID. It retries for DialRetry so nodes can start in any order.
 // Reconnecting an existing peer ID replaces the old link.
 func (n *Node) ConnectPeer(peerID uint32, addr string) error {
-	deadline := time.Now().Add(n.cfg.DialRetry)
+	return n.ConnectPeerContext(context.Background(), peerID, addr)
+}
+
+// ConnectPeerContext is ConnectPeer bounded by a context. The dial-retry
+// loop is fully event-driven: it sleeps on a timer between attempts and
+// aborts as soon as ctx is canceled or the node is closed, so Close never
+// has to wait out the remainder of the retry window behind a pending dial.
+func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr string) error {
+	window := time.NewTimer(n.cfg.DialRetry)
+	defer window.Stop()
+	var retry *time.Timer
+	defer func() {
+		if retry != nil {
+			retry.Stop()
+		}
+	}()
+
 	var conn net.Conn
 	var err error
 	for {
@@ -311,10 +328,22 @@ func (n *Node) ConnectPeer(peerID uint32, addr string) error {
 		if err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: dial peer %d at %s: %w", peerID, addr, err)
+		// The retry timer's channel is drained on every loop iteration (the
+		// only path that continues the loop), so Reset is race-free.
+		if retry == nil {
+			retry = time.NewTimer(20 * time.Millisecond)
+		} else {
+			retry.Reset(20 * time.Millisecond)
 		}
-		time.Sleep(20 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: dial peer %d at %s: %w", peerID, addr, ctx.Err())
+		case <-n.done:
+			return ErrClosed
+		case <-window.C:
+			return fmt.Errorf("cluster: dial peer %d at %s: %w", peerID, addr, err)
+		case <-retry.C:
+		}
 	}
 
 	wc := wire.NewConn(conn)
@@ -495,12 +524,27 @@ func (n *Node) Dropped() uint64 { return n.dropped.Load() }
 
 // Fetch retrieves a cached body from the peer that owns it. ok=false with a
 // nil error is a false hit: the owner no longer has the entry.
-func (n *Node) Fetch(owner uint32, key string) (contentType string, body []byte, ok bool, err error) {
+//
+// The fetch is bounded by both the caller's context and the node's
+// FetchTimeout (whichever fires first): the context carries the request's
+// end-to-end deadline and cancellation, while FetchTimeout remains the
+// per-fetch default so a request with no deadline of its own still cannot
+// hang on a dead peer. A deadline expiry is reported as ErrFetchTimeout
+// (also wrapping context.DeadlineExceeded); a cancellation wraps
+// context.Canceled. The caller tells the two apart — and decides between
+// false-hit fallback and aborting the request — by inspecting its own
+// context.
+func (n *Node) Fetch(ctx context.Context, owner uint32, key string) (contentType string, body []byte, ok bool, err error) {
 	n.mu.Lock()
 	link := n.peers[owner]
 	n.mu.Unlock()
 	if link == nil {
 		return "", nil, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
+	}
+	if n.cfg.FetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.FetchTimeout)
+		defer cancel()
 	}
 
 	link.mu.Lock()
@@ -521,32 +565,42 @@ func (n *Node) Fetch(owner uint32, key string) (contentType string, body []byte,
 		return "", nil, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
 	}
 
-	// A stopped timer instead of time.After: under load, every fetch that
-	// completes before the timeout would otherwise leak its timer until it
-	// fires.
-	timer := time.NewTimer(n.cfg.FetchTimeout)
-	defer timer.Stop()
 	select {
 	case reply, open := <-ch:
 		if !open {
 			return "", nil, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 		}
 		return reply.ContentType, reply.Body, reply.OK, nil
-	case <-timer.C:
+	case <-ctx.Done():
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
-		return "", nil, false, ErrFetchTimeout
+		return "", nil, false, ctxFetchErr(ctx.Err())
 	}
 }
 
-// Ping round-trips a liveness probe to a peer.
-func (n *Node) Ping(peer uint32, timeout time.Duration) error {
+// ctxFetchErr maps a context failure onto the cluster error vocabulary while
+// keeping the context error visible to errors.Is.
+func ctxFetchErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrFetchTimeout, err)
+	}
+	return fmt.Errorf("cluster: fetch canceled: %w", err)
+}
+
+// Ping round-trips a liveness probe to a peer, bounded by ctx and the node's
+// FetchTimeout (whichever fires first).
+func (n *Node) Ping(ctx context.Context, peer uint32) error {
 	n.mu.Lock()
 	link := n.peers[peer]
 	n.mu.Unlock()
 	if link == nil {
 		return fmt.Errorf("%w: %d", ErrNoPeer, peer)
+	}
+	if n.cfg.FetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.FetchTimeout)
+		defer cancel()
 	}
 	link.mu.Lock()
 	link.nextSeq++
@@ -563,16 +617,14 @@ func (n *Node) Ping(peer uint32, timeout time.Duration) error {
 		link.mu.Unlock()
 		return err
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case <-ch:
 		return nil
-	case <-timer.C:
+	case <-ctx.Done():
 		link.mu.Lock()
 		delete(link.pongs, seq)
 		link.mu.Unlock()
-		return ErrFetchTimeout
+		return ctxFetchErr(ctx.Err())
 	}
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -158,7 +159,7 @@ func TestFetchHit(t *testing.T) {
 	nodes, handlers := startMesh(t, 2)
 	handlers[1].bodies["GET /cached"] = "cached-body"
 
-	ct, body, ok, err := nodes[0].Fetch(2, "GET /cached")
+	ct, body, ok, err := nodes[0].Fetch(context.Background(), 2, "GET /cached")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFetchHit(t *testing.T) {
 
 func TestFetchFalseHit(t *testing.T) {
 	nodes, _ := startMesh(t, 2)
-	_, _, ok, err := nodes[0].Fetch(2, "GET /gone")
+	_, _, ok, err := nodes[0].Fetch(context.Background(), 2, "GET /gone")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestFetchFalseHit(t *testing.T) {
 
 func TestFetchUnknownPeer(t *testing.T) {
 	nodes, _ := startMesh(t, 2)
-	_, _, _, err := nodes[0].Fetch(99, "GET /x")
+	_, _, _, err := nodes[0].Fetch(context.Background(), 99, "GET /x")
 	if !errors.Is(err, ErrNoPeer) {
 		t.Fatalf("err = %v, want ErrNoPeer", err)
 	}
@@ -196,7 +197,7 @@ func TestConcurrentFetches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, body, ok, err := nodes[0].Fetch(2, fmt.Sprintf("k%d", i))
+			_, body, ok, err := nodes[0].Fetch(context.Background(), 2, fmt.Sprintf("k%d", i))
 			if err != nil || !ok {
 				t.Errorf("fetch %d: ok=%v err=%v", i, ok, err)
 				return
@@ -211,10 +212,10 @@ func TestConcurrentFetches(t *testing.T) {
 
 func TestPing(t *testing.T) {
 	nodes, _ := startMesh(t, 2)
-	if err := nodes[0].Ping(2, time.Second); err != nil {
+	if err := nodes[0].Ping(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[0].Ping(77, time.Second); !errors.Is(err, ErrNoPeer) {
+	if err := nodes[0].Ping(context.Background(), 77); !errors.Is(err, ErrNoPeer) {
 		t.Fatalf("ping unknown peer: %v", err)
 	}
 }
@@ -230,7 +231,7 @@ func TestPeers(t *testing.T) {
 func TestFetchAfterPeerClose(t *testing.T) {
 	nodes, _ := startMesh(t, 2)
 	nodes[1].Close()
-	_, _, _, err := nodes[0].Fetch(2, "GET /x")
+	_, _, _, err := nodes[0].Fetch(context.Background(), 2, "GET /x")
 	if err == nil {
 		t.Fatal("fetch from closed peer succeeded")
 	}
@@ -453,7 +454,7 @@ func TestMeshOverTCP(t *testing.T) {
 	}
 
 	h2.bodies["GET /t"] = "tcp-body"
-	_, body, ok, err := a.Fetch(2, "GET /t")
+	_, body, ok, err := a.Fetch(context.Background(), 2, "GET /t")
 	if err != nil || !ok {
 		t.Fatalf("fetch over TCP: ok=%v err=%v", ok, err)
 	}
@@ -486,7 +487,9 @@ func TestPingSendErrorDeregistersPong(t *testing.T) {
 	// Kill the transport under the link so the ping's send fails.
 	link.conn.Close()
 
-	if err := a.Ping(2, 100*time.Millisecond); err == nil {
+	pingCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := a.Ping(pingCtx, 2); err == nil {
 		t.Fatal("ping over closed transport succeeded")
 	}
 	link.mu.Lock()
@@ -494,5 +497,80 @@ func TestPingSendErrorDeregistersPong(t *testing.T) {
 	link.mu.Unlock()
 	if leaked != 0 {
 		t.Fatalf("%d pong registrations leaked after failed ping", leaked)
+	}
+}
+
+// TestConnectPeerAbortsOnClose: Close must abort a pending dial-retry loop
+// immediately instead of letting it sleep out the rest of the DialRetry
+// window.
+func TestConnectPeerAbortsOnClose(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem, DialRetry: time.Hour}, NopHandler{})
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.ConnectPeer(2, "never-listens") }()
+	// Let the dial loop start retrying, then close the node.
+	time.Sleep(30 * time.Millisecond)
+	start := time.Now()
+	a.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("dial abort took %v after Close", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ConnectPeer still pending after Close (busy retry loop not aborted)")
+	}
+}
+
+// TestConnectPeerContextCanceled: a caller-provided context aborts the
+// retry loop the same way.
+func TestConnectPeerContextCanceled(t *testing.T) {
+	mem := netx.NewMem()
+	a := NewNode(Config{NodeID: 1, Network: mem, DialRetry: time.Hour}, NopHandler{})
+	if err := a.Start("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.ConnectPeerContext(ctx, 2, "never-listens") }()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ConnectPeerContext ignored cancellation")
+	}
+}
+
+// TestFetchCanceledContext: a dead request context aborts a pending fetch
+// with a cancellation error (not ErrFetchTimeout), and deregisters the
+// pending reply slot.
+func TestFetchCanceledContext(t *testing.T) {
+	nodes, handlers := startMesh(t, 2)
+	handlers[1].bodies["GET /x"] = "body"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := nodes[0].Fetch(ctx, 2, "GET /x")
+	if err == nil {
+		t.Fatal("fetch with dead context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if errors.Is(err, ErrFetchTimeout) {
+		t.Fatalf("cancellation misreported as fetch timeout: %v", err)
 	}
 }

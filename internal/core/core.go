@@ -35,6 +35,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/cpu"
 	"repro/internal/directory"
+	"repro/internal/fetchpipe"
 	"repro/internal/httpmsg"
 	"repro/internal/httpserver"
 	"repro/internal/netx"
@@ -169,6 +170,13 @@ type Config struct {
 	RequestThreads int
 	// FetchTimeout bounds remote cache fetches.
 	FetchTimeout time.Duration
+	// RequestTimeout, when >0, bounds each request end to end: the HTTP
+	// layer derives a deadline from it for the per-request context, and
+	// every stage of the fetch pipeline — CPU reservations, remote peer
+	// sessions, CGI executions — observes it. A request that overruns gets
+	// a 504. Default 0 preserves the paper's behavior (no deadline; work
+	// is only abandoned when the client disconnects or the server stops).
+	RequestTimeout time.Duration
 	// AccessLog, when non-nil, receives one extended-CLF entry per served
 	// request (see internal/accesslog).
 	AccessLog *accesslog.Writer
@@ -189,6 +197,12 @@ type Server struct {
 	clu    *cluster.Node
 
 	counters stats.HitCounter
+
+	// chain is the fetch pipeline every cacheable request travels (the
+	// cacher module's Figure 2 control flow as composable stages); pipe
+	// holds its per-stage counters.
+	chain fetchpipe.Fetcher
+	pipe  *stats.PipelineStats
 
 	// flight coalesces concurrent identical misses when
 	// cfg.CoalesceMisses is on.
@@ -264,6 +278,7 @@ func New(cfg Config) *Server {
 		FetchTimeout: cfg.FetchTimeout,
 		Logger:       cfg.Logger,
 	}, (*clusterHandler)(s))
+	s.buildPipeline()
 	return s
 }
 
@@ -278,6 +293,18 @@ func (s *Server) Directory() *directory.Directory { return s.dir }
 
 // Counters returns a snapshot of the cache counters.
 func (s *Server) Counters() stats.HitSnapshot { return s.counters.Snapshot() }
+
+// Store exposes the cache body store (for tools and experiments).
+func (s *Server) Store() store.Store { return s.store }
+
+// Cluster exposes the cluster node (for tools and experiments).
+func (s *Server) Cluster() *cluster.Node { return s.clu }
+
+// CPU exposes the simulated CPU node (for tools and experiments).
+func (s *Server) CPU() *cpu.Node { return s.node }
+
+// Clock exposes the server's clock (for tools and experiments).
+func (s *Server) Clock() clock.Clock { return s.clk }
 
 // Mode reports the server's caching mode.
 func (s *Server) Mode() Mode { return s.cfg.Mode }
@@ -407,12 +434,17 @@ func (s *Server) PurgeExpired() int {
 
 // --- request handling (Figure 2) ---
 
-func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
+func (s *Server) serveHTTP(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	if s.cfg.AccessLog == nil {
-		return s.route(req)
+		return s.route(ctx, req)
 	}
 	start := s.clk.Now()
-	resp := s.route(req)
+	resp := s.route(ctx, req)
 	entry := accesslog.Entry{
 		RemoteHost: req.RemoteAddr,
 		Time:       start,
@@ -444,7 +476,16 @@ func (s *Server) serveHTTP(req *httpmsg.Request) *httpmsg.Response {
 // StatusPath serves the node's administrative status page.
 const StatusPath = "/swala-status"
 
-func (s *Server) route(req *httpmsg.Request) *httpmsg.Response {
+// ServeRequest runs one parsed request through the server's routing and
+// serving path — static files, the cache pipeline, CGI execution — and
+// returns the response. It is the transport-independent core of the HTTP
+// server, exposed for embedding, tools, and benchmarks; ctx carries the
+// request's cancellation and deadline exactly as for a socket request.
+func (s *Server) ServeRequest(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+	return s.route(ctx, req)
+}
+
+func (s *Server) route(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 	switch req.Method {
 	case "GET", "POST":
 	default:
@@ -456,10 +497,10 @@ func (s *Server) route(req *httpmsg.Request) *httpmsg.Response {
 	}
 	// Static files first: the cache holds only CGI results.
 	if f, ok := s.files.Get(req.Path); ok {
-		return s.serveFile(f)
+		return s.serveFile(ctx, f)
 	}
 	if _, ok := s.engine.Lookup(req.Path); ok {
-		return s.serveDynamic(req)
+		return s.serveDynamic(ctx, req)
 	}
 	return errorResponse(404, "not found: "+req.Path)
 }
@@ -478,9 +519,16 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		snap.LocalHits, snap.RemoteHits, snap.Misses)
 	fmt.Fprintf(&b, "<li>false misses: %d</li><li>false hits: %d</li>\n",
 		snap.FalseMisses, snap.FalseHits)
-	fmt.Fprintf(&b, "<li>inserts: %d</li><li>evictions: %d</li><li>coalesced: %d</li><li>hit ratio: %.1f%%</li>\n",
-		snap.Inserts, snap.Evictions, snap.Coalesced, 100*snap.HitRatio())
+	fmt.Fprintf(&b, "<li>inserts: %d</li><li>evictions: %d</li><li>coalesced: %d</li><li>coalesced abandoned: %d</li><li>hit ratio: %.1f%%</li>\n",
+		snap.Inserts, snap.Evictions, snap.Coalesced, snap.CoalescedAbandoned, 100*snap.HitRatio())
 	fmt.Fprintf(&b, "</ul>\n")
+	fmt.Fprintf(&b, "<h2>Fetch pipeline</h2>\n")
+	fmt.Fprintf(&b, "<table border=1><tr><th>stage</th><th>attempts</th><th>served</th><th>deferred</th><th>failed</th><th>canceled</th><th>mean own time</th></tr>\n")
+	for _, st := range s.pipe.Snapshot() {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%v</td></tr>\n",
+			st.Name, st.Attempts, st.Served, st.Deferred, st.Failed, st.Canceled, st.MeanTime())
+	}
+	fmt.Fprintf(&b, "</table>\n")
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
 	entries := s.dir.SnapshotLocal()
@@ -508,10 +556,10 @@ func htmlEscape(s string) string {
 }
 
 // serveFile streams a static document, charging the file-serving CPU cost.
-func (s *Server) serveFile(f *content.File) *httpmsg.Response {
+func (s *Server) serveFile(ctx context.Context, f *content.File) *httpmsg.Response {
 	cost := s.cfg.Costs.FileBaseCost + time.Duration(len(f.Body))*s.cfg.Costs.PerByte
-	if _, err := s.node.Run(context.Background(), cost); err != nil {
-		return errorResponse(503, "server shutting down")
+	if _, err := s.node.Run(ctx, cost); err != nil {
+		return fetchErrorResponse(fetchpipe.CtxErr(err))
 	}
 	resp := httpmsg.NewResponse(200)
 	resp.Header.Set("Content-Type", f.ContentType)
@@ -519,8 +567,10 @@ func (s *Server) serveFile(f *content.File) *httpmsg.Response {
 	return resp
 }
 
-// serveDynamic implements the paper's Figure 2.
-func (s *Server) serveDynamic(req *httpmsg.Request) *httpmsg.Response {
+// serveDynamic implements the paper's Figure 2: uncacheable requests execute
+// straight away; cacheable ones travel the fetch chain (mem → local →
+// remote → origin; see pipeline.go).
+func (s *Server) serveDynamic(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 	creq := cgi.Request{Method: req.Method, Path: req.Path, Query: req.Query, Body: req.Body}
 
 	decision, ttl := s.cfg.Cacheability.Classify(req.Path, req.Query)
@@ -528,54 +578,33 @@ func (s *Server) serveDynamic(req *httpmsg.Request) *httpmsg.Response {
 
 	// Unable (uncacheable) request: execute without touching the cacher.
 	if !cacheable {
-		res, _, err := s.execCGI(creq)
+		res, _, err := s.execCGI(ctx, creq)
 		if err != nil {
-			return errorResponse(502, "cgi failed: "+err.Error())
+			return fetchErrorResponse(originErr(err))
 		}
 		return cgiResponse(res)
 	}
 
 	key := req.CacheKey()
-
-	// Cached?
-	if e, ok := s.dir.Lookup(key, s.clk.Now()); ok {
-		if e.Owner == s.dir.Self() {
-			if resp := s.serveLocalHit(key); resp != nil {
-				return resp
-			}
-			// Local body vanished (should not happen); fall through to
-			// execution.
-		} else if s.cfg.Mode == Cooperative {
-			if resp := s.serveRemoteHit(e.Owner, key); resp != nil {
-				return resp
-			}
-			// False hit: the remote entry was deleted before our fetch
-			// arrived. Figure 2: execute the request locally.
-			s.counters.FalseHit()
-		}
+	// The origin stage reconstructs the CGI request and TTL from the
+	// canonical key (fetchStateFrom), which is lossless for the common shape:
+	// an empty body and a path with no literal '?'. Only the exceptional
+	// shapes pay the context allocation to carry the state explicitly; hits
+	// never need it at all.
+	if len(req.Body) > 0 || strings.IndexByte(req.Path, '?') >= 0 {
+		ctx = withFetchState(ctx, &fetchState{creq: creq, ttl: ttl})
 	}
-
-	// Miss: execute the CGI, tee the result into the cache, broadcast.
-	if s.cfg.CoalesceMisses {
-		return s.serveCoalescedMiss(key, creq, ttl)
-	}
-	s.trackInflight(key, +1)
-	defer s.trackInflight(key, -1)
-
-	res, execTime, err := s.execCGI(creq)
+	result, err := s.chain.Fetch(ctx, key)
 	if err != nil {
-		// The CGI return value is checked; failed executions are discarded,
-		// never cached.
-		s.counters.Miss()
-		return errorResponse(502, "cgi failed: "+err.Error())
+		return fetchErrorResponse(err)
 	}
-	s.counters.Miss()
-
-	// Insert only successful, sufficiently long executions.
-	if res.Status == 200 && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
-		s.insertResult(key, res, execTime, ttl)
+	resp := httpmsg.NewResponse(result.Status)
+	resp.Header.Set("Content-Type", result.ContentType)
+	if result.Source != "" {
+		resp.Header.Set("X-Swala-Cache", result.Source)
 	}
-	return cgiResponse(res)
+	resp.Body = result.Body
+	return resp
 }
 
 // execShare is one CGI execution's outcome, shared between the leader that
@@ -586,102 +615,8 @@ type execShare struct {
 	err      error
 }
 
-// serveCoalescedMiss handles a cacheable miss with miss coalescing on: the
-// first request for a key executes the CGI (and inserts the result exactly
-// as the uncoalesced path does); concurrent duplicates block until that
-// execution finishes and share its result, paying only the file-fetch-
-// equivalent streaming cost — as if the entry had already been cached.
-func (s *Server) serveCoalescedMiss(key string, creq cgi.Request, ttl time.Duration) *httpmsg.Response {
-	v, _, shared := s.flight.Do(key, func() (execShare, error) {
-		res, execTime, err := s.execCGI(creq)
-		// Insert inside the singleflight window: by the time any waiter is
-		// released (or a new request becomes a fresh leader), the result is
-		// already in the directory, so no duplicate execution can slip in
-		// between execution and insertion.
-		if err == nil && res.Status == 200 &&
-			s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
-			s.insertResult(key, res, execTime, ttl)
-		}
-		return execShare{res: res, execTime: execTime, err: err}, nil
-	})
-	if v.err != nil {
-		// Failed executions are never cached; every coalesced caller sees
-		// the shared failure as its own miss.
-		s.counters.Miss()
-		return errorResponse(502, "cgi failed: "+v.err.Error())
-	}
-	if shared {
-		s.counters.Coalesced()
-		// Streaming the shared body to this client costs the same as
-		// serving it from the local cache.
-		cost := s.cfg.Costs.FileBaseCost + time.Duration(len(v.res.Body))*s.cfg.Costs.PerByte
-		if _, err := s.node.Run(context.Background(), cost); err != nil {
-			return errorResponse(503, "server shutting down")
-		}
-		resp := cgiResponse(v.res)
-		resp.Header.Set("X-Swala-Cache", "coalesced")
-		return resp
-	}
-	s.counters.Miss()
-	return cgiResponse(v.res)
-}
-
-// serveLocalHit returns the cached body from the local store, or nil if the
-// body is missing.
-func (s *Server) serveLocalHit(key string) *httpmsg.Response {
-	ct, body, err := s.store.Get(key)
-	if err != nil {
-		s.logf("local cache body missing for %q: %v", key, err)
-		s.dir.RemoveLocal(key)
-		return nil
-	}
-	// A cache fetch "in effect becomes a file fetch".
-	cost := s.cfg.Costs.FileBaseCost + time.Duration(len(body))*s.cfg.Costs.PerByte
-	if _, err := s.node.Run(context.Background(), cost); err != nil {
-		return errorResponse(503, "server shutting down")
-	}
-	s.dir.TouchLocal(key)
-	s.counters.LocalHit()
-	resp := httpmsg.NewResponse(200)
-	resp.Header.Set("Content-Type", ct)
-	resp.Header.Set("X-Swala-Cache", "local")
-	resp.Body = body
-	return resp
-}
-
-// serveRemoteHit fetches the body from the owner node, or returns nil on a
-// false hit / fetch failure.
-func (s *Server) serveRemoteHit(owner uint32, key string) *httpmsg.Response {
-	ct, body, ok, err := s.clu.Fetch(owner, key)
-	if err != nil {
-		s.logf("remote fetch %q from %d: %v", key, owner, err)
-		return nil
-	}
-	if !ok {
-		// Remote node deleted the entry; reflect that locally so we stop
-		// asking.
-		s.dir.ApplyDelete(owner, key)
-		return nil
-	}
-	// Streaming the fetched body to the client costs the same as serving a
-	// local file of that size, plus the request/reply session with the
-	// owner; the peer's read/serve cost is charged on the owner's CPU in
-	// HandleFetch.
-	cost := s.cfg.Costs.RemoteFetchCost + s.cfg.Costs.FileBaseCost +
-		time.Duration(len(body))*s.cfg.Costs.PerByte
-	if _, err := s.node.Run(context.Background(), cost); err != nil {
-		return errorResponse(503, "server shutting down")
-	}
-	s.counters.RemoteHit()
-	resp := httpmsg.NewResponse(200)
-	resp.Header.Set("Content-Type", ct)
-	resp.Header.Set("X-Swala-Cache", "remote")
-	resp.Body = body
-	return resp
-}
-
-func (s *Server) execCGI(creq cgi.Request) (cgi.Result, time.Duration, error) {
-	return s.engine.Exec(context.Background(), creq)
+func (s *Server) execCGI(ctx context.Context, creq cgi.Request) (cgi.Result, time.Duration, error) {
+	return s.engine.Exec(ctx, creq)
 }
 
 // insertResult files the result body, inserts directory meta-data, and

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cgi"
+	"repro/internal/fetchpipe"
+)
+
+// TestFalseHitFallbackOnFetchDeadline: the remote fetch deadline fires while
+// the request itself is still live → the request is served by executing the
+// CGI locally (the paper's false-hit rule), FalseHits is incremented, and no
+// watcher or fetch goroutines are leaked.
+func TestFalseHitFallbackOnFetchDeadline(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	h := startCluster(t, 2, func(i int, cfg *Config) {
+		if i == 0 {
+			// Node 1's remote fetches are bounded so tightly that every one
+			// expires before the owner can answer.
+			cfg.FetchTimeout = time.Nanosecond
+		}
+	})
+	registerNullCGI(h.servers[0])
+	registerNullCGI(h.servers[1])
+
+	// Cache the key on node 2 and wait for its insert broadcast to reach
+	// node 1's directory replica.
+	h.get(t, 1, "/cgi-bin/null?a=1")
+	waitUntil(t, "directory replication", func() bool {
+		return h.servers[0].Directory().TotalLen() == 1
+	})
+
+	// Node 1 sees a remote entry, its fetch deadline fires, and Figure 2's
+	// fallback executes the CGI locally — the client still gets a 200.
+	resp := h.get(t, 0, "/cgi-bin/null?a=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 (local execution fallback)", resp.StatusCode)
+	}
+	if src := resp.Header.Get("X-Swala-Cache"); src == "remote" {
+		t.Fatal("request served remotely despite expired fetch deadline")
+	}
+	snap := h.servers[0].Counters()
+	if snap.FalseHits != 1 {
+		t.Fatalf("FalseHits = %d, want 1", snap.FalseHits)
+	}
+	if snap.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1 (fallback execution)", snap.Misses)
+	}
+
+	// The remote stage must record the fall-through, not a cancellation of
+	// the request.
+	for _, st := range h.servers[0].PipelineSnapshot() {
+		if st.Name == "remote" && (st.Deferred != 1 || st.Canceled != 0) {
+			t.Fatalf("remote stage counters = %+v", st)
+		}
+	}
+
+	// Tear the cluster down and verify nothing (fetch waiters, disconnect
+	// watchers) leaked.
+	for _, s := range h.servers {
+		s.Close()
+	}
+	h.client.Close()
+	waitUntil(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}
+
+// TestRemoteAbortWhenRequestContextDead: when the request's own deadline has
+// passed, the remote stage aborts instead of burning CPU on a local
+// execution nobody will receive — the client gets a 504.
+func TestRemoteAbortWhenRequestContextDead(t *testing.T) {
+	h := startCluster(t, 2, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.RequestTimeout = 20 * time.Millisecond
+		}
+	})
+	h.servers[0].CGI().Register("/cgi-bin/slow", &cgi.Synthetic{ServiceTime: 300 * time.Millisecond})
+	h.servers[1].CGI().Register("/cgi-bin/slow", &cgi.Synthetic{ServiceTime: 300 * time.Millisecond})
+
+	// Prime node 2 and replicate the directory entry to node 1. Node 2 has
+	// no request timeout, so priming succeeds.
+	h.get(t, 1, "/cgi-bin/slow?x=1")
+	waitUntil(t, "directory replication", func() bool {
+		return h.servers[0].Directory().TotalLen() == 1
+	})
+
+	// Kill the owner so node 1's remote fetch fails, forcing the false-hit
+	// fallback to local execution. The fallback CGI takes 300ms, far beyond
+	// node 1's 20ms request deadline, so the pipeline must abort with 504
+	// rather than complete an execution nobody will receive.
+	h.servers[1].Close()
+	resp := h.get(t, 0, "/cgi-bin/slow?x=1")
+	if resp.StatusCode != 504 {
+		t.Fatalf("status = %d (%q), want 504", resp.StatusCode, resp.Body)
+	}
+	if !strings.Contains(string(resp.Body), "deadline") {
+		t.Fatalf("body = %q, want deadline message", resp.Body)
+	}
+}
+
+// TestRequestTimeoutDeadline: a CGI slower than Config.RequestTimeout gets a
+// 504 and does not cache a partial result.
+func TestRequestTimeoutDeadline(t *testing.T) {
+	h := startCluster(t, 1, func(i int, cfg *Config) {
+		cfg.RequestTimeout = 20 * time.Millisecond
+	})
+	s := h.servers[0]
+	s.CGI().Register("/cgi-bin/slow", &cgi.Synthetic{ServiceTime: 500 * time.Millisecond})
+
+	resp := h.get(t, 0, "/cgi-bin/slow?x=1")
+	if resp.StatusCode != 504 {
+		t.Fatalf("status = %d (%q), want 504", resp.StatusCode, resp.Body)
+	}
+	if s.Directory().LocalLen() != 0 {
+		t.Fatal("timed-out execution must not be cached")
+	}
+	// The origin stage records the cancellation.
+	found := false
+	for _, st := range s.PipelineSnapshot() {
+		if st.Name == "origin" {
+			found = true
+			if st.Canceled != 1 {
+				t.Fatalf("origin stage counters = %+v, want Canceled=1", st)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("origin stage missing from pipeline snapshot")
+	}
+}
+
+// TestServerFetchDirect: the public Fetch entry point reconstructs the CGI
+// request from the canonical key and travels the same chain as HTTP
+// requests.
+func TestServerFetchDirect(t *testing.T) {
+	h := startCluster(t, 1, nil)
+	s := h.servers[0]
+	registerNullCGI(s)
+
+	res, err := s.Fetch(context.Background(), "GET /cgi-bin/null?a=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Source != "" {
+		t.Fatalf("first fetch = %+v, want executed origin result", res)
+	}
+	res2, err := s.Fetch(context.Background(), "GET /cgi-bin/null?a=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Source != "local" || string(res2.Body) != string(res.Body) {
+		t.Fatalf("second fetch = source %q, want local hit with same body", res2.Source)
+	}
+	// A dead context is refused before any CPU is spent.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Fetch(ctx, "GET /cgi-bin/null?b=2"); !errors.Is(err, fetchpipe.ErrCanceled) {
+		t.Fatalf("canceled fetch err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCoalescedAbandoned: a coalesced waiter whose context dies detaches and
+// is counted under CoalescedAbandoned (not Coalesced), while the flight
+// completes and caches for everyone else.
+func TestCoalescedAbandoned(t *testing.T) {
+	h := startCluster(t, 1, func(i int, cfg *Config) {
+		cfg.CoalesceMisses = true
+	})
+	s := h.servers[0]
+	s.CGI().Register("/cgi-bin/slow", &cgi.Synthetic{ServiceTime: 150 * time.Millisecond, OutputSize: 64})
+
+	const key = "GET /cgi-bin/slow?x=1"
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.Fetch(context.Background(), key)
+		leaderDone <- err
+	}()
+	waitUntil(t, "flight to start", func() bool { return s.flight.InFlight() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := s.Fetch(ctx, key)
+		waiterDone <- err
+	}()
+	// Give the waiter a moment to join the flight, then kill its context.
+	// (Even if cancel wins the race, a dead context detaches the caller
+	// before any execution — the counter outcome is the same.)
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	err := <-waiterDone
+	if !fetchpipe.IsCancellation(err) {
+		t.Fatalf("abandoned waiter err = %v, want cancellation", err)
+	}
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v (flight must survive the waiter)", err)
+	}
+
+	snap := s.Counters()
+	if snap.CoalescedAbandoned != 1 {
+		t.Fatalf("CoalescedAbandoned = %d, want 1", snap.CoalescedAbandoned)
+	}
+	if snap.Coalesced != 0 {
+		t.Fatalf("Coalesced = %d, want 0 (abandoned waiter must not count)", snap.Coalesced)
+	}
+	if s.Directory().LocalLen() != 1 {
+		t.Fatal("flight result not cached")
+	}
+}

@@ -57,10 +57,10 @@ type HotpathResult struct {
 	// Directory compares striped-lock lookup throughput against a simulated
 	// single exclusive directory-wide lock at 8 goroutines.
 	Directory struct {
-		Goroutines        int     `json:"goroutines"`
-		StripedOpsPerSec  float64 `json:"striped_ops_per_sec"`
-		GlobalOpsPerSec   float64 `json:"global_lock_ops_per_sec"`
-		ThroughputFactor  float64 `json:"throughput_factor"`
+		Goroutines       int     `json:"goroutines"`
+		StripedOpsPerSec float64 `json:"striped_ops_per_sec"`
+		GlobalOpsPerSec  float64 `json:"global_lock_ops_per_sec"`
+		ThroughputFactor float64 `json:"throughput_factor"`
 	} `json:"directory"`
 
 	// Wire reports allocations per operation on the message hot paths; the

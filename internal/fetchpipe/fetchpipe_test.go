@@ -1,0 +1,160 @@
+package fetchpipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// stageFunc adapts a function to the Stage interface for tests.
+type stageFunc struct {
+	name string
+	fn   func(ctx context.Context, key string, hint any) (Result, error)
+}
+
+func (s stageFunc) Name() string { return s.name }
+func (s stageFunc) Fetch(ctx context.Context, key string, hint any) (Result, error) {
+	return s.fn(ctx, key, hint)
+}
+
+func TestChainOrderAndServe(t *testing.T) {
+	var order []string
+	defer3 := stageFunc{"a", func(ctx context.Context, key string, hint any) (Result, error) {
+		order = append(order, "a")
+		if hint != nil {
+			return Result{}, errors.New("first stage must start with a nil hint")
+		}
+		return Defer("from-a")
+	}}
+	serve := stageFunc{"b", func(ctx context.Context, key string, hint any) (Result, error) {
+		order = append(order, "b")
+		if hint != "from-a" {
+			return Result{}, errors.New("hint not handed over")
+		}
+		return Result{Status: 200, Body: []byte(key), Source: "local"}, nil
+	}}
+	unreached := stageFunc{"c", func(ctx context.Context, key string, hint any) (Result, error) {
+		order = append(order, "c")
+		return Result{}, errors.New("should not run")
+	}}
+	f := Chain(nil, defer3, serve, unreached)
+	res, err := f.Fetch(context.Background(), "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "k1" || res.Source != "local" {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("stage order = %v, want [a b]", order)
+	}
+}
+
+func TestChainExhausted(t *testing.T) {
+	pass := stageFunc{"p", func(ctx context.Context, key string, hint any) (Result, error) {
+		return Defer(nil)
+	}}
+	_, err := Chain(nil, pass).Fetch(context.Background(), "k")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestCtxErrTaxonomy(t *testing.T) {
+	if CtxErr(nil) != nil {
+		t.Fatal("CtxErr(nil) != nil")
+	}
+	err := CtxErr(context.Canceled)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled mapping = %v", err)
+	}
+	err = CtxErr(context.DeadlineExceeded)
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline mapping = %v", err)
+	}
+	// Wrapped context errors (e.g. cluster's fetch-timeout wrapper) classify
+	// the same way.
+	wrapped := fmt.Errorf("cluster: fetch timed out: %w", context.DeadlineExceeded)
+	if !errors.Is(CtxErr(wrapped), ErrDeadline) {
+		t.Fatalf("wrapped deadline mapping = %v", CtxErr(wrapped))
+	}
+	plain := errors.New("disk on fire")
+	if CtxErr(plain) != plain {
+		t.Fatalf("non-context error rewritten: %v", CtxErr(plain))
+	}
+	if !IsCancellation(ErrCanceled) || !IsCancellation(context.DeadlineExceeded) || IsCancellation(plain) {
+		t.Fatal("IsCancellation misclassifies")
+	}
+}
+
+func TestChainStats(t *testing.T) {
+	pipe := stats.NewPipelineStats()
+	slowDefer := stageFunc{"first", func(ctx context.Context, key string, hint any) (Result, error) {
+		return Defer(nil)
+	}}
+	serve := stageFunc{"second", func(ctx context.Context, key string, hint any) (Result, error) {
+		time.Sleep(time.Millisecond)
+		return Result{Status: 200}, nil
+	}}
+	f := Chain(pipe, slowDefer, serve)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Fetch(context.Background(), "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := pipe.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "first" || snap[1].Name != "second" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Attempts != 3 || snap[0].Deferred != 3 || snap[0].Served != 0 {
+		t.Fatalf("first stage counters = %+v", snap[0])
+	}
+	if snap[1].Attempts != 3 || snap[1].Served != 3 {
+		t.Fatalf("second stage counters = %+v", snap[1])
+	}
+	// Own-time accounting: the deferring stage must not absorb the serving
+	// stage's sleep (the driver runs downstream stages outside the deferring
+	// stage's sample).
+	if snap[0].Time >= snap[1].Time {
+		t.Fatalf("deferring stage own time %v >= serving stage %v", snap[0].Time, snap[1].Time)
+	}
+	// Latency is sampled; at least the first attempt of each stage is timed.
+	if snap[0].Timed < 1 || snap[1].Timed < 1 {
+		t.Fatalf("timed counts = %d/%d, want >= 1 each", snap[0].Timed, snap[1].Timed)
+	}
+	if snap[1].MeanTime() < 500*time.Microsecond {
+		t.Fatalf("serving stage mean own time %v, want >= ~1ms", snap[1].MeanTime())
+	}
+}
+
+func TestChainStatsCancellation(t *testing.T) {
+	pipe := stats.NewPipelineStats()
+	cancelStage := stageFunc{"c", func(ctx context.Context, key string, hint any) (Result, error) {
+		return Result{}, CtxErr(context.Canceled)
+	}}
+	failStage := stageFunc{"f", func(ctx context.Context, key string, hint any) (Result, error) {
+		return Result{}, errors.New("boom")
+	}}
+	if _, err := Chain(pipe, cancelStage).Fetch(context.Background(), "k"); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Chain(pipe, failStage).Fetch(context.Background(), "k"); err == nil {
+		t.Fatal("want error")
+	}
+	for _, st := range pipe.Snapshot() {
+		switch st.Name {
+		case "c":
+			if st.Canceled != 1 || st.Failed != 0 {
+				t.Fatalf("cancel stage counters = %+v", st)
+			}
+		case "f":
+			if st.Failed != 1 || st.Canceled != 0 {
+				t.Fatalf("fail stage counters = %+v", st)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package httpclient
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ func startServer(t *testing.T, mem *netx.Mem, name string, h httpserver.Handler)
 	t.Cleanup(func() { s.Close() })
 }
 
-func echo(req *httpmsg.Request) *httpmsg.Response {
+func echo(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 	resp := httpmsg.NewResponse(200)
 	resp.Body = []byte("echo:" + req.URI)
 	return resp
@@ -185,7 +186,7 @@ func TestConcurrentRequests(t *testing.T) {
 
 func TestPostBody(t *testing.T) {
 	mem := netx.NewMem()
-	startServer(t, mem, "srv", httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+	startServer(t, mem, "srv", httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 		resp := httpmsg.NewResponse(200)
 		resp.Body = append([]byte("got:"), req.Body...)
 		return resp
@@ -206,7 +207,7 @@ func TestPostBody(t *testing.T) {
 
 func TestTimeout(t *testing.T) {
 	mem := netx.NewMem()
-	startServer(t, mem, "slow", httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+	startServer(t, mem, "slow", httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 		time.Sleep(200 * time.Millisecond)
 		return httpmsg.NewResponse(200)
 	}))

@@ -451,3 +451,18 @@ func CanonicalKeyString(method, path, query string) string {
 func (r *Request) CacheKey() string {
 	return CanonicalKeyString(r.Method, r.Path, r.Query)
 }
+
+// SplitCacheKey parses a canonical cache key back into its request parts —
+// the inverse of CanonicalKeyString. Cacheable requests are GETs with no
+// body, so the key carries everything needed to reconstruct the request;
+// the fetch pipeline uses this when a key is fetched directly (core's
+// Server.Fetch) rather than arriving as an HTTP request. ok is false when
+// key is not of the canonical "METHOD /path[?query]" shape.
+func SplitCacheKey(key string) (method, path, query string, ok bool) {
+	method, uri, found := strings.Cut(key, " ")
+	if !found || method == "" || uri == "" {
+		return "", "", "", false
+	}
+	path, query = splitURI(uri)
+	return method, path, query, true
+}

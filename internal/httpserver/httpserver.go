@@ -4,10 +4,16 @@
 // calls out multi-threading (rather than per-request processes) as a key
 // efficiency property of the server; here the "request threads" are
 // goroutines accepting from a shared listener.
+//
+// Every request is served under a per-request context.Context, canceled when
+// the client disconnects mid-request or when the server shuts down, so the
+// layers below (cache fetches, remote peer sessions, CGI executions) can
+// abandon work nobody will receive.
 package httpserver
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"log"
@@ -19,16 +25,21 @@ import (
 )
 
 // Handler produces the response for one request. Implementations must be
-// safe for concurrent use; every request thread calls the same handler.
+// safe for concurrent use; every request thread calls the same handler. The
+// context is request-scoped: it is canceled when the client disconnects
+// mid-request or the server shuts down, and handlers may derive deadlines
+// from it.
 type Handler interface {
-	Serve(req *httpmsg.Request) *httpmsg.Response
+	Serve(ctx context.Context, req *httpmsg.Request) *httpmsg.Response
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(req *httpmsg.Request) *httpmsg.Response
+type HandlerFunc func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response
 
 // Serve implements Handler.
-func (f HandlerFunc) Serve(req *httpmsg.Request) *httpmsg.Response { return f(req) }
+func (f HandlerFunc) Serve(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+	return f(ctx, req)
+}
 
 // Config tunes a Server.
 type Config struct {
@@ -53,6 +64,11 @@ type Server struct {
 	handler Handler
 	cfg     Config
 
+	// baseCtx is the parent of every request context; baseCancel fires on
+	// Close so in-flight handlers unwind during shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -76,7 +92,9 @@ func New(handler Handler, cfg Config) *Server {
 	case cfg.ReadTimeout < 0:
 		cfg.ReadTimeout = 0
 	}
-	return &Server{handler: handler, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{handler: handler, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
 }
 
 // Serve starts the request-thread pool accepting from l and returns
@@ -151,7 +169,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.handler.Serve(req)
+		resp := s.serveRequest(conn, reader, req)
 		if resp == nil {
 			resp = httpmsg.NewResponse(500)
 		}
@@ -174,6 +192,44 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveRequest runs the handler under a request-scoped context that is
+// canceled if the client goes away while the handler works. Disconnects are
+// observed by a watcher goroutine that peeks the connection for the next
+// byte: a clean EOF or connection reset means nobody is waiting for the
+// response, so the request's work can be abandoned; actual data (a pipelined
+// next request) simply stays buffered. The watcher is stopped by expiring
+// the read deadline, whose timeout error the watcher swallows, leaving the
+// buffered reader clean for the next keep-alive request.
+func (s *Server) serveRequest(conn net.Conn, reader *bufio.Reader, req *httpmsg.Request) *httpmsg.Response {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	// Clear any armed keep-alive deadline so it cannot fire mid-handler and
+	// stop the watcher early; the loop re-arms it for the next request.
+	conn.SetReadDeadline(time.Time{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		if _, err := reader.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return // watcher stopped by serveRequest
+			}
+			cancel() // client disconnected mid-request
+		}
+	}()
+
+	resp := s.handler.Serve(ctx, req)
+
+	// Stop the watcher: expire the read deadline so a blocked Peek returns,
+	// then restore it. The watcher consumes (and discards) the resulting
+	// timeout error from the buffered reader.
+	conn.SetReadDeadline(time.Now())
+	<-watchDone
+	conn.SetReadDeadline(time.Time{})
+	return resp
 }
 
 func isOrderlyClose(err error) bool {
@@ -213,8 +269,8 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Close stops accepting, closes all live connections, and waits for the
-// request threads to exit.
+// Close stops accepting, cancels every in-flight request context, closes
+// all live connections, and waits for the request threads to exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -222,6 +278,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.baseCancel()
 	l := s.listener
 	for c := range s.conns {
 		c.Close()

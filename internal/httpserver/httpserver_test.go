@@ -2,6 +2,7 @@ package httpserver
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -13,7 +14,7 @@ import (
 	"repro/internal/netx"
 )
 
-func echoHandler(req *httpmsg.Request) *httpmsg.Response {
+func echoHandler(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 	resp := httpmsg.NewResponse(200)
 	resp.Header.Set("Content-Type", "text/plain")
 	resp.Body = []byte("echo:" + req.Path)
@@ -164,7 +165,7 @@ func TestMalformedRequestGets400(t *testing.T) {
 }
 
 func TestNilHandlerResponse(t *testing.T) {
-	_, dial := startServer(t, HandlerFunc(func(*httpmsg.Request) *httpmsg.Response { return nil }),
+	_, dial := startServer(t, HandlerFunc(func(context.Context, *httpmsg.Request) *httpmsg.Response { return nil }),
 		Config{RequestThreads: 1})
 	conn := dial()
 	defer conn.Close()
@@ -288,5 +289,136 @@ func TestAddrBeforeServe(t *testing.T) {
 	s := New(HandlerFunc(echoHandler), Config{})
 	if s.Addr() != "" {
 		t.Fatalf("Addr = %q before Serve, want empty", s.Addr())
+	}
+}
+
+// TestDisconnectCancelsRequestContext: a client that goes away mid-request
+// cancels the handler's context, so lower layers can abandon the work.
+func TestDisconnectCancelsRequestContext(t *testing.T) {
+	canceled := make(chan struct{})
+	block := make(chan struct{})
+	handler := HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+		select {
+		case <-ctx.Done():
+			close(canceled)
+		case <-block:
+		}
+		return httpmsg.NewResponse(200)
+	})
+	_, dial := startServer(t, handler, Config{RequestThreads: 1})
+
+	conn := dial()
+	req := httpmsg.NewRequest("GET", "/hang")
+	if err := httpmsg.WriteRequest(bufio.NewWriter(conn), req); err != nil {
+		t.Fatal(err)
+	}
+	// Give the request thread a moment to enter the handler, then vanish.
+	time.Sleep(20 * time.Millisecond)
+	conn.Close()
+
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		close(block)
+		t.Fatal("handler context not canceled after client disconnect")
+	}
+}
+
+// TestKeepAliveSurvivesWatcher: the disconnect watcher must not corrupt the
+// buffered reader between keep-alive requests — a second request on the same
+// connection still parses and gets its response.
+func TestKeepAliveSurvivesWatcher(t *testing.T) {
+	_, dial := startServer(t, HandlerFunc(echoHandler), Config{RequestThreads: 1})
+	conn := dial()
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		resp := doRequest(t, conn, "GET", fmt.Sprintf("/r%d", i), true)
+		if resp.StatusCode != 200 || string(resp.Body) != fmt.Sprintf("echo:/r%d", i) {
+			t.Fatalf("request %d: status=%d body=%q", i, resp.StatusCode, resp.Body)
+		}
+	}
+}
+
+// TestPipelinedRequestNotCanceled: a pipelined next request (data arriving
+// while the current handler runs) is not a disconnect — the current request
+// must complete normally and the pipelined one must be served afterwards.
+func TestPipelinedRequestNotCanceled(t *testing.T) {
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	handler := HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+		entered <- struct{}{}
+		if req.Path == "/first" {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				resp := httpmsg.NewResponse(499)
+				resp.Body = []byte("canceled")
+				return resp
+			}
+		}
+		resp := httpmsg.NewResponse(200)
+		resp.Body = []byte("ok:" + req.Path)
+		return resp
+	})
+	_, dial := startServer(t, handler, Config{RequestThreads: 1})
+	conn := dial()
+	defer conn.Close()
+
+	// Write both requests back to back before reading anything.
+	w := bufio.NewWriter(conn)
+	if err := httpmsg.WriteRequest(w, httpmsg.NewRequest("GET", "/first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := httpmsg.WriteRequest(w, httpmsg.NewRequest("GET", "/second")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// The watcher has seen the pipelined bytes (or will); the first handler
+	// must NOT be canceled.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	r := bufio.NewReader(conn)
+	first, err := httpmsg.ReadResponse(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.StatusCode != 200 || string(first.Body) != "ok:/first" {
+		t.Fatalf("first = %d %q (pipelined data mistaken for disconnect?)", first.StatusCode, first.Body)
+	}
+	second, err := httpmsg.ReadResponse(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.StatusCode != 200 || string(second.Body) != "ok:/second" {
+		t.Fatalf("second = %d %q", second.StatusCode, second.Body)
+	}
+}
+
+// TestCloseCancelsInflightRequests: server shutdown cancels every in-flight
+// request context.
+func TestCloseCancelsInflightRequests(t *testing.T) {
+	entered := make(chan struct{})
+	handler := HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+		close(entered)
+		<-ctx.Done()
+		return httpmsg.NewResponse(503)
+	})
+	s, dial := startServer(t, handler, Config{RequestThreads: 1})
+	conn := dial()
+	defer conn.Close()
+	if err := httpmsg.WriteRequest(bufio.NewWriter(conn), httpmsg.NewRequest("GET", "/x")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on an in-flight request (base context not canceled)")
 	}
 }

@@ -50,9 +50,10 @@ type Monitor struct {
 	watches map[string]*watchState
 	fired   int64
 
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	once    sync.Once
 }
 
 // New creates a monitor that calls invalidate when a watched source changes.
@@ -168,6 +169,9 @@ func (m *Monitor) Poll() int {
 
 // Start launches the polling loop. Call Stop to end it.
 func (m *Monitor) Start() {
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
 	go func() {
 		defer close(m.done)
 		for {
@@ -182,8 +186,13 @@ func (m *Monitor) Start() {
 }
 
 // Stop ends the polling loop and waits for it to exit. Safe to call more
-// than once, but only after Start.
+// than once, and before Start (in which case there is no loop to wait for).
 func (m *Monitor) Stop() {
 	m.once.Do(func() { close(m.stop) })
-	<-m.done
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
 }

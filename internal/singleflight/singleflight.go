@@ -10,21 +10,38 @@
 // finishes and then shares its result. With CGI executions an order of
 // magnitude more expensive than cache fetches (Figure 3), coalescing turns
 // K identical concurrent misses from K executions into one.
+//
+// DoCtx adds request-scoped cancellation: a caller whose context is canceled
+// detaches from the flight immediately (returning ErrDetached) while the
+// shared execution keeps running for the remaining callers — a disconnected
+// client must never kill work that other clients are waiting on.
 package singleflight
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDetached is returned (wrapping the context's error) by DoCtx when the
+// calling waiter's context was canceled before the shared execution finished.
+// The flight itself continues; only this caller has let go.
+var ErrDetached = errors.New("singleflight: waiter detached")
 
 // call is one in-flight execution that duplicate callers wait on.
 type call[V any] struct {
-	wg sync.WaitGroup
+	// done is closed by the executing goroutine after val and err are set,
+	// so waiters can select on completion alongside their context.
+	done chan struct{}
 
-	// val and err are written once by the leader before wg.Done and only
-	// read by waiters after wg.Wait, so they need no extra locking.
+	// val and err are written once before done is closed and only read
+	// after it, so they need no extra locking.
 	val V
 	err error
 
 	// waiters counts the duplicate callers sharing this execution
-	// (excluding the leader). Guarded by the Group mutex.
+	// (excluding the first). Guarded by the Group mutex.
 	waiters int
 }
 
@@ -38,9 +55,20 @@ type Group[V any] struct {
 // Do executes fn and returns its result, ensuring that at any moment only
 // one execution per key is in flight. Duplicate callers block until the
 // in-flight execution completes and receive the same result with
-// shared=true; the executing caller gets shared=false. The result value is
-// shared by reference: callers must treat it as read-only.
+// shared=true; the caller that initiated the execution gets shared=false.
+// The result value is shared by reference: callers must treat it as
+// read-only.
 func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	return g.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx behaves like Do but lets a caller abandon its wait: when ctx is
+// canceled before the shared execution finishes, DoCtx returns promptly with
+// an error wrapping both ErrDetached and ctx.Err(). The execution itself is
+// not canceled — it runs on its own goroutine and completes for the callers
+// still waiting (fn is responsible for bounding its own work). A detached
+// initiator is still reported with shared=false.
+func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) (v V, err error, shared bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*call[V])
@@ -48,22 +76,31 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared 
 	if c, ok := g.calls[key]; ok {
 		c.waiters++
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return v, fmt.Errorf("%w: %w", ErrDetached, ctx.Err()), true
+		}
 	}
-	c := &call[V]{}
-	c.wg.Add(1)
+	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	c.wg.Done()
-
-	return c.val, c.err, false
+	select {
+	case <-c.done:
+		return c.val, c.err, false
+	case <-ctx.Done():
+		return v, fmt.Errorf("%w: %w", ErrDetached, ctx.Err()), false
+	}
 }
 
 // InFlight reports how many keys currently have an execution in flight,

@@ -1,6 +1,7 @@
 package singleflight
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -159,4 +160,131 @@ func (g *Group[V]) waiterCount(key string) int {
 		return c.waiters
 	}
 	return 0
+}
+
+// TestDoCtxCanceledWaiterDetaches: a waiter whose context dies returns
+// promptly with ErrDetached while the flight completes for the survivors.
+func TestDoCtxCanceledWaiterDetaches(t *testing.T) {
+	var g Group[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err, shared := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if err != nil || v != 7 || shared {
+			t.Errorf("leader Do = %d, %v, shared=%v", v, err, shared)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	detached := make(chan error, 1)
+	go func() {
+		_, err, shared := g.DoCtx(ctx, "k", func() (int, error) {
+			t.Error("duplicate execution")
+			return 0, nil
+		})
+		if !shared {
+			t.Error("waiter not marked shared")
+		}
+		detached <- err
+	}()
+	// Let the waiter register, then cancel only its context.
+	waitForWaiters(t, &g, "k", 1)
+	cancel()
+
+	select {
+	case err := <-detached:
+		if !errors.Is(err, ErrDetached) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("detach err = %v, want ErrDetached wrapping context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return promptly")
+	}
+
+	// The flight must still be alive and complete for the leader.
+	if g.InFlight() != 1 {
+		t.Fatalf("InFlight = %d after waiter detach, want 1", g.InFlight())
+	}
+	close(release)
+	<-leaderDone
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after completion", g.InFlight())
+	}
+}
+
+// TestDoCtxDetachedInitiator: even the caller that started the execution can
+// detach; the function still runs to completion so survivors (and the cache
+// insert it performs) are unaffected.
+func TestDoCtxDetachedInitiator(t *testing.T) {
+	var g Group[int]
+	release := make(chan struct{})
+	completed := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	started := make(chan struct{})
+	initiatorDone := make(chan error, 1)
+	go func() {
+		_, err, shared := g.DoCtx(ctx, "k", func() (int, error) {
+			close(started)
+			<-release
+			close(completed)
+			return 1, nil
+		})
+		if shared {
+			t.Error("initiator marked shared")
+		}
+		initiatorDone <- err
+	}()
+	<-started
+	cancel()
+	err := <-initiatorDone
+	if !errors.Is(err, ErrDetached) {
+		t.Fatalf("initiator detach err = %v", err)
+	}
+	// fn keeps running after the initiator left.
+	close(release)
+	select {
+	case <-completed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("execution did not complete after initiator detached")
+	}
+}
+
+// TestDoCtxCompletedFlight: with a live context DoCtx behaves exactly like
+// Do, including result sharing.
+func TestDoCtxCompletedFlight(t *testing.T) {
+	var g Group[int]
+	v, err, shared := g.DoCtx(context.Background(), "k", func() (int, error) { return 9, nil })
+	if v != 9 || err != nil || shared {
+		t.Fatalf("DoCtx = %d, %v, shared=%v", v, err, shared)
+	}
+	// A pre-canceled context still detaches rather than executing... the
+	// execution is spawned regardless (it may already have side effects
+	// underway), but this caller must not block.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, _ = g.DoCtx(ctx, "k2", func() (int, error) { return 0, nil })
+	if err != nil && !errors.Is(err, ErrDetached) {
+		t.Fatalf("pre-canceled DoCtx err = %v", err)
+	}
+}
+
+// waitForWaiters polls until key has n registered waiters.
+func waitForWaiters(t *testing.T, g *Group[int], key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if g.waiterCount(key) >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("waiters for %q never reached %d", key, n)
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -139,6 +140,7 @@ type HitCounter struct {
 	inserts     int64
 	evictions   int64
 	coalesced   int64
+	abandoned   int64
 }
 
 // LocalHit records a hit served from the node's own cache.
@@ -171,6 +173,13 @@ func (h *HitCounter) Eviction() { h.add(&h.evictions) }
 // hit-ratio accounting is unchanged when the feature is off.
 func (h *HitCounter) Coalesced() { h.add(&h.coalesced) }
 
+// CoalescedAbandoned records a coalesced waiter that gave up (its request
+// context was canceled or timed out) before the shared execution finished.
+// Abandoned waiters are counted here instead of Coalesced so the coalescing
+// numbers in EXPERIMENTS.md reflect only requests actually served from a
+// shared execution.
+func (h *HitCounter) CoalescedAbandoned() { h.add(&h.abandoned) }
+
 func (h *HitCounter) add(p *int64) {
 	h.mu.Lock()
 	*p++
@@ -182,27 +191,29 @@ func (h *HitCounter) Snapshot() HitSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return HitSnapshot{
-		LocalHits:   h.localHits,
-		RemoteHits:  h.remoteHits,
-		Misses:      h.misses,
-		FalseMisses: h.falseMisses,
-		FalseHits:   h.falseHits,
-		Inserts:     h.inserts,
-		Evictions:   h.evictions,
-		Coalesced:   h.coalesced,
+		LocalHits:          h.localHits,
+		RemoteHits:         h.remoteHits,
+		Misses:             h.misses,
+		FalseMisses:        h.falseMisses,
+		FalseHits:          h.falseHits,
+		Inserts:            h.inserts,
+		Evictions:          h.evictions,
+		Coalesced:          h.coalesced,
+		CoalescedAbandoned: h.abandoned,
 	}
 }
 
 // HitSnapshot is an immutable view of a HitCounter.
 type HitSnapshot struct {
-	LocalHits   int64
-	RemoteHits  int64
-	Misses      int64
-	FalseMisses int64
-	FalseHits   int64
-	Inserts     int64
-	Evictions   int64
-	Coalesced   int64
+	LocalHits          int64
+	RemoteHits         int64
+	Misses             int64
+	FalseMisses        int64
+	FalseHits          int64
+	Inserts            int64
+	Evictions          int64
+	Coalesced          int64
+	CoalescedAbandoned int64
 }
 
 // Hits returns local + remote hits.
@@ -224,21 +235,22 @@ func (s HitSnapshot) HitRatio() float64 {
 // counters across cluster nodes.
 func (s HitSnapshot) Add(o HitSnapshot) HitSnapshot {
 	return HitSnapshot{
-		LocalHits:   s.LocalHits + o.LocalHits,
-		RemoteHits:  s.RemoteHits + o.RemoteHits,
-		Misses:      s.Misses + o.Misses,
-		FalseMisses: s.FalseMisses + o.FalseMisses,
-		FalseHits:   s.FalseHits + o.FalseHits,
-		Inserts:     s.Inserts + o.Inserts,
-		Evictions:   s.Evictions + o.Evictions,
-		Coalesced:   s.Coalesced + o.Coalesced,
+		LocalHits:          s.LocalHits + o.LocalHits,
+		RemoteHits:         s.RemoteHits + o.RemoteHits,
+		Misses:             s.Misses + o.Misses,
+		FalseMisses:        s.FalseMisses + o.FalseMisses,
+		FalseHits:          s.FalseHits + o.FalseHits,
+		Inserts:            s.Inserts + o.Inserts,
+		Evictions:          s.Evictions + o.Evictions,
+		Coalesced:          s.Coalesced + o.Coalesced,
+		CoalescedAbandoned: s.CoalescedAbandoned + o.CoalescedAbandoned,
 	}
 }
 
 // String renders the snapshot compactly.
 func (s HitSnapshot) String() string {
-	return fmt.Sprintf("hits=%d (local=%d remote=%d) misses=%d falseMiss=%d falseHit=%d inserts=%d evictions=%d coalesced=%d",
-		s.Hits(), s.LocalHits, s.RemoteHits, s.Misses, s.FalseMisses, s.FalseHits, s.Inserts, s.Evictions, s.Coalesced)
+	return fmt.Sprintf("hits=%d (local=%d remote=%d) misses=%d falseMiss=%d falseHit=%d inserts=%d evictions=%d coalesced=%d abandoned=%d",
+		s.Hits(), s.LocalHits, s.RemoteHits, s.Misses, s.FalseMisses, s.FalseHits, s.Inserts, s.Evictions, s.Coalesced, s.CoalescedAbandoned)
 }
 
 // Speedup returns base/measured as a factor (e.g. 2.0 means twice as fast);
@@ -248,4 +260,156 @@ func Speedup(base, measured time.Duration) float64 {
 		return 0
 	}
 	return float64(base) / float64(measured)
+}
+
+// --- request-pipeline stage statistics ---
+
+// StageOutcome classifies how one pass through a pipeline stage ended.
+type StageOutcome int
+
+// Stage outcomes recorded by the fetch chain.
+const (
+	// StageServed: the stage produced the result itself.
+	StageServed StageOutcome = iota
+	// StageDeferred: the stage passed the fetch to the next stage.
+	StageDeferred
+	// StageFailed: the stage returned a non-cancellation error.
+	StageFailed
+	// StageCanceled: the stage aborted on context cancellation or deadline.
+	StageCanceled
+)
+
+// stageSampleEvery is the latency sampling interval: one in this many
+// attempts per stage is timed. Outcome counters are exact; only the clock
+// reads are sampled, keeping the chain's hot-path cost to a single atomic
+// add on unsampled served attempts.
+const stageSampleEvery = 64
+
+// StageStats accumulates counters for one pipeline stage. All methods are
+// safe for concurrent use; counters are atomics because the stage wrappers
+// sit on the request hot path. Serves — the hot-path outcome — are not
+// counted directly: a serve is an attempt with no deferral/failure/
+// cancellation record, so Snapshot derives it and a served attempt costs one
+// atomic add total.
+type StageStats struct {
+	name     string
+	attempts atomic.Int64
+	deferred atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+	timed    atomic.Int64 // attempts with a latency sample
+	nanos    atomic.Int64 // summed sampled time inside the stage
+}
+
+// Name returns the stage label.
+func (s *StageStats) Name() string { return s.name }
+
+// StartAttempt counts one pass into the stage and reports whether the caller
+// should time this pass (latency is sampled, not measured on every attempt).
+func (s *StageStats) StartAttempt() bool {
+	// stageSampleEvery is a power of two, so the sampling decision is a mask
+	// rather than a division (attempt counts are always positive).
+	return s.attempts.Add(1)&(stageSampleEvery-1) == 1
+}
+
+// Outcome records how one pass through the stage ended. StageServed is a
+// no-op: serves are derived from the attempt count, so callers on the serve
+// path may skip the call entirely.
+func (s *StageStats) Outcome(outcome StageOutcome) {
+	switch outcome {
+	case StageDeferred:
+		s.deferred.Add(1)
+	case StageFailed:
+		s.failed.Add(1)
+	case StageCanceled:
+		s.canceled.Add(1)
+	}
+}
+
+// ObserveTime records one sampled latency measurement (the time spent inside
+// the stage, excluding downstream stages).
+func (s *StageStats) ObserveTime(d time.Duration) {
+	s.timed.Add(1)
+	s.nanos.Add(int64(d))
+}
+
+// StageSnapshot is a point-in-time view of one stage's counters.
+type StageSnapshot struct {
+	Name     string
+	Attempts int64
+	Served   int64
+	Deferred int64
+	Failed   int64
+	Canceled int64
+	// Timed is the number of attempts with a latency sample.
+	Timed int64
+	// Time is the cumulative sampled time spent inside the stage (excluding
+	// downstream stages).
+	Time time.Duration
+}
+
+// MeanTime returns the mean in-stage time across sampled attempts (0 without
+// samples).
+func (s StageSnapshot) MeanTime() time.Duration {
+	if s.Timed == 0 {
+		return 0
+	}
+	return s.Time / time.Duration(s.Timed)
+}
+
+// Snapshot copies the stage counters. Served is derived (attempts minus the
+// other outcomes) and clamped at zero: an attempt that has started but not
+// yet recorded its outcome would otherwise briefly read as a serve.
+func (s *StageStats) Snapshot() StageSnapshot {
+	snap := StageSnapshot{
+		Name:     s.name,
+		Attempts: s.attempts.Load(),
+		Deferred: s.deferred.Load(),
+		Failed:   s.failed.Load(),
+		Canceled: s.canceled.Load(),
+		Timed:    s.timed.Load(),
+		Time:     time.Duration(s.nanos.Load()),
+	}
+	if served := snap.Attempts - snap.Deferred - snap.Failed - snap.Canceled; served > 0 {
+		snap.Served = served
+	}
+	return snap
+}
+
+// PipelineStats holds the per-stage counters of one fetch chain. Stages are
+// registered up front (at chain construction), so the hot path never takes a
+// lock: Stage returns a stable pointer whose counters are atomics.
+type PipelineStats struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*StageStats
+}
+
+// NewPipelineStats creates an empty pipeline-stats registry.
+func NewPipelineStats() *PipelineStats {
+	return &PipelineStats{stages: make(map[string]*StageStats)}
+}
+
+// Stage returns the counters for name, registering the stage on first use.
+func (p *PipelineStats) Stage(name string) *StageStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.stages[name]; ok {
+		return s
+	}
+	s := &StageStats{name: name}
+	p.stages[name] = s
+	p.order = append(p.order, name)
+	return s
+}
+
+// Snapshot returns per-stage snapshots in registration (chain) order.
+func (p *PipelineStats) Snapshot() []StageSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StageSnapshot, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, p.stages[name].Snapshot())
+	}
+	return out
 }

@@ -90,6 +90,27 @@ func (t *Tiered) Get(key string) (string, []byte, error) {
 	return ct, body, nil
 }
 
+// GetCached returns key's body only if it is resident in the memory tier,
+// never falling through to the backing store. A hit counts toward the
+// memory-tier hit statistics and refreshes the entry's LRU position; a
+// non-resident key is NOT counted as a miss — the caller is expected to fall
+// through to Get, which records it. The fetch pipeline's mem stage uses this
+// to serve hot keys without touching the backing store.
+func (t *Tiered) GetCached(key string) (contentType string, body []byte, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, resident := t.items[key]
+	if !resident {
+		return "", nil, false
+	}
+	e := el.Value.(*tierEntry)
+	t.ll.MoveToFront(el)
+	t.hits++
+	cp := make([]byte, len(e.body))
+	copy(cp, e.body)
+	return e.contentType, cp, true
+}
+
 // Delete implements Store: invalidate memory first, then the backing store.
 func (t *Tiered) Delete(key string) error {
 	t.invalidate(key)

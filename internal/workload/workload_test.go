@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -216,7 +217,7 @@ func TestDriverAgainstRealServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	handled := 0
-	var handler httpserver.Handler = httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+	var handler httpserver.Handler = httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 		handled++ // single request thread => no race
 		resp := httpmsg.NewResponse(200)
 		resp.Body = cgi.GenerateBody(req.Path, req.Query, 64)
@@ -249,7 +250,7 @@ func TestDriverAgainstRealServer(t *testing.T) {
 func TestDriverThroughputAccounting(t *testing.T) {
 	mem := netx.NewMem()
 	l, _ := mem.Listen("srv")
-	s := httpserver.New(httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+	s := httpserver.New(httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 		resp := httpmsg.NewResponse(200)
 		resp.Body = make([]byte, 100)
 		return resp
@@ -278,7 +279,7 @@ func TestDriverThroughputAccounting(t *testing.T) {
 func TestDriverCountsErrors(t *testing.T) {
 	mem := netx.NewMem()
 	l, _ := mem.Listen("srv")
-	s := httpserver.New(httpserver.HandlerFunc(func(req *httpmsg.Request) *httpmsg.Response {
+	s := httpserver.New(httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
 		return httpmsg.NewResponse(404)
 	}), httpserver.Config{RequestThreads: 1})
 	s.Serve(l)
