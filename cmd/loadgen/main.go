@@ -25,9 +25,10 @@ func main() {
 		addrsFlag = flag.String("addrs", "localhost:8080", "comma-separated server addresses; client i targets addrs[i %% len]")
 		clients   = flag.Int("clients", 16, "concurrent client threads")
 		requests  = flag.Int("requests", 100, "requests per client")
-		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), or empty for -uri")
+		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), insert (unique-key insert storm), or empty for -uri")
 		uri       = flag.String("uri", "/cgi-bin/null", "URI to request when -mix is empty")
 		seed      = flag.Int64("seed", 1, "workload random seed")
+		cost      = flag.Int("cost", 0, "per-request CGI cost in paper milliseconds for -mix insert")
 	)
 	flag.Parse()
 
@@ -52,6 +53,12 @@ func main() {
 			reqs = append(reqs, workload.TraceRequest{URI: rec.URI})
 		}
 		src = workload.SliceSource(addrs, reqs, *clients)
+	case "insert":
+		// Insert-heavy storm: every request is a fresh cacheable key, so each
+		// one executes, inserts, and broadcasts a directory update to every
+		// peer. The target servers must mount a cost-aware CGI at /cgi-bin/adl
+		// (swalad's demo mount: -cgi /cgi-bin/=demo).
+		src = workload.InsertStormSource(addrs, *requests, *cost)
 	case "":
 		src = workload.RepeatSource(addrs, *uri, *requests)
 	default:

@@ -46,14 +46,27 @@ func main() {
 		log.Fatalf("hello: %v", err)
 	}
 
+	// readReply skips broadcast and sync traffic a chatty node might write on
+	// this connection and returns the first direct reply frame.
+	readReply := func() wire.Message {
+		for {
+			msg, err := wc.Read()
+			if err != nil {
+				log.Fatalf("read: %v", err)
+			}
+			switch msg.(type) {
+			case *wire.Insert, *wire.Delete, *wire.DirBatch, *wire.DirSync, *wire.DirSyncReq:
+				continue
+			}
+			return msg
+		}
+	}
+
 	fetchStats := func(seq uint64) *wire.StatsReply {
 		if err := wc.Write(&wire.Stats{Seq: seq}); err != nil {
 			log.Fatalf("stats: %v", err)
 		}
-		msg, err := wc.Read()
-		if err != nil {
-			log.Fatalf("read: %v", err)
-		}
+		msg := readReply()
 		sr, ok := msg.(*wire.StatsReply)
 		if !ok {
 			log.Fatalf("unexpected reply %v", msg.Type())
@@ -74,6 +87,10 @@ func main() {
 		fmt.Printf("false hits:   %d\n", sr.FalseHits)
 		fmt.Printf("inserts:      %d\n", sr.Inserts)
 		fmt.Printf("evictions:    %d\n", sr.Evictions)
+		fmt.Printf("dropped:      %d\n", sr.Dropped)
+		for _, pd := range sr.PeerDrops {
+			fmt.Printf("  to peer %-4d %d\n", pd.Peer, pd.Dropped)
+		}
 		if lookups > 0 {
 			fmt.Printf("hit ratio:    %.1f%%\n", 100*float64(hits)/float64(lookups))
 		}
@@ -114,20 +131,14 @@ func main() {
 		if err := wc.Write(&wire.Ping{Seq: 2}); err != nil {
 			log.Fatalf("invalidate: %v", err)
 		}
-		if _, err := wc.Read(); err != nil {
-			log.Fatalf("invalidate: %v", err)
-		}
+		readReply()
 		fmt.Printf("invalidation for %q delivered\n", pattern)
 	case "ping":
 		start := time.Now()
 		if err := wc.Write(&wire.Ping{Seq: 1}); err != nil {
 			log.Fatalf("ping: %v", err)
 		}
-		msg, err := wc.Read()
-		if err != nil {
-			log.Fatalf("read: %v", err)
-		}
-		if _, ok := msg.(*wire.Pong); !ok {
+		if msg := readReply(); msg.Type() != wire.MsgPong {
 			log.Fatalf("unexpected reply %v", msg.Type())
 		}
 		fmt.Printf("pong in %v\n", time.Since(start))

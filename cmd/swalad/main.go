@@ -57,6 +57,9 @@ func main() {
 		memCache  = flag.Int64("memcache", 0, "in-memory read-cache tier budget in bytes over the store, 0 disables (beyond the paper)")
 		reqTO     = flag.Duration("request-timeout", 0, "end-to-end deadline per request through the whole fetch chain, 0 disables (overruns answer 504)")
 		fetchTO   = flag.Duration("fetch-timeout", 0, "bound on one remote cache fetch; a timeout falls back to local execution (0 = no bound)")
+		batch     = flag.Bool("batch", true, "coalesce directory update broadcasts into batched wire frames")
+		dirSync   = flag.Bool("dir-sync", true, "anti-entropy directory sync: heal dropped broadcasts and reconnect gaps with catch-up snapshots")
+		sendQueue = flag.Int("sendqueue", 0, "per-peer broadcast queue depth (0 = default 1024)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -78,6 +81,10 @@ func main() {
 		MemCacheBytes:  *memCache,
 		RequestTimeout: *reqTO,
 		FetchTimeout:   *fetchTO,
+		SendQueue:      *sendQueue,
+
+		DisableBroadcastBatch: !*batch,
+		DisableDirSync:        !*dirSync,
 	}
 	if *cfgPath != "" {
 		f, err := os.Open(*cfgPath)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/netx"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,24 @@ type Handler interface {
 	HandleStats() wire.StatsReply
 	// HandleInvalidate drops locally owned entries matching the pattern.
 	HandleInvalidate(m *wire.Invalidate)
+}
+
+// DirSyncer is implemented by handlers that speak versioned directory
+// replication: batched update apply plus anti-entropy catch-up sync. It is
+// optional — a handler without it still interoperates: incoming batches are
+// unrolled into HandleInsert/HandleDelete calls and sync frames are skipped.
+type DirSyncer interface {
+	// HandleDirBatch applies a batched run of directory updates.
+	HandleDirBatch(m *wire.DirBatch)
+	// HandleDirSync applies an anti-entropy catch-up from a peer.
+	HandleDirSync(m *wire.DirSync)
+	// DirVersion reports the highest update version applied from owner's
+	// directory table (0 = never seen a versioned update from it).
+	DirVersion(owner uint32) uint64
+	// BuildDirSync assembles a catch-up that brings a replica which last
+	// saw version since up to date with the local table; nil when the
+	// replica is already current.
+	BuildDirSync(since uint64) *wire.DirSync
 }
 
 // NopHandler ignores all events; useful for tests and pseudo-servers.
@@ -83,6 +102,17 @@ type Config struct {
 	// DisableReconnect turns off automatic redial of failed peer links
 	// (links normally reconnect with exponential backoff).
 	DisableReconnect bool
+	// DisableBatching writes (and flushes) every directory update as its
+	// own frame instead of drain-coalescing the send queue into corked
+	// DirBatch frames — the pre-batching wire behaviour, one stream push
+	// per update.
+	DisableBatching bool
+	// DisableSync turns off anti-entropy directory sync (version exchange
+	// on Hello and catch-up snapshots/deltas).
+	DisableSync bool
+	// BatchLimit caps the updates packed into one DirBatch frame
+	// (default 256).
+	BatchLimit int
 	// Logger receives protocol errors; nil discards.
 	Logger *log.Logger
 }
@@ -109,7 +139,26 @@ type Node struct {
 	done         chan struct{} // closed when the node shuts down
 	wg           sync.WaitGroup
 
+	// needFullSync marks peers that lost at least one update to a full
+	// queue since their last sync. It lives on the Node, not the link, so
+	// the debt survives link death and is settled on reconnect.
+	needFullSync map[uint32]bool
+	// peerDrops counts dropped updates per destination peer.
+	peerDrops map[uint32]*atomic.Uint64
+
 	dropped atomic.Uint64 // broadcasts dropped due to full peer queues
+
+	// Replication counters (see stats.ReplicationSnapshot).
+	updates      atomic.Uint64
+	updatesSent  atomic.Uint64
+	batchFrames  atomic.Uint64
+	singleFrames atomic.Uint64
+	flushes      atomic.Uint64
+	syncsSent    atomic.Uint64
+	syncFull     atomic.Uint64
+	syncDelta    atomic.Uint64
+	syncUpdates  atomic.Uint64
+	syncsApplied atomic.Uint64
 }
 
 // NewNode creates a node; call Start to listen and ConnectPeer to join the
@@ -130,6 +179,9 @@ func NewNode(cfg Config, handler Handler) *Node {
 	if cfg.SendQueue <= 0 {
 		cfg.SendQueue = 1024
 	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 256
+	}
 	if handler == nil {
 		handler = NopHandler{}
 	}
@@ -140,6 +192,8 @@ func NewNode(cfg Config, handler Handler) *Node {
 		peerAddrs:    make(map[uint32]string),
 		reconnecting: make(map[uint32]bool),
 		inbound:      make(map[net.Conn]struct{}),
+		needFullSync: make(map[uint32]bool),
+		peerDrops:    make(map[uint32]*atomic.Uint64),
 		done:         make(chan struct{}),
 	}
 }
@@ -213,7 +267,8 @@ func (n *Node) serveInbound(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	if _, ok := first.(*wire.Hello); !ok {
+	hello, ok := first.(*wire.Hello)
+	if !ok {
 		n.logf("inbound connection did not start with hello: %v", first.Type())
 		return
 	}
@@ -227,6 +282,15 @@ func (n *Node) serveInbound(conn net.Conn) {
 		}
 	}
 
+	// Anti-entropy version exchange: tell a (re)connecting node how much of
+	// its directory we have, so it ships the catch-up we are missing. Only
+	// real cluster nodes announce a listen address; administrative clients
+	// (swalactl) do not and are left alone.
+	syncer, hasSyncer := n.handler.(DirSyncer)
+	if hasSyncer && !n.cfg.DisableSync && hello.Addr != "" {
+		reply(&wire.DirSyncReq{Version: syncer.DirVersion(hello.NodeID)})
+	}
+
 	for {
 		msg, err := wc.Read()
 		if err != nil {
@@ -237,6 +301,29 @@ func (n *Node) serveInbound(conn net.Conn) {
 			n.handler.HandleInsert(m)
 		case *wire.Delete:
 			n.handler.HandleDelete(m)
+		case *wire.DirBatch:
+			if hasSyncer {
+				syncer.HandleDirBatch(m)
+				break
+			}
+			// Degrade for handlers that predate batching: unroll into the
+			// single-update callbacks, preserving order.
+			for i := range m.Updates {
+				u := &m.Updates[i]
+				if u.Delete {
+					n.handler.HandleDelete(&wire.Delete{Owner: u.Owner, Key: u.Key})
+				} else {
+					n.handler.HandleInsert(&wire.Insert{
+						Owner: u.Owner, Key: u.Key, Size: u.Size,
+						ExecTime: u.ExecTime, Expires: u.Expires,
+					})
+				}
+			}
+		case *wire.DirSync:
+			if hasSyncer && !n.cfg.DisableSync {
+				syncer.HandleDirSync(m)
+				n.syncsApplied.Add(1)
+			}
 		case *wire.Fetch:
 			// One goroutine per fetch, as in the paper's cacher module.
 			n.wg.Add(1)
@@ -261,14 +348,51 @@ func (n *Node) serveInbound(conn net.Conn) {
 
 // --- outbound peer links ---
 
+// outMsg is one entry in a link's send queue: either a versioned directory
+// update (batchable) or an arbitrary message written as its own frame.
+type outMsg struct {
+	msg      wire.Message
+	update   wire.DirUpdate
+	version  uint64
+	isUpdate bool
+}
+
+// legacy returns the single-frame encoding of a directory update, for peers
+// when batching is disabled.
+func (om *outMsg) legacy() wire.Message {
+	if om.update.Delete {
+		return &wire.Delete{Owner: om.update.Owner, Key: om.update.Key}
+	}
+	return &wire.Insert{
+		Owner: om.update.Owner, Key: om.update.Key, Size: om.update.Size,
+		ExecTime: om.update.ExecTime, Expires: om.update.Expires,
+	}
+}
+
 type peerLink struct {
 	id   uint32
 	conn net.Conn
 	wc   *wire.Conn
 
 	sendMu sync.Mutex // serializes writes to wc
-	queue  chan wire.Message
+	queue  chan outMsg
+	// syncCh (capacity 1) wakes the sender to ship an anti-entropy
+	// catch-up: poked when the peer requests one (DirSyncReq) or when a
+	// queue overflow drops an update toward it.
+	syncCh chan struct{}
 	done   chan struct{} // closed when the link shuts down
+
+	// peerVer tracks the highest directory version the peer is believed to
+	// have from us: seeded by its DirSyncReq, advanced as batches go out.
+	peerVer atomic.Uint64
+
+	// flushes points at the owning node's flush counter so every real
+	// stream push on this link is accounted.
+	flushes *atomic.Uint64
+
+	// scratch buffers reused by the sender's drain-coalesce loop.
+	run   []outMsg
+	batch []wire.DirUpdate
 
 	mu      sync.Mutex
 	pending map[uint64]chan *wire.FetchReply
@@ -277,10 +401,27 @@ type peerLink struct {
 	closed  bool
 }
 
+// advancePeerVer raises peerVer to v, never lowering it.
+func (p *peerLink) advancePeerVer(v uint64) {
+	for {
+		cur := p.peerVer.Load()
+		if v <= cur || p.peerVer.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 func (p *peerLink) send(m wire.Message) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
-	return p.wc.Write(m)
+	if err := p.wc.WriteBuffered(m); err != nil {
+		return err
+	}
+	wrote, err := p.wc.Flush()
+	if wrote && p.flushes != nil {
+		p.flushes.Add(1)
+	}
+	return err
 }
 
 func (p *peerLink) close() {
@@ -357,8 +498,10 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 		id:      peerID,
 		conn:    conn,
 		wc:      wc,
-		queue:   make(chan wire.Message, n.cfg.SendQueue),
+		queue:   make(chan outMsg, n.cfg.SendQueue),
+		syncCh:  make(chan struct{}, 1),
 		done:    make(chan struct{}),
+		flushes: &n.flushes,
 		pending: make(map[uint64]chan *wire.FetchReply),
 		pongs:   make(map[uint64]chan struct{}),
 	}
@@ -374,24 +517,45 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 	}
 	n.peers[peerID] = link
 	n.peerAddrs[peerID] = addr
+	syncDebt := n.needFullSync[peerID]
 	n.mu.Unlock()
 
 	n.wg.Add(2)
 	go n.linkSender(link)
 	go n.linkReader(link)
+	if syncDebt {
+		// Updates were dropped toward this peer before the link (re)came up;
+		// settle with a catch-up even if its DirSyncReq never arrives.
+		select {
+		case link.syncCh <- struct{}{}:
+		default:
+		}
+	}
 	return nil
 }
 
 // linkSender drains the async queue onto the wire. Broadcast updates travel
 // through here so that directory maintenance never blocks request handling
-// (the paper's asynchronous update design).
+// (the paper's asynchronous update design). The writer is corked: the sender
+// drain-coalesces whatever has accumulated in the queue — packing runs of
+// directory updates into DirBatch frames — and flushes only when the queue
+// runs empty. Under light load each update flushes immediately; under an
+// insert storm the flush (one write syscall on TCP) amortizes over the whole
+// drained run.
 func (n *Node) linkSender(link *peerLink) {
 	defer n.wg.Done()
 	for {
 		select {
-		case m := <-link.queue:
-			if err := link.send(m); err != nil {
+		case om := <-link.queue:
+			if err := n.writeCoalesced(link, om); err != nil {
 				n.logf("send to peer %d: %v", link.id, err)
+				link.close()
+				n.scheduleReconnect(link)
+				return
+			}
+		case <-link.syncCh:
+			if err := n.writeSync(link); err != nil {
+				n.logf("sync to peer %d: %v", link.id, err)
 				link.close()
 				n.scheduleReconnect(link)
 				return
@@ -400,6 +564,168 @@ func (n *Node) linkSender(link *peerLink) {
 			return
 		}
 	}
+}
+
+// maxDrain bounds how many queue items one drain pass collects before
+// writing, so a sustained storm cannot grow the in-memory run unboundedly.
+const maxDrain = 1024
+
+// writeCoalesced writes first plus everything else currently queued, corked,
+// and flushes once the queue runs empty. The send mutex is released between
+// rounds so fetches and pings can interleave with a long storm.
+func (n *Node) writeCoalesced(link *peerLink, first outMsg) error {
+	pending := append(link.run[:0], first)
+	defer func() { link.run = pending[:0] }()
+	for {
+	drain:
+		for len(pending) < maxDrain {
+			select {
+			case om := <-link.queue:
+				pending = append(pending, om)
+			default:
+				break drain
+			}
+		}
+		link.sendMu.Lock()
+		err := n.writeRun(link, pending)
+		if err == nil && len(link.queue) == 0 {
+			// Queue ran empty: uncork. A racing enqueue after this check
+			// costs one extra flush, nothing more.
+			var wrote bool
+			wrote, err = link.wc.Flush()
+			if wrote {
+				n.flushes.Add(1)
+			}
+			link.sendMu.Unlock()
+			return err
+		}
+		link.sendMu.Unlock()
+		if err != nil {
+			return err
+		}
+		pending = pending[:0]
+	}
+}
+
+// writeRun writes one drained run: consecutive directory updates are packed
+// into DirBatch frames (split at BatchLimit), other messages go out as their
+// own frames, everything corked until the caller flushes. Callers hold
+// sendMu.
+func (n *Node) writeRun(link *peerLink, run []outMsg) error {
+	batch := link.batch[:0]
+	defer func() { link.batch = batch[:0] }()
+	var ver uint64
+	writeBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := link.wc.WriteBuffered(&wire.DirBatch{
+			Owner:   n.cfg.NodeID,
+			Version: ver,
+			Updates: batch,
+		})
+		n.batchFrames.Add(1)
+		n.updatesSent.Add(uint64(len(batch)))
+		link.advancePeerVer(ver)
+		batch = batch[:0]
+		ver = 0
+		return err
+	}
+	for i := range run {
+		om := &run[i]
+		if om.isUpdate && !n.cfg.DisableBatching {
+			batch = append(batch, om.update)
+			if om.version > ver {
+				ver = om.version
+			}
+			if len(batch) >= n.cfg.BatchLimit {
+				if err := writeBatch(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := writeBatch(); err != nil {
+			return err
+		}
+		m := om.msg
+		if om.isUpdate {
+			// Batching disabled: the paper-faithful one-frame-per-update
+			// path, which any peer understands.
+			m = om.legacy()
+			n.updatesSent.Add(1)
+			n.singleFrames.Add(1)
+			link.advancePeerVer(om.version)
+		}
+		if err := link.wc.WriteBuffered(m); err != nil {
+			return err
+		}
+		if om.isUpdate {
+			// One stream push per update, reproducing the pre-batching wire
+			// behaviour exactly (the baseline the -broadcast bench compares
+			// against).
+			wrote, err := link.wc.Flush()
+			if wrote {
+				n.flushes.Add(1)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return writeBatch()
+}
+
+// writeSync ships an anti-entropy catch-up to the peer. The queue is drained
+// first so the catch-up's version covers every update already on the wire —
+// anything still queued behind it replays idempotently on top.
+func (n *Node) writeSync(link *peerLink) error {
+	syncer, ok := n.handler.(DirSyncer)
+	if !ok || n.cfg.DisableSync {
+		return nil
+	}
+	select {
+	case om := <-link.queue:
+		if err := n.writeCoalesced(link, om); err != nil {
+			return err
+		}
+	default:
+	}
+	n.mu.Lock()
+	full := n.needFullSync[link.id]
+	delete(n.needFullSync, link.id)
+	n.mu.Unlock()
+	since := link.peerVer.Load()
+	if full {
+		// Updates were dropped toward this peer, so versions alone cannot
+		// tell what it is missing: resend authoritative state.
+		since = 0
+	}
+	msg := syncer.BuildDirSync(since)
+	if msg == nil {
+		return nil
+	}
+	link.sendMu.Lock()
+	defer link.sendMu.Unlock()
+	if err := link.wc.WriteBuffered(msg); err != nil {
+		return err
+	}
+	wrote, err := link.wc.Flush()
+	if wrote {
+		n.flushes.Add(1)
+	}
+	if err != nil {
+		return err
+	}
+	n.syncsSent.Add(1)
+	if msg.Full {
+		n.syncFull.Add(1)
+	} else {
+		n.syncDelta.Add(1)
+	}
+	n.syncUpdates.Add(uint64(len(msg.Updates)))
+	link.advancePeerVer(msg.Version)
+	return nil
 }
 
 // linkReader consumes replies on an outbound link.
@@ -428,6 +754,17 @@ func (n *Node) linkReader(link *peerLink) {
 			link.mu.Unlock()
 			if ch != nil {
 				close(ch)
+			}
+		case *wire.DirSyncReq:
+			// The peer told us how much of our directory it has; wake the
+			// sender to ship the difference.
+			if n.cfg.DisableSync {
+				break
+			}
+			link.advancePeerVer(m.Version)
+			select {
+			case link.syncCh <- struct{}{}:
+			default:
 			}
 		default:
 			n.logf("unexpected reply on outbound link to %d: %v", link.id, msg.Type())
@@ -498,11 +835,37 @@ func (n *Node) Peers() []uint32 {
 	return out
 }
 
-// Broadcast enqueues a directory update to every peer without blocking the
-// caller. If a peer's queue is full the update is dropped for that peer and
-// counted; the weak consistency protocol tolerates the resulting staleness
-// (it manifests as a false miss or false hit).
+// Broadcast enqueues a message to every peer without blocking the caller.
+// Insert and Delete messages are converted to unversioned directory updates
+// so they ride the batching path. If a peer's queue is full the message is
+// dropped for that peer and counted; the weak consistency protocol tolerates
+// the resulting staleness (it manifests as a false miss or false hit) and
+// anti-entropy sync later heals it.
 func (n *Node) Broadcast(m wire.Message) {
+	switch t := m.(type) {
+	case *wire.Insert:
+		n.broadcast(outMsg{isUpdate: true, update: wire.DirUpdate{
+			Owner: t.Owner, Key: t.Key, Size: t.Size,
+			ExecTime: t.ExecTime, Expires: t.Expires,
+		}})
+	case *wire.Delete:
+		n.broadcast(outMsg{isUpdate: true, update: wire.DirUpdate{
+			Delete: true, Owner: t.Owner, Key: t.Key,
+		}})
+	default:
+		n.broadcast(outMsg{msg: m})
+	}
+}
+
+// BroadcastUpdate enqueues one versioned directory update to every peer.
+// Callers must present updates in version order (the directory's OnUpdate
+// callback does, holding its lock), which makes per-link queue contents
+// version-ordered — the invariant anti-entropy sync relies on.
+func (n *Node) BroadcastUpdate(u wire.DirUpdate, version uint64) {
+	n.broadcast(outMsg{isUpdate: true, update: u, version: version})
+}
+
+func (n *Node) broadcast(om outMsg) {
 	n.mu.Lock()
 	links := make([]*peerLink, 0, len(n.peers))
 	for _, l := range n.peers {
@@ -511,16 +874,81 @@ func (n *Node) Broadcast(m wire.Message) {
 	n.mu.Unlock()
 	for _, l := range links {
 		select {
-		case l.queue <- m:
+		case l.queue <- om:
+			if om.isUpdate {
+				n.updates.Add(1)
+			}
 		default:
 			n.dropped.Add(1)
-			n.logf("broadcast queue full for peer %d; dropped %v", l.id, m.Type())
+			n.dropCounter(l.id).Add(1)
+			if om.isUpdate && !n.cfg.DisableSync {
+				// The version sequence toward this peer now has a hole;
+				// flag it for a full resync and wake the sender.
+				n.mu.Lock()
+				n.needFullSync[l.id] = true
+				n.mu.Unlock()
+				select {
+				case l.syncCh <- struct{}{}:
+				default:
+				}
+			}
+			n.logf("broadcast queue full for peer %d; dropped %v", l.id, dropKind(om))
 		}
 	}
 }
 
+func dropKind(om outMsg) string {
+	if om.isUpdate {
+		return "dir-update"
+	}
+	return om.msg.Type().String()
+}
+
+func (n *Node) dropCounter(peer uint32) *atomic.Uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := n.peerDrops[peer]
+	if c == nil {
+		c = new(atomic.Uint64)
+		n.peerDrops[peer] = c
+	}
+	return c
+}
+
 // Dropped reports broadcasts dropped due to full peer queues.
 func (n *Node) Dropped() uint64 { return n.dropped.Load() }
+
+// DroppedByPeer returns per-peer dropped-broadcast counts, covering every
+// peer that has lost at least one message.
+func (n *Node) DroppedByPeer() map[uint32]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[uint32]uint64, len(n.peerDrops))
+	for id, c := range n.peerDrops {
+		if v := c.Load(); v > 0 {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// ReplicationStats snapshots the node's broadcast batching and anti-entropy
+// sync counters.
+func (n *Node) ReplicationStats() stats.ReplicationSnapshot {
+	return stats.ReplicationSnapshot{
+		Updates:      n.updates.Load(),
+		UpdatesSent:  n.updatesSent.Load(),
+		BatchFrames:  n.batchFrames.Load(),
+		SingleFrames: n.singleFrames.Load(),
+		Flushes:      n.flushes.Load(),
+		SyncsSent:    n.syncsSent.Load(),
+		SyncFull:     n.syncFull.Load(),
+		SyncDelta:    n.syncDelta.Load(),
+		SyncUpdates:  n.syncUpdates.Load(),
+		SyncsApplied: n.syncsApplied.Load(),
+		Dropped:      n.dropped.Load(),
+	}
+}
 
 // Fetch retrieves a cached body from the peer that owns it. ok=false with a
 // nil error is a false hit: the owner no longer has the entry.

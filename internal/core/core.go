@@ -170,6 +170,17 @@ type Config struct {
 	RequestThreads int
 	// FetchTimeout bounds remote cache fetches.
 	FetchTimeout time.Duration
+	// SendQueue is the per-peer cluster broadcast queue depth (default
+	// 1024). Updates beyond it are dropped (and healed by anti-entropy
+	// sync); small values are mainly useful for overflow testing.
+	SendQueue int
+	// DisableBroadcastBatch writes every directory update broadcast as its
+	// own wire frame instead of drain-coalescing into DirBatch frames.
+	DisableBroadcastBatch bool
+	// DisableDirSync turns off anti-entropy directory sync (the version
+	// exchange on peer connect and the catch-up snapshots that heal
+	// dropped broadcasts and reconnect gaps).
+	DisableDirSync bool
 	// RequestTimeout, when >0, bounds each request end to end: the HTTP
 	// layer derives a deadline from it for the per-request context, and
 	// every stage of the fetch pipeline — CPU reservations, remote peer
@@ -272,12 +283,32 @@ func New(cfg Config) *Server {
 		ErrorLog:       cfg.Logger,
 	})
 	s.clu = cluster.NewNode(cluster.Config{
-		NodeID:       cfg.NodeID,
-		Name:         cfg.Name,
-		Network:      cfg.ClusterNetwork,
-		FetchTimeout: cfg.FetchTimeout,
-		Logger:       cfg.Logger,
+		NodeID:          cfg.NodeID,
+		Name:            cfg.Name,
+		Network:         cfg.ClusterNetwork,
+		FetchTimeout:    cfg.FetchTimeout,
+		SendQueue:       cfg.SendQueue,
+		DisableBatching: cfg.DisableBroadcastBatch,
+		DisableSync:     cfg.DisableDirSync,
+		Logger:          cfg.Logger,
 	}, (*clusterHandler)(s))
+	if cfg.Mode == Cooperative {
+		// Every versioned local directory mutation — insert, replace,
+		// eviction, remove, expiry — is broadcast from here, in version
+		// order (the directory invokes the callback under its local-table
+		// lock). This single choke point replaces per-call-site broadcasts
+		// and is what lets anti-entropy sync reason about what a peer has.
+		s.dir.OnUpdate(func(op directory.SyncOp) {
+			s.clu.BroadcastUpdate(wire.DirUpdate{
+				Delete:   op.Delete,
+				Owner:    s.dir.Self(),
+				Key:      op.Entry.Key,
+				Size:     op.Entry.Size,
+				ExecTime: op.Entry.ExecTime,
+				Expires:  op.Entry.Expires,
+			}, op.Version)
+		})
+	}
 	s.buildPipeline()
 	return s
 }
@@ -395,8 +426,9 @@ func (s *Server) Invalidate(pattern string) int {
 	return n
 }
 
-// invalidateLocal drops matching locally owned entries and broadcasts the
-// per-entry deletions (which keeps the replicated directories converging).
+// invalidateLocal drops matching locally owned entries. The per-entry
+// deletions reach peers through the directory's update callback (which keeps
+// the replicated directories converging).
 func (s *Server) invalidateLocal(pattern string) int {
 	dropped := 0
 	for _, e := range s.dir.SnapshotLocal() {
@@ -410,15 +442,15 @@ func (s *Server) invalidateLocal(pattern string) int {
 		if err := s.store.Delete(e.Key); err != nil {
 			s.logf("invalidate delete %q: %v", e.Key, err)
 		}
-		s.broadcastDelete(e.Key)
 	}
 	return dropped
 }
 
 // PurgeExpired removes expired local entries immediately (the daemon's work
-// item, callable directly in tests with a fake clock). Expired replicas of
-// peer entries are pruned at the same time, without broadcasts — each node
-// prunes its own directory copies.
+// item, callable directly in tests with a fake clock); the deletions reach
+// peers through the directory's update callback. Expired replicas of peer
+// entries are pruned at the same time, without broadcasts — each node prunes
+// its own directory copies.
 func (s *Server) PurgeExpired() int {
 	now := s.clk.Now()
 	keys := s.dir.ExpireLocal(now)
@@ -426,7 +458,6 @@ func (s *Server) PurgeExpired() int {
 		if err := s.store.Delete(key); err != nil {
 			s.logf("purge delete %q: %v", key, err)
 		}
-		s.broadcastDelete(key)
 	}
 	s.dir.ExpireRemote(now)
 	return len(keys)
@@ -529,6 +560,27 @@ func (s *Server) serveStatus() *httpmsg.Response {
 			st.Name, st.Attempts, st.Served, st.Deferred, st.Failed, st.Canceled, st.MeanTime())
 	}
 	fmt.Fprintf(&b, "</table>\n")
+	rs := s.clu.ReplicationStats()
+	fmt.Fprintf(&b, "<h2>Replication</h2><ul>\n")
+	fmt.Fprintf(&b, "<li>directory version: %d</li>\n", s.dir.Version())
+	fmt.Fprintf(&b, "<li>updates enqueued: %d | sent: %d</li>\n", rs.Updates, rs.UpdatesSent)
+	fmt.Fprintf(&b, "<li>batch frames: %d (mean batch %.1f) | single frames: %d</li>\n",
+		rs.BatchFrames, rs.MeanBatch(), rs.SingleFrames)
+	fmt.Fprintf(&b, "<li>wire flushes: %d (%.3f per update)</li>\n", rs.Flushes, rs.FlushesPerUpdate())
+	fmt.Fprintf(&b, "<li>syncs sent: %d (full %d, delta %d, %d updates) | syncs applied: %d</li>\n",
+		rs.SyncsSent, rs.SyncFull, rs.SyncDelta, rs.SyncUpdates, rs.SyncsApplied)
+	fmt.Fprintf(&b, "<li>dropped broadcasts: %d</li>\n", rs.Dropped)
+	if drops := s.clu.DroppedByPeer(); len(drops) > 0 {
+		peers := make([]uint32, 0, len(drops))
+		for id := range drops {
+			peers = append(peers, id)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		for _, id := range peers {
+			fmt.Fprintf(&b, "<li>dropped toward peer %d: %d</li>\n", id, drops[id])
+		}
+	}
+	fmt.Fprintf(&b, "</ul>\n")
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
 	entries := s.dir.SnapshotLocal()
@@ -619,9 +671,10 @@ func (s *Server) execCGI(ctx context.Context, creq cgi.Request) (cgi.Result, tim
 	return s.engine.Exec(ctx, creq)
 }
 
-// insertResult files the result body, inserts directory meta-data, and
-// broadcasts the insert. Evictions forced by the replacement policy are
-// deleted from the store and broadcast as deletes.
+// insertResult files the result body and inserts directory meta-data;
+// evictions forced by the replacement policy are deleted from the store. The
+// insert broadcast and the eviction delete broadcasts ride the directory's
+// update callback.
 func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration, ttl time.Duration) {
 	// A concurrently executed identical request (or a peer's insert racing
 	// our broadcast) may have inserted the key already; the paper calls the
@@ -653,6 +706,8 @@ func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration
 		Inserted: now,
 		Expires:  expires,
 	}
+	// The insert itself and any eviction deletes are broadcast by the
+	// directory's update callback, in version order.
 	evicted := s.dir.InsertLocal(entry, now)
 	s.counters.Insert()
 	for _, victim := range evicted {
@@ -660,22 +715,6 @@ func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration
 		if err := s.store.Delete(victim); err != nil {
 			s.logf("evict delete %q: %v", victim, err)
 		}
-		s.broadcastDelete(victim)
-	}
-	if s.cfg.Mode == Cooperative {
-		s.clu.Broadcast(&wire.Insert{
-			Owner:    s.dir.Self(),
-			Key:      key,
-			Size:     entry.Size,
-			ExecTime: execTime,
-			Expires:  expires,
-		})
-	}
-}
-
-func (s *Server) broadcastDelete(key string) {
-	if s.cfg.Mode == Cooperative {
-		s.clu.Broadcast(&wire.Delete{Owner: s.dir.Self(), Key: key})
 	}
 }
 
@@ -784,6 +823,12 @@ func (h *clusterHandler) HandleInvalidate(m *wire.Invalidate) {
 func (h *clusterHandler) HandleStats() wire.StatsReply {
 	s := h.server()
 	snap := s.counters.Snapshot()
+	drops := s.clu.DroppedByPeer()
+	peerDrops := make([]wire.PeerDrops, 0, len(drops))
+	for id, c := range drops {
+		peerDrops = append(peerDrops, wire.PeerDrops{Peer: id, Dropped: c})
+	}
+	sort.Slice(peerDrops, func(i, j int) bool { return peerDrops[i].Peer < peerDrops[j].Peer })
 	return wire.StatsReply{
 		LocalHits:   snap.LocalHits,
 		RemoteHits:  snap.RemoteHits,
@@ -793,5 +838,80 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 		Inserts:     snap.Inserts,
 		Evictions:   snap.Evictions,
 		Entries:     int64(s.dir.LocalLen()),
+		Dropped:     int64(s.clu.Dropped()),
+		PeerDrops:   peerDrops,
 	}
+}
+
+// --- versioned directory replication (cluster.DirSyncer) ---
+
+// HandleDirBatch implements cluster.DirSyncer: apply a batched run of peer
+// directory updates in order, then record how far into the peer's update
+// stream this replica now is.
+func (h *clusterHandler) HandleDirBatch(m *wire.DirBatch) {
+	s := h.server()
+	now := s.clk.Now()
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		if u.Delete {
+			s.dir.ApplyDelete(u.Owner, u.Key)
+		} else {
+			s.dir.ApplyInsert(directory.Entry{
+				Key:      u.Key,
+				Owner:    u.Owner,
+				Size:     u.Size,
+				ExecTime: u.ExecTime,
+				Expires:  u.Expires,
+			}, now)
+		}
+	}
+	s.dir.AdvancePeerVersion(m.Owner, m.Version)
+}
+
+// HandleDirSync implements cluster.DirSyncer: apply an anti-entropy catch-up
+// (full snapshot or delta) of a peer's directory table.
+func (h *clusterHandler) HandleDirSync(m *wire.DirSync) {
+	s := h.server()
+	ops := make([]directory.SyncOp, len(m.Updates))
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		ops[i] = directory.SyncOp{
+			Delete: u.Delete,
+			Entry: directory.Entry{
+				Key:      u.Key,
+				Owner:    u.Owner,
+				Size:     u.Size,
+				ExecTime: u.ExecTime,
+				Expires:  u.Expires,
+			},
+		}
+	}
+	s.dir.ApplySync(m.Owner, m.Full, ops, m.Version, s.clk.Now())
+}
+
+// DirVersion implements cluster.DirSyncer.
+func (h *clusterHandler) DirVersion(owner uint32) uint64 {
+	return h.server().dir.PeerVersion(owner)
+}
+
+// BuildDirSync implements cluster.DirSyncer: assemble the catch-up for a
+// replica that last saw version since of our local table.
+func (h *clusterHandler) BuildDirSync(since uint64) *wire.DirSync {
+	s := h.server()
+	ops, ver, full, ok := s.dir.SyncSince(since)
+	if !ok {
+		return nil
+	}
+	updates := make([]wire.DirUpdate, len(ops))
+	for i, op := range ops {
+		updates[i] = wire.DirUpdate{
+			Delete:   op.Delete,
+			Owner:    s.dir.Self(),
+			Key:      op.Entry.Key,
+			Size:     op.Entry.Size,
+			ExecTime: op.Entry.ExecTime,
+			Expires:  op.Entry.Expires,
+		}
+	}
+	return &wire.DirSync{Owner: s.dir.Self(), Version: ver, Full: full, Updates: updates}
 }

@@ -180,6 +180,19 @@ func (t *table) snapshot() []Entry {
 	return out
 }
 
+// SyncOp is one versioned local-table mutation, as recorded in the journal
+// and handed to the OnUpdate callback. For deletes only Entry.Key (and
+// Entry.Owner) are meaningful.
+type SyncOp struct {
+	Version uint64
+	Delete  bool
+	Entry   Entry
+}
+
+// journalLimit is how many recent local mutations are kept for delta sync;
+// a replica further behind than this receives a full snapshot instead.
+const journalLimit = 4096
+
 // Directory is one node's replica of the global cache directory.
 // All methods are safe for concurrent use.
 type Directory struct {
@@ -189,10 +202,26 @@ type Directory struct {
 	tables map[uint32]*table
 
 	// localMu guards capacity bookkeeping (policy + capacity) for the local
-	// table. The policy structures are not internally synchronized.
+	// table, the update version, and the journal. The policy structures are
+	// not internally synchronized.
 	localMu  sync.Mutex
 	policy   replacement.Policy
 	capacity int
+
+	// version counts local-table mutations; every insert, replace, delete,
+	// eviction, and expiry bumps it by one. Replicas track the highest
+	// version they have applied, which is what anti-entropy sync compares.
+	version uint64
+	// journal holds the most recent mutations, oldest first, with contiguous
+	// versions ending at version.
+	journal []SyncOp
+	// onUpdate, when set, observes every versioned mutation under localMu.
+	onUpdate func(SyncOp)
+
+	// peerMu guards peerVers: the highest update version applied from each
+	// remote node's table.
+	peerMu   sync.Mutex
+	peerVers map[uint32]uint64
 }
 
 // New creates a directory for node self with the given local capacity (in
@@ -207,9 +236,36 @@ func New(self uint32, capacity int, policy replacement.Policy) *Directory {
 		tables:   make(map[uint32]*table),
 		policy:   policy,
 		capacity: capacity,
+		peerVers: make(map[uint32]uint64),
 	}
 	d.tables[self] = newTable()
 	return d
+}
+
+// OnUpdate registers fn to observe every versioned local-table mutation
+// (insert, replace, delete, eviction, expiry). fn runs with the local-table
+// lock held, in strict version order — this is what lets the cluster layer
+// enqueue broadcasts in version order — so it must be fast and must not call
+// back into the Directory. Set it before the directory sees concurrent use.
+func (d *Directory) OnUpdate(fn func(SyncOp)) {
+	d.localMu.Lock()
+	d.onUpdate = fn
+	d.localMu.Unlock()
+}
+
+// record logs one local mutation. Callers must hold localMu.
+func (d *Directory) record(del bool, e Entry) {
+	d.version++
+	op := SyncOp{Version: d.version, Delete: del, Entry: e}
+	if len(d.journal) >= 2*journalLimit {
+		// Amortized compaction: keep the newest journalLimit ops in place.
+		n := copy(d.journal, d.journal[len(d.journal)-journalLimit:])
+		d.journal = d.journal[:n]
+	}
+	d.journal = append(d.journal, op)
+	if d.onUpdate != nil {
+		d.onUpdate(op)
+	}
 }
 
 // Self returns the owning node's ID.
@@ -284,9 +340,11 @@ func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 
 	if exists {
 		d.policy.Access(e.Key)
+		d.record(false, e)
 		return nil
 	}
 	d.policy.Insert(e.Key, replacement.Meta{Size: e.Size, ExecTime: e.ExecTime})
+	d.record(false, e)
 	if d.capacity > 0 {
 		for d.policy.Len() > d.capacity {
 			victim := d.policy.Evict()
@@ -295,6 +353,7 @@ func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 			}
 			t.remove(victim)
 			evicted = append(evicted, victim)
+			d.record(true, Entry{Key: victim, Owner: d.self})
 		}
 	}
 	return evicted
@@ -314,10 +373,15 @@ func (d *Directory) TouchLocal(key string) {
 // RemoveLocal deletes a locally owned entry (TTL expiry or administrative
 // invalidation). It reports whether the entry existed.
 func (d *Directory) RemoveLocal(key string) bool {
+	t := d.tableFor(d.self, false)
 	d.localMu.Lock()
+	defer d.localMu.Unlock()
 	d.policy.Remove(key)
-	d.localMu.Unlock()
-	return d.tableFor(d.self, false).remove(key)
+	ok := t.remove(key)
+	if ok {
+		d.record(true, Entry{Key: key, Owner: d.self})
+	}
+	return ok
 }
 
 // ApplyInsert merges a peer's broadcast insert into that peer's table.
@@ -351,11 +415,16 @@ func (d *Directory) ApplyDelete(owner uint32, key string) {
 func (d *Directory) ExpireLocal(now time.Time) []string {
 	t := d.tableFor(d.self, false)
 	keys := t.expiredKeys(now)
+	if len(keys) == 0 {
+		return keys
+	}
+	d.localMu.Lock()
+	defer d.localMu.Unlock()
 	for _, k := range keys {
-		d.localMu.Lock()
 		d.policy.Remove(k)
-		d.localMu.Unlock()
-		t.remove(k)
+		if t.remove(k) {
+			d.record(true, Entry{Key: k, Owner: d.self})
+		}
 	}
 	return keys
 }
@@ -392,6 +461,113 @@ func (d *Directory) DropPeer(node uint32) {
 	d.mu.Lock()
 	delete(d.tables, node)
 	d.mu.Unlock()
+	d.peerMu.Lock()
+	delete(d.peerVers, node)
+	d.peerMu.Unlock()
+}
+
+// Version returns the local table's current update version.
+func (d *Directory) Version() uint64 {
+	d.localMu.Lock()
+	defer d.localMu.Unlock()
+	return d.version
+}
+
+// SyncSince assembles the catch-up needed to bring a replica that last saw
+// version since up to date with the local table. When the journal still
+// covers the gap it returns an ordered delta (full=false); when the replica
+// is too far behind — or has never seen this node (since 0), or claims a
+// version from a previous incarnation (since beyond the current version) —
+// it returns a full snapshot of live local entries as insert ops
+// (full=true). ok=false means the replica is already current and nothing
+// needs to be sent.
+func (d *Directory) SyncSince(since uint64) (ops []SyncOp, version uint64, full, ok bool) {
+	d.localMu.Lock()
+	defer d.localMu.Unlock()
+	cur := d.version
+	if since == cur {
+		return nil, cur, false, false
+	}
+	if since != 0 && since < cur {
+		if gap := cur - since; gap <= uint64(len(d.journal)) {
+			start := len(d.journal) - int(gap)
+			ops = append([]SyncOp(nil), d.journal[start:]...)
+			return ops, cur, false, true
+		}
+	}
+	// Full snapshot. Taking stripe read locks under localMu follows the
+	// same lock order as InsertLocal (localMu, then stripes).
+	snap := d.tableFor(d.self, false).snapshot()
+	ops = make([]SyncOp, len(snap))
+	for i, e := range snap {
+		ops[i] = SyncOp{Entry: e}
+	}
+	return ops, cur, true, true
+}
+
+// PeerVersion returns the highest update version applied from owner's table
+// (0 when owner is unknown or unversioned).
+func (d *Directory) PeerVersion(owner uint32) uint64 {
+	d.peerMu.Lock()
+	defer d.peerMu.Unlock()
+	return d.peerVers[owner]
+}
+
+// AdvancePeerVersion records that owner's updates through v have been
+// applied. It never moves the recorded version backwards — late-arriving
+// batches that were already covered by a sync must not regress it.
+func (d *Directory) AdvancePeerVersion(owner uint32, v uint64) {
+	if v == 0 || owner == d.self {
+		return
+	}
+	d.peerMu.Lock()
+	if v > d.peerVers[owner] {
+		d.peerVers[owner] = v
+	}
+	d.peerMu.Unlock()
+}
+
+// ApplySync applies an anti-entropy catch-up for owner's table. With
+// full=true the whole replica is replaced by the snapshot (clearing any
+// stale entries the sender no longer knows about) and the recorded peer
+// version is reset to version outright; otherwise ops is an ordered delta
+// applied on top of the current replica and the version only advances.
+func (d *Directory) ApplySync(owner uint32, full bool, ops []SyncOp, version uint64, now time.Time) {
+	if owner == d.self {
+		return
+	}
+	if full {
+		t := newTable()
+		for _, op := range ops {
+			if op.Delete {
+				continue
+			}
+			e := op.Entry
+			e.Owner = owner
+			if e.Inserted.IsZero() {
+				e.Inserted = now
+			}
+			ec := e
+			t.insert(&ec)
+		}
+		d.mu.Lock()
+		d.tables[owner] = t
+		d.mu.Unlock()
+		d.peerMu.Lock()
+		d.peerVers[owner] = version
+		d.peerMu.Unlock()
+		return
+	}
+	for _, op := range ops {
+		if op.Delete {
+			d.ApplyDelete(owner, op.Entry.Key)
+		} else {
+			e := op.Entry
+			e.Owner = owner
+			d.ApplyInsert(e, now)
+		}
+	}
+	d.AdvancePeerVersion(owner, version)
 }
 
 // LocalLen reports the number of entries in the local table.

@@ -78,6 +78,9 @@ type clusterSpec struct {
 	policy   string // replacement kind; "" = LRU
 	ttl      time.Duration
 	cores    int
+	// mutate, when non-nil, adjusts each node's config just before the
+	// server is built (replication knobs, queue depths, ...).
+	mutate func(i int, cfg *core.Config)
 }
 
 // newSwalaCluster builds n Swala nodes, registers the standard experiment
@@ -111,6 +114,9 @@ func newSwalaCluster(opt Options, spec clusterSpec) (*swalaCluster, error) {
 		}
 		if spec.policy != "" {
 			cfg.Policy = replacement.Kind(spec.policy)
+		}
+		if spec.mutate != nil {
+			spec.mutate(i, &cfg)
 		}
 		s := core.New(cfg)
 		registerExperimentContent(s.Files(), s.CGI(), opt.Scale)

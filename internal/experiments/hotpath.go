@@ -27,6 +27,9 @@ import (
 // directory locking, and pooled wire buffers — so successive PRs can track
 // the performance trajectory from the emitted JSON.
 type HotpathResult struct {
+	// Meta records the runtime environment of the run.
+	Meta Meta `json:"meta"`
+
 	// Coalescing compares a duplicate-heavy miss workload with single-flight
 	// miss coalescing off (the paper's behaviour: every duplicate executes,
 	// counted as false misses) and on (one execution per wave).
@@ -111,6 +114,7 @@ func (p *hotpathCountingCGI) Run(ctx context.Context, req cgi.Request) (cgi.Resu
 func RunHotpath(o Options) (HotpathResult, error) {
 	o = o.withDefaults()
 	var r HotpathResult
+	r.Meta = CollectMeta()
 
 	waves := o.pick(30, 150)
 	const dups = 4

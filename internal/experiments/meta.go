@@ -1,0 +1,19 @@
+package experiments
+
+import "runtime"
+
+// Meta records the runtime environment of a benchmark run. It is embedded in
+// every BENCH_*.json artifact so results from different machines, Go
+// versions, or core counts are never compared apples to oranges.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CollectMeta snapshots the current runtime environment.
+func CollectMeta() Meta {
+	return Meta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

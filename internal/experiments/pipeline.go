@@ -28,6 +28,9 @@ import (
 // The refactor's contract is that the chain stays within 5% of the inline
 // path; the emitted JSON lets successive PRs watch that margin.
 type PipelineResult struct {
+	// Meta records the runtime environment of the run.
+	Meta Meta `json:"meta"`
+
 	// LocalHit times repeated fetches of one locally cached key.
 	LocalHit PipelineComparison `json:"local_hit"`
 	// RemoteHit times repeated fetches of a key owned by a peer node over
@@ -81,6 +84,7 @@ func (r PipelineResult) Render() string {
 func RunPipeline(o Options) (PipelineResult, error) {
 	o = o.withDefaults()
 	var r PipelineResult
+	r.Meta = CollectMeta()
 	ops := o.pick(20000, 200000)
 	if err := pipelineLocalHit(&r, ops); err != nil {
 		return r, err

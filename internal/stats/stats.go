@@ -413,3 +413,50 @@ func (p *PipelineStats) Snapshot() []StageSnapshot {
 	}
 	return out
 }
+
+// ReplicationSnapshot is a point-in-time view of a node's directory
+// replication counters: how many updates were broadcast, how well batching
+// amortized stream writes, and how much anti-entropy sync had to heal.
+type ReplicationSnapshot struct {
+	// Updates is the number of directory updates enqueued toward peers
+	// (one update fanned out to k peers counts k).
+	Updates uint64 `json:"updates"`
+	// UpdatesSent is how many of those actually went out on the wire.
+	UpdatesSent uint64 `json:"updates_sent"`
+	// BatchFrames counts DirBatch frames written.
+	BatchFrames uint64 `json:"batch_frames"`
+	// SingleFrames counts broadcast messages written as their own frame
+	// (unbatchable message types, or batching disabled).
+	SingleFrames uint64 `json:"single_frames"`
+	// Flushes counts real pushes to the underlying stream on outbound
+	// links — the write syscalls on a TCP transport.
+	Flushes uint64 `json:"flushes"`
+	// SyncsSent counts anti-entropy catch-ups shipped, split into full
+	// snapshots and deltas, with the total updates they carried.
+	SyncsSent   uint64 `json:"syncs_sent"`
+	SyncFull    uint64 `json:"sync_full"`
+	SyncDelta   uint64 `json:"sync_delta"`
+	SyncUpdates uint64 `json:"sync_updates"`
+	// SyncsApplied counts catch-ups received and applied from peers.
+	SyncsApplied uint64 `json:"syncs_applied"`
+	// Dropped counts updates discarded because a peer queue was full.
+	Dropped uint64 `json:"dropped"`
+}
+
+// MeanBatch is the average number of updates per batch frame.
+func (r ReplicationSnapshot) MeanBatch() float64 {
+	if r.BatchFrames == 0 {
+		return 0
+	}
+	batched := r.UpdatesSent - r.SingleFrames
+	return float64(batched) / float64(r.BatchFrames)
+}
+
+// FlushesPerUpdate is how many stream pushes each sent update cost; 1.0
+// means every update was its own write, 1/N means N-way amortization.
+func (r ReplicationSnapshot) FlushesPerUpdate() float64 {
+	if r.UpdatesSent == 0 {
+		return 0
+	}
+	return float64(r.Flushes) / float64(r.UpdatesSent)
+}

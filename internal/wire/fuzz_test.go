@@ -21,6 +21,14 @@ func FuzzUnmarshal(f *testing.F) {
 		&Stats{Seq: 1},
 		&StatsReply{Seq: 1, LocalHits: 2, Entries: 3},
 		&Invalidate{Origin: 7, Pattern: "GET /cgi*"},
+		&DirBatch{Owner: 1, Version: 3, Updates: []DirUpdate{
+			{Owner: 1, Key: "GET /a", Size: 9, ExecTime: time.Second},
+			{Delete: true, Owner: 1, Key: "GET /b"},
+		}},
+		&DirSyncReq{Version: 17},
+		&DirSync{Owner: 2, Version: 21, Full: true, Updates: []DirUpdate{
+			{Owner: 2, Key: "GET /c", Size: 4, Expires: time.Unix(3, 0)},
+		}},
 	}
 	for _, m := range msgs {
 		f.Add(Marshal(m)[4:])

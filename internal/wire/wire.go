@@ -52,6 +52,16 @@ const (
 	// a pattern — the application-driven invalidation the paper lists as
 	// future work (Section 4.2, citing Iyengar & Challenger).
 	MsgInvalidate
+	// MsgDirBatch packs a run of directory updates (inserts and deletes) into
+	// one frame so an insert storm costs one write per drained queue instead
+	// of one per update.
+	MsgDirBatch
+	// MsgDirSyncReq asks a peer to bring our replica of its directory table up
+	// to date; Version is the highest update we have seen from it.
+	MsgDirSyncReq
+	// MsgDirSync carries an anti-entropy catch-up: either a delta of missed
+	// updates or a full snapshot of the sender's local directory table.
+	MsgDirSync
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +87,12 @@ func (t MsgType) String() string {
 		return "stats-reply"
 	case MsgInvalidate:
 		return "invalidate"
+	case MsgDirBatch:
+		return "dir-batch"
+	case MsgDirSyncReq:
+		return "dir-sync-req"
+	case MsgDirSync:
+		return "dir-sync"
 	default:
 		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
 	}
@@ -181,6 +197,12 @@ type Stats struct{ Seq uint64 }
 // Type implements Message.
 func (*Stats) Type() MsgType { return MsgStats }
 
+// PeerDrops reports broadcast updates dropped toward one peer.
+type PeerDrops struct {
+	Peer    uint32
+	Dropped uint64
+}
+
 // StatsReply carries a node's cache counters.
 type StatsReply struct {
 	Seq         uint64
@@ -192,6 +214,11 @@ type StatsReply struct {
 	Inserts     int64
 	Evictions   int64
 	Entries     int64
+	// Dropped counts broadcast updates discarded because a peer send queue
+	// was full; anti-entropy sync heals the resulting directory gaps.
+	Dropped int64
+	// PeerDrops breaks Dropped down by destination peer.
+	PeerDrops []PeerDrops
 }
 
 // Type implements Message.
@@ -210,6 +237,55 @@ type Invalidate struct {
 
 // Type implements Message.
 func (*Invalidate) Type() MsgType { return MsgInvalidate }
+
+// DirUpdate is one directory mutation inside a DirBatch or DirSync frame:
+// an Insert (Delete false) or a Delete (Delete true, meta fields unused).
+type DirUpdate struct {
+	Delete   bool
+	Owner    uint32
+	Key      string
+	Size     int64
+	ExecTime time.Duration
+	Expires  time.Time
+}
+
+// DirBatch packs a run of directory updates from one sender into a single
+// frame. Version is the sender's directory version after the last update in
+// the batch (0 when the sender does not version its updates).
+type DirBatch struct {
+	Owner   uint32
+	Version uint64
+	Updates []DirUpdate
+}
+
+// Type implements Message.
+func (*DirBatch) Type() MsgType { return MsgDirBatch }
+
+// DirSyncReq is sent by the accepting side of a peer link after Hello: it
+// tells the dialing node the highest directory version the receiver has
+// recorded for it, so the dialer can ship a catch-up DirSync.
+type DirSyncReq struct {
+	// Version is the receiver's recorded version of the dialer's table;
+	// 0 means the receiver has never seen a versioned update from it.
+	Version uint64
+}
+
+// Type implements Message.
+func (*DirSyncReq) Type() MsgType { return MsgDirSyncReq }
+
+// DirSync is an anti-entropy catch-up for one node's directory table. When
+// Full is true the receiver replaces its whole replica of Owner's table with
+// Updates (all inserts); otherwise Updates is an ordered delta to apply on
+// top of the receiver's current replica.
+type DirSync struct {
+	Owner   uint32
+	Version uint64
+	Full    bool
+	Updates []DirUpdate
+}
+
+// Type implements Message.
+func (*DirSync) Type() MsgType { return MsgDirSync }
 
 // --- encoding ---
 
@@ -429,6 +505,12 @@ func (m *StatsReply) encode(e *encoder) {
 	e.i64(m.Inserts)
 	e.i64(m.Evictions)
 	e.i64(m.Entries)
+	e.i64(m.Dropped)
+	e.u32(uint32(len(m.PeerDrops)))
+	for _, pd := range m.PeerDrops {
+		e.u32(pd.Peer)
+		e.u64(pd.Dropped)
+	}
 }
 
 func (m *StatsReply) decode(d *decoder) error {
@@ -441,6 +523,23 @@ func (m *StatsReply) decode(d *decoder) error {
 	m.Inserts = d.i64()
 	m.Evictions = d.i64()
 	m.Entries = d.i64()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating the drop counters.
+		return nil
+	}
+	m.Dropped = d.i64()
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > (len(d.buf)-d.off)/12 {
+		d.fail()
+		return d.err
+	}
+	if n > 0 {
+		m.PeerDrops = make([]PeerDrops, n)
+		for i := range m.PeerDrops {
+			m.PeerDrops[i].Peer = d.u32()
+			m.PeerDrops[i].Dropped = d.u64()
+		}
+	}
 	return d.finish()
 }
 
@@ -452,6 +551,83 @@ func (m *Invalidate) encode(e *encoder) {
 func (m *Invalidate) decode(d *decoder) error {
 	m.Origin = d.u32()
 	m.Pattern = d.str()
+	return d.finish()
+}
+
+// dirUpdateMinSize is the smallest possible encoding of one DirUpdate
+// (empty key); it bounds how many updates a frame of a given size can hold,
+// so a corrupt count cannot force a huge allocation.
+const dirUpdateMinSize = 1 + 4 + 4 + 8 + 8 + 8
+
+func (e *encoder) dirUpdate(u *DirUpdate) {
+	e.boolean(u.Delete)
+	e.u32(u.Owner)
+	e.str(u.Key)
+	e.i64(u.Size)
+	e.i64(int64(u.ExecTime))
+	e.timeVal(u.Expires)
+}
+
+func (d *decoder) dirUpdate(u *DirUpdate) {
+	u.Delete = d.boolean()
+	u.Owner = d.u32()
+	u.Key = d.str()
+	u.Size = d.i64()
+	u.ExecTime = time.Duration(d.i64())
+	u.Expires = d.timeVal()
+}
+
+func (d *decoder) dirUpdates() []DirUpdate {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > (len(d.buf)-d.off)/dirUpdateMinSize {
+		d.fail()
+		return nil
+	}
+	updates := make([]DirUpdate, n)
+	for i := range updates {
+		d.dirUpdate(&updates[i])
+	}
+	return updates
+}
+
+func (m *DirBatch) encode(e *encoder) {
+	e.u32(m.Owner)
+	e.u64(m.Version)
+	e.u32(uint32(len(m.Updates)))
+	for i := range m.Updates {
+		e.dirUpdate(&m.Updates[i])
+	}
+}
+
+func (m *DirBatch) decode(d *decoder) error {
+	m.Owner = d.u32()
+	m.Version = d.u64()
+	m.Updates = d.dirUpdates()
+	return d.finish()
+}
+
+func (m *DirSyncReq) encode(e *encoder) { e.u64(m.Version) }
+
+func (m *DirSyncReq) decode(d *decoder) error {
+	m.Version = d.u64()
+	return d.finish()
+}
+
+func (m *DirSync) encode(e *encoder) {
+	e.u32(m.Owner)
+	e.u64(m.Version)
+	e.boolean(m.Full)
+	e.u32(uint32(len(m.Updates)))
+	for i := range m.Updates {
+		e.dirUpdate(&m.Updates[i])
+	}
+}
+
+func (m *DirSync) decode(d *decoder) error {
+	m.Owner = d.u32()
+	m.Version = d.u64()
+	m.Full = d.boolean()
+	m.Updates = d.dirUpdates()
 	return d.finish()
 }
 
@@ -511,6 +687,12 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = &StatsReply{}
 	case MsgInvalidate:
 		m = &Invalidate{}
+	case MsgDirBatch:
+		m = &DirBatch{}
+	case MsgDirSyncReq:
+		m = &DirSyncReq{}
+	case MsgDirSync:
+		m = &DirSync{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, payload[0])
 	}
@@ -585,21 +767,48 @@ func ReadMessage(r io.Reader) (Message, error) {
 	return m, err
 }
 
-// Conn wraps a byte stream with buffered, mutex-free message reading. Writes
+// Conn wraps a byte stream with buffered, mutex-free message reading and a
+// buffered, corked writer: WriteBuffered queues a frame without touching the
+// underlying stream, and Flush pushes everything queued in one write. Write
+// keeps the old write-through semantics (buffer + immediate flush). Writes
 // must be externally serialized by the caller (the cluster peer link does
 // this with a send mutex).
 type Conn struct {
 	r *bufio.Reader
-	w io.Writer
+	w *bufio.Writer
 }
 
 // NewConn wraps rw for message exchange.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{r: bufio.NewReaderSize(rw, 32<<10), w: rw}
+	return &Conn{
+		r: bufio.NewReaderSize(rw, 32<<10),
+		w: bufio.NewWriterSize(rw, 32<<10),
+	}
 }
 
 // Read reads the next message.
 func (c *Conn) Read() (Message, error) { return ReadMessage(c.r) }
 
-// Write writes one message.
-func (c *Conn) Write(m Message) error { return WriteMessage(c.w, m) }
+// Write writes one message and flushes it to the stream.
+func (c *Conn) Write(m Message) error {
+	if err := WriteMessage(c.w, m); err != nil {
+		return err
+	}
+	_, err := c.Flush()
+	return err
+}
+
+// WriteBuffered queues one message in the write buffer without flushing.
+// Frames larger than the buffer spill through to the stream directly
+// (bufio semantics), so corking never grows memory unboundedly.
+func (c *Conn) WriteBuffered(m Message) error { return WriteMessage(c.w, m) }
+
+// Flush writes any corked frames to the underlying stream. It reports
+// whether data was actually pushed (false when the buffer was empty), which
+// lets callers count real stream writes.
+func (c *Conn) Flush() (bool, error) {
+	if c.w.Buffered() == 0 {
+		return false, nil
+	}
+	return true, c.w.Flush()
+}

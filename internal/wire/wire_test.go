@@ -97,6 +97,140 @@ func TestRoundTripControlMessages(t *testing.T) {
 	}
 }
 
+func TestRoundTripDirBatch(t *testing.T) {
+	in := &DirBatch{
+		Owner:   4,
+		Version: 1234,
+		Updates: []DirUpdate{
+			{Owner: 4, Key: "GET /cgi-bin/a", Size: 100, ExecTime: time.Second, Expires: time.Unix(99, 0)},
+			{Delete: true, Owner: 4, Key: "GET /cgi-bin/b"},
+			{Owner: 4, Key: "GET /cgi-bin/c", Size: 7},
+		},
+	}
+	got := roundTrip(t, in).(*DirBatch)
+	if got.Owner != in.Owner || got.Version != in.Version || len(got.Updates) != len(in.Updates) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	for i := range in.Updates {
+		w, g := in.Updates[i], got.Updates[i]
+		if g.Delete != w.Delete || g.Owner != w.Owner || g.Key != w.Key ||
+			g.Size != w.Size || g.ExecTime != w.ExecTime || !g.Expires.Equal(w.Expires) {
+			t.Fatalf("update %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestRoundTripDirBatchEmpty(t *testing.T) {
+	in := &DirBatch{Owner: 1, Version: 5}
+	got := roundTrip(t, in).(*DirBatch)
+	if got.Owner != 1 || got.Version != 5 || len(got.Updates) != 0 {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripDirSync(t *testing.T) {
+	in := &DirSync{
+		Owner:   2,
+		Version: 88,
+		Full:    true,
+		Updates: []DirUpdate{
+			{Owner: 2, Key: "GET /k1", Size: 1},
+			{Owner: 2, Key: "GET /k2", Size: 2, Expires: time.Unix(7, 0)},
+		},
+	}
+	got := roundTrip(t, in).(*DirSync)
+	if got.Owner != in.Owner || got.Version != in.Version || got.Full != in.Full ||
+		len(got.Updates) != 2 || got.Updates[1].Key != "GET /k2" {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripDirSyncReq(t *testing.T) {
+	in := &DirSyncReq{Version: 41}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestDirBatchBogusCountRejected(t *testing.T) {
+	// A frame claiming 2^31 updates in a tiny payload must fail fast
+	// instead of allocating.
+	frame := Marshal(&DirBatch{Owner: 1, Version: 1})
+	payload := frame[4:]
+	// Count field sits after type byte + owner u32 + version u64.
+	binary.BigEndian.PutUint32(payload[1+4+8:], 1<<31-1)
+	if _, err := Unmarshal(payload); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestStatsReplyPeerDrops(t *testing.T) {
+	in := &StatsReply{
+		Seq: 9, LocalHits: 1, Entries: 2, Dropped: 12,
+		PeerDrops: []PeerDrops{{Peer: 2, Dropped: 5}, {Peer: 3, Dropped: 7}},
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestStatsReplyDecodesLegacyFrame(t *testing.T) {
+	// A StatsReply frame from before the drop counters (fields end at
+	// Entries) must still decode, with the new fields zero.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgStatsReply))
+	e.u64(3)
+	for _, v := range []int64{10, 4, 2, 1, 1, 12, 3, 9} {
+		e.i64(v)
+	}
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	got, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	sr := got.(*StatsReply)
+	if sr.Seq != 3 || sr.LocalHits != 10 || sr.Entries != 9 {
+		t.Fatalf("got %+v", sr)
+	}
+	if sr.Dropped != 0 || sr.PeerDrops != nil {
+		t.Fatalf("legacy frame produced drop stats: %+v", sr)
+	}
+}
+
+func TestConnCorkedWrites(t *testing.T) {
+	var buf bytes.Buffer
+	conn := NewConn(&buf)
+	for i := 0; i < 5; i++ {
+		if err := conn.WriteBuffered(&Ping{Seq: uint64(i)}); err != nil {
+			t.Fatalf("WriteBuffered: %v", err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("corked writes reached the stream: %d bytes", buf.Len())
+	}
+	wrote, err := conn.Flush()
+	if err != nil || !wrote {
+		t.Fatalf("Flush = (%v, %v), want (true, nil)", wrote, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("flush pushed no bytes")
+	}
+	for i := 0; i < 5; i++ {
+		m, err := conn.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if p, ok := m.(*Ping); !ok || p.Seq != uint64(i) {
+			t.Fatalf("message %d = %+v", i, m)
+		}
+	}
+	// An empty flush must report that nothing was written.
+	if wrote, err := conn.Flush(); wrote || err != nil {
+		t.Fatalf("empty Flush = (%v, %v), want (false, nil)", wrote, err)
+	}
+}
+
 func TestUnmarshalUnknownType(t *testing.T) {
 	_, err := Unmarshal([]byte{0xEE, 1, 2, 3})
 	if !errors.Is(err, ErrUnknownType) {
@@ -233,6 +367,9 @@ func TestMsgTypeString(t *testing.T) {
 		MsgStats:      "stats",
 		MsgStatsReply: "stats-reply",
 		MsgInvalidate: "invalidate",
+		MsgDirBatch:   "dir-batch",
+		MsgDirSyncReq: "dir-sync-req",
+		MsgDirSync:    "dir-sync",
 		MsgType(200):  "wire.MsgType(200)",
 	}
 	for in, want := range cases {

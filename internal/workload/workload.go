@@ -238,6 +238,21 @@ func UniqueSource(addr string, perClient int, costMillis int) Source {
 	}
 }
 
+// InsertStormSource issues globally unique cacheable requests spread across
+// every node — an insert-heavy workload (each request is a miss plus insert
+// plus directory broadcast) that stresses directory replication on all links
+// at once. Client i targets addrs[i % len(addrs)]; keys never repeat across
+// clients or nodes.
+func InsertStormSource(addrs []string, perClient int, costMillis int) Source {
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		uri := fmt.Sprintf("/cgi-bin/adl?q=storm-c%d-s%d&cost=%d", client, seq, costMillis)
+		return addrs[client%len(addrs)], uri, true
+	}
+}
+
 // UncacheableSource issues unique uncacheable requests (path chosen to miss
 // the cacheability rules) — the Table 4 directory-maintenance load.
 func UncacheableSource(addr string, perClient int, costMillis int) Source {
