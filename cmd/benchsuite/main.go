@@ -118,6 +118,7 @@ func main() {
 		hotpath   = flag.String("hotpath", "", "run the hot-path optimisation comparison and write JSON to this file instead of the paper suite")
 		pipeline  = flag.String("pipeline", "", "run the fetch-pipeline overhead comparison and write JSON to this file instead of the paper suite")
 		broadcast = flag.String("broadcast", "", "run the directory-replication batching comparison and write JSON to this file instead of the paper suite")
+		faults    = flag.String("faults", "", "run the fault-injection schedule (hang/partition/rejoin) and write JSON to this file instead of the paper suite")
 	)
 	flag.Parse()
 
@@ -145,6 +146,13 @@ func main() {
 	if *broadcast != "" {
 		if err := runBroadcast(*broadcast, *quick, *seed); err != nil {
 			log.Fatalf("broadcast failed: %v", err)
+		}
+		return
+	}
+
+	if *faults != "" {
+		if err := runFaults(*faults, *quick, *seed); err != nil {
+			log.Fatalf("faults failed: %v", err)
 		}
 		return
 	}
@@ -228,6 +236,35 @@ func runBroadcast(path string, quick bool, seed int64) error {
 	}
 	fmt.Print(r.Render())
 	fmt.Printf("(broadcast in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runFaults measures hit ratio and request latency through a hang /
+// partition / rejoin schedule on an 8-node group with the failure detector
+// on, against the paper's reactive-only fallback, and writes a
+// machine-readable JSON report. The headline criteria: requests mapping to a
+// dead node's entries cost within 2x the ordinary miss path (vs a full
+// FetchTimeout without the detector), and the hit ratio recovers to within
+// one point of the clean baseline after rejoin and resync.
+func runFaults(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala fault-injection schedule — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunFaults(experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(faults in %v)\n", time.Since(start).Round(time.Millisecond))
 
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -25,10 +25,11 @@ func main() {
 		addrsFlag = flag.String("addrs", "localhost:8080", "comma-separated server addresses; client i targets addrs[i %% len]")
 		clients   = flag.Int("clients", 16, "concurrent client threads")
 		requests  = flag.Int("requests", 100, "requests per client")
-		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), insert (unique-key insert storm), or empty for -uri")
+		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), insert (unique-key insert storm), hotset (fixed-key hit-ratio load), or empty for -uri")
 		uri       = flag.String("uri", "/cgi-bin/null", "URI to request when -mix is empty")
 		seed      = flag.Int64("seed", 1, "workload random seed")
-		cost      = flag.Int("cost", 0, "per-request CGI cost in paper milliseconds for -mix insert")
+		cost      = flag.Int("cost", 0, "per-request CGI cost in paper milliseconds for -mix insert/hotset")
+		hotKeys   = flag.Int("hotkeys", 256, "size of the fixed key set for -mix hotset")
 	)
 	flag.Parse()
 
@@ -59,6 +60,11 @@ func main() {
 		// peer. The target servers must mount a cost-aware CGI at /cgi-bin/adl
 		// (swalad's demo mount: -cgi /cgi-bin/=demo).
 		src = workload.InsertStormSource(addrs, *requests, *cost)
+	case "hotset":
+		// Steady-state hit-ratio load: draws repeat over a fixed cacheable key
+		// set, so the measured hit ratio tracks directory health through node
+		// failures and rejoins. Requires a cost-aware CGI at /cgi-bin/adl.
+		src = workload.HotSetSource(addrs, *hotKeys, *requests, *cost, *seed)
 	case "":
 		src = workload.RepeatSource(addrs, *uri, *requests)
 	default:

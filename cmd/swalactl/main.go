@@ -94,6 +94,12 @@ func main() {
 		if lookups > 0 {
 			fmt.Printf("hit ratio:    %.1f%%\n", 100*float64(hits)/float64(lookups))
 		}
+		if len(sr.Health) > 0 {
+			fmt.Printf("peer health:\n")
+			for _, ph := range sr.Health {
+				fmt.Printf("  peer %-4d %-8s fails=%d\n", ph.Peer, healthState(ph.State), ph.Fails)
+			}
+		}
 	case "watch":
 		// One line per interval with deltas, like vmstat.
 		fmt.Printf("%8s %8s %8s %8s %8s %8s\n",
@@ -144,5 +150,19 @@ func main() {
 		fmt.Printf("pong in %v\n", time.Since(start))
 	default:
 		log.Fatalf("unknown command %q (want stats or ping)", cmd)
+	}
+}
+
+// healthState names the wire encoding of a peer's failure-detector state.
+func healthState(s uint8) string {
+	switch s {
+	case 0:
+		return "alive"
+	case 1:
+		return "suspect"
+	case 2:
+		return "dead"
+	default:
+		return "unknown"
 	}
 }

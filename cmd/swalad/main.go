@@ -60,6 +60,11 @@ func main() {
 		batch     = flag.Bool("batch", true, "coalesce directory update broadcasts into batched wire frames")
 		dirSync   = flag.Bool("dir-sync", true, "anti-entropy directory sync: heal dropped broadcasts and reconnect gaps with catch-up snapshots")
 		sendQueue = flag.Int("sendqueue", 0, "per-peer broadcast queue depth (0 = default 1024)")
+		health    = flag.Bool("health", true, "heartbeat failure detector: quarantine dead peers' directory entries instead of timing out every fetch (-health=false restores exact paper semantics)")
+		probeIvl  = flag.Duration("probe-interval", 0, "failure-detector heartbeat period (0 = default 1s)")
+		probeTO   = flag.Duration("probe-timeout", 0, "bound on one heartbeat round trip (0 = default 1s, clamped to probe-interval)")
+		suspAfter = flag.Int("suspect-after", 0, "consecutive probe failures before a peer is suspect (0 = default 2)")
+		deadAfter = flag.Int("dead-after", 0, "consecutive probe failures before a peer is dead and quarantined (0 = default 5)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -85,6 +90,12 @@ func main() {
 
 		DisableBroadcastBatch: !*batch,
 		DisableDirSync:        !*dirSync,
+
+		DisableHealth:       !*health,
+		HealthProbeInterval: *probeIvl,
+		HealthProbeTimeout:  *probeTO,
+		HealthSuspectAfter:  *suspAfter,
+		HealthDeadAfter:     *deadAfter,
 	}
 	if *cfgPath != "" {
 		f, err := os.Open(*cfgPath)

@@ -113,6 +113,15 @@ type Config struct {
 	// BatchLimit caps the updates packed into one DirBatch frame
 	// (default 256).
 	BatchLimit int
+	// Health tunes the peer failure detector (see HealthConfig). The zero
+	// value enables it with conservative defaults; set Health.Disable for
+	// the paper's reactive-only failure handling.
+	Health HealthConfig
+	// OnPeerState, when set, observes failure-detector transitions (alive →
+	// suspect → dead and back). It runs with the detector lock held so one
+	// peer's transitions arrive in order; it must be fast and must not call
+	// back into the Node.
+	OnPeerState func(peer uint32, state PeerState)
 	// Logger receives protocol errors; nil discards.
 	Logger *log.Logger
 }
@@ -145,6 +154,10 @@ type Node struct {
 	needFullSync map[uint32]bool
 	// peerDrops counts dropped updates per destination peer.
 	peerDrops map[uint32]*atomic.Uint64
+
+	// healthMu guards health: the failure detector's per-peer records.
+	healthMu sync.Mutex
+	health   map[uint32]*peerHealth
 
 	dropped atomic.Uint64 // broadcasts dropped due to full peer queues
 
@@ -182,6 +195,7 @@ func NewNode(cfg Config, handler Handler) *Node {
 	if cfg.BatchLimit <= 0 {
 		cfg.BatchLimit = 256
 	}
+	cfg.Health.setDefaults()
 	if handler == nil {
 		handler = NopHandler{}
 	}
@@ -194,6 +208,7 @@ func NewNode(cfg Config, handler Handler) *Node {
 		inbound:      make(map[net.Conn]struct{}),
 		needFullSync: make(map[uint32]bool),
 		peerDrops:    make(map[uint32]*atomic.Uint64),
+		health:       make(map[uint32]*peerHealth),
 		done:         make(chan struct{}),
 	}
 }
@@ -215,6 +230,10 @@ func (n *Node) Start(addr string) error {
 
 	n.wg.Add(1)
 	go n.acceptLoop(l)
+	if !n.cfg.Health.Disable {
+		n.wg.Add(1)
+		go n.probeLoop()
+	}
 	return nil
 }
 
@@ -433,6 +452,11 @@ func (p *peerLink) close() {
 	p.closed = true
 	pending := p.pending
 	p.pending = make(map[uint64]chan *wire.FetchReply)
+	// Pong channels are closed by the reader on success only; ping waiters
+	// blocked at teardown are woken by the done channel below (closing them
+	// here would be indistinguishable from a pong). Dropping the map just
+	// unpins the memory.
+	p.pongs = make(map[uint64]chan struct{})
 	p.mu.Unlock()
 	close(p.done)
 	p.conn.Close()
@@ -465,15 +489,40 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 	var conn net.Conn
 	var err error
 	for {
+		// Cancellation wins over a ready retry tick: the select below picks
+		// randomly among ready cases, so without this check a cancelled
+		// connect could still issue one more dial.
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("cluster: dial peer %d at %s: %w", peerID, addr, cerr)
+		}
+		select {
+		case <-n.done:
+			return ErrClosed
+		default:
+		}
 		conn, err = n.cfg.Network.Dial(addr)
 		if err == nil {
+			// The context may have been cancelled while the dial was in
+			// flight; a link registered after cancellation would outlive the
+			// caller's intent, so give the connection back.
+			if cerr := ctx.Err(); cerr != nil {
+				conn.Close()
+				return fmt.Errorf("cluster: dial peer %d at %s: %w", peerID, addr, cerr)
+			}
 			break
 		}
-		// The retry timer's channel is drained on every loop iteration (the
-		// only path that continues the loop), so Reset is race-free.
 		if retry == nil {
 			retry = time.NewTimer(20 * time.Millisecond)
 		} else {
+			// Drain a fired-but-unread timer before Reset; a stale tick
+			// would make the next wait fire immediately and turn the retry
+			// loop into a busy spin.
+			if !retry.Stop() {
+				select {
+				case <-retry.C:
+				default:
+				}
+			}
 			retry.Reset(20 * time.Millisecond)
 		}
 		select {
@@ -703,7 +752,12 @@ func (n *Node) writeSync(link *peerLink) error {
 	}
 	msg := syncer.BuildDirSync(since)
 	if msg == nil {
-		return nil
+		// The peer is already current. Still send an empty delta at the
+		// current version: a rejoining peer that quarantined our entries
+		// while we were gone needs a convergence signal to lift the
+		// quarantine, and with nothing to catch up this ack is the only
+		// DirSync it would ever see.
+		msg = &wire.DirSync{Owner: n.cfg.NodeID, Version: since}
 	}
 	link.sendMu.Lock()
 	defer link.sendMu.Unlock()
@@ -735,6 +789,7 @@ func (n *Node) linkReader(link *peerLink) {
 		msg, err := link.wc.Read()
 		if err != nil {
 			link.close()
+			n.noteLinkDown(link.id)
 			n.scheduleReconnect(link)
 			return
 		}
@@ -963,6 +1018,13 @@ func (n *Node) ReplicationStats() stats.ReplicationSnapshot {
 // false-hit fallback and aborting the request — by inspecting its own
 // context.
 func (n *Node) Fetch(ctx context.Context, owner uint32, key string) (contentType string, body []byte, ok bool, err error) {
+	if n.PeerState(owner) == PeerDead {
+		// The failure detector has declared the owner dead: fail fast so the
+		// caller degrades to local execution immediately instead of paying
+		// FetchTimeout. (The prober keeps pinging, so a recovered peer is
+		// marked alive again without fetch traffic.)
+		return "", nil, false, fmt.Errorf("%w: %d (peer dead)", ErrNoPeer, owner)
+	}
 	n.mu.Lock()
 	link := n.peers[owner]
 	n.mu.Unlock()
@@ -1016,6 +1078,22 @@ func ctxFetchErr(err error) error {
 	return fmt.Errorf("cluster: fetch canceled: %w", err)
 }
 
+// RecyclePeer tears down the outbound link to peer (if any); the automatic
+// reconnect then performs a fresh Hello — and with it the anti-entropy
+// version exchange. The server layer uses this when a dead peer turns alive
+// again without its links ever having died (a hung host that recovers): no
+// reconnect would otherwise happen, so no DirSyncReq would be exchanged and
+// updates lost during the outage would never be healed.
+func (n *Node) RecyclePeer(peer uint32) {
+	n.mu.Lock()
+	link := n.peers[peer]
+	n.mu.Unlock()
+	if link != nil {
+		n.logf("recycling link to peer %d for a fresh sync exchange", peer)
+		link.close()
+	}
+}
+
 // Ping round-trips a liveness probe to a peer, bounded by ctx and the node's
 // FetchTimeout (whichever fires first).
 func (n *Node) Ping(ctx context.Context, peer uint32) error {
@@ -1031,6 +1109,10 @@ func (n *Node) Ping(ctx context.Context, peer uint32) error {
 		defer cancel()
 	}
 	link.mu.Lock()
+	if link.closed {
+		link.mu.Unlock()
+		return fmt.Errorf("%w: %d (link closed)", ErrNoPeer, peer)
+	}
 	link.nextSeq++
 	seq := link.nextSeq
 	ch := make(chan struct{})
@@ -1048,6 +1130,17 @@ func (n *Node) Ping(ctx context.Context, peer uint32) error {
 	select {
 	case <-ch:
 		return nil
+	case <-link.done:
+		// The reader tore the link down with our ping in flight. Unlike
+		// fetch waiters (whose pending channels are closed on teardown), a
+		// closed pong channel would read as success, so teardown is signalled
+		// through the link's done channel instead — without this case the
+		// waiter would strand until ctx (worst case FetchTimeout) despite the
+		// answer already being knowable: the peer is unreachable.
+		link.mu.Lock()
+		delete(link.pongs, seq)
+		link.mu.Unlock()
+		return fmt.Errorf("%w: %d (link closed)", ErrNoPeer, peer)
 	case <-ctx.Done():
 		link.mu.Lock()
 		delete(link.pongs, seq)

@@ -181,6 +181,23 @@ type Config struct {
 	// exchange on peer connect and the catch-up snapshots that heal
 	// dropped broadcasts and reconnect gaps).
 	DisableDirSync bool
+	// DisableHealth turns off the peer failure detector and directory
+	// quarantine: remote fetches to a dead peer then fail only by timing
+	// out and falling back to local execution — the paper's exact reactive
+	// failure handling (swalad -health=false).
+	DisableHealth bool
+	// HealthProbeInterval is the failure detector's heartbeat period
+	// (default 1s).
+	HealthProbeInterval time.Duration
+	// HealthProbeTimeout bounds one probe round trip (default 1s, clamped
+	// to the probe interval).
+	HealthProbeTimeout time.Duration
+	// HealthSuspectAfter is how many consecutive probe failures mark a peer
+	// suspect (default 2).
+	HealthSuspectAfter int
+	// HealthDeadAfter is how many consecutive probe failures declare a peer
+	// dead and quarantine its directory entries (default 5).
+	HealthDeadAfter int
 	// RequestTimeout, when >0, bounds each request end to end: the HTTP
 	// layer derives a deadline from it for the per-request context, and
 	// every stage of the fetch pipeline — CPU reservations, remote peer
@@ -221,6 +238,15 @@ type Server struct {
 
 	inflightMu sync.Mutex
 	inflight   map[string]int // cacheable keys currently executing
+
+	// quarMu guards pendingUnq: dead peers whose quarantine waits for both
+	// a rejoin (detector alive again) and an anti-entropy DirSync from them
+	// before it lifts, so lookups only resume on a converged replica.
+	quarMu     sync.Mutex
+	pendingUnq map[uint32]*rejoinState
+
+	quarantines     atomic.Uint64 // peers quarantined (dead transitions)
+	quarantineLifts atomic.Uint64 // quarantines lifted after rejoin+resync
 
 	started   atomic.Bool
 	purgeStop chan struct{}
@@ -267,22 +293,23 @@ func New(cfg Config) *Server {
 	}
 
 	s := &Server{
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		node:      cpu.NewNode(cfg.Cores, cfg.Clock),
-		store:     cfg.Store,
-		files:     content.NewFileSet(),
-		dir:       directory.New(cfg.NodeID, cfg.CacheCapacity, replacement.MustNew(cfg.Policy)),
-		inflight:  make(map[string]int),
-		purgeStop: make(chan struct{}),
-		purgeDone: make(chan struct{}),
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		node:       cpu.NewNode(cfg.Cores, cfg.Clock),
+		store:      cfg.Store,
+		files:      content.NewFileSet(),
+		dir:        directory.New(cfg.NodeID, cfg.CacheCapacity, replacement.MustNew(cfg.Policy)),
+		inflight:   make(map[string]int),
+		pendingUnq: make(map[uint32]*rejoinState),
+		purgeStop:  make(chan struct{}),
+		purgeDone:  make(chan struct{}),
 	}
 	s.engine = cgi.NewEngine(s.node, cfg.Costs.SpawnCost)
 	s.http = httpserver.New(httpserver.HandlerFunc(s.serveHTTP), httpserver.Config{
 		RequestThreads: cfg.RequestThreads,
 		ErrorLog:       cfg.Logger,
 	})
-	s.clu = cluster.NewNode(cluster.Config{
+	clusterCfg := cluster.Config{
 		NodeID:          cfg.NodeID,
 		Name:            cfg.Name,
 		Network:         cfg.ClusterNetwork,
@@ -290,8 +317,21 @@ func New(cfg Config) *Server {
 		SendQueue:       cfg.SendQueue,
 		DisableBatching: cfg.DisableBroadcastBatch,
 		DisableSync:     cfg.DisableDirSync,
-		Logger:          cfg.Logger,
-	}, (*clusterHandler)(s))
+		Health: cluster.HealthConfig{
+			Disable:       cfg.DisableHealth,
+			ProbeInterval: cfg.HealthProbeInterval,
+			ProbeTimeout:  cfg.HealthProbeTimeout,
+			SuspectAfter:  cfg.HealthSuspectAfter,
+			DeadAfter:     cfg.HealthDeadAfter,
+		},
+		Logger: cfg.Logger,
+	}
+	if cfg.Mode == Cooperative && !cfg.DisableHealth {
+		// Failure-detector transitions drive directory quarantine: a dead
+		// peer's entries are skipped by Lookup until it rejoins and resyncs.
+		clusterCfg.OnPeerState = s.onPeerState
+	}
+	s.clu = cluster.NewNode(clusterCfg, (*clusterHandler)(s))
 	if cfg.Mode == Cooperative {
 		// Every versioned local directory mutation — insert, replace,
 		// eviction, remove, expiry — is broadcast from here, in version
@@ -463,6 +503,93 @@ func (s *Server) PurgeExpired() int {
 	return len(keys)
 }
 
+// --- peer failure handling ---
+
+// rejoinState tracks what a quarantined peer still owes before its
+// quarantine lifts: the failure detector must see it alive again, and an
+// anti-entropy DirSync from it must have converged our replica of its table.
+type rejoinState struct {
+	alive  bool
+	synced bool
+}
+
+// onPeerState receives failure-detector transitions from the cluster layer
+// (cooperative mode with health enabled only). A dead peer's directory
+// entries are quarantined — Lookup treats them as absent, so requests that
+// map to them degrade to local execution immediately instead of paying
+// FetchTimeout per request. The quarantine lifts when the peer is alive
+// again and its anti-entropy catch-up has been applied (HandleDirSync); with
+// dir sync disabled, rejoin alone lifts it.
+func (s *Server) onPeerState(peer uint32, state cluster.PeerState) {
+	switch state {
+	case cluster.PeerDead:
+		s.quarMu.Lock()
+		s.pendingUnq[peer] = &rejoinState{}
+		s.quarMu.Unlock()
+		s.dir.SetQuarantined(peer, true)
+		s.quarantines.Add(1)
+		s.logf("peer %d declared dead: directory entries quarantined", peer)
+	case cluster.PeerAlive:
+		s.quarMu.Lock()
+		st := s.pendingUnq[peer]
+		recycle := false
+		if st != nil && !st.alive {
+			st.alive = true
+			// First sign of life since the peer was declared dead. If its
+			// catch-up has not arrived yet, force a link recycle: a hung host
+			// that recovers never drops its links, so without one there would
+			// be no fresh Hello, no DirSyncReq, and no sync to lift the
+			// quarantine. Recycled links reconnect and re-exchange versions.
+			recycle = !st.synced && !s.cfg.DisableDirSync
+		}
+		s.quarMu.Unlock()
+		s.maybeLiftQuarantine(peer)
+		if recycle {
+			// The callback runs under the detector lock; recycle outside it.
+			go s.clu.RecyclePeer(peer)
+		}
+	}
+}
+
+// noteSynced records that an anti-entropy catch-up from peer has been
+// applied; for a quarantined peer this is the convergence half of the lift
+// condition.
+func (s *Server) noteSynced(peer uint32) {
+	s.quarMu.Lock()
+	st := s.pendingUnq[peer]
+	if st != nil {
+		st.synced = true
+	}
+	s.quarMu.Unlock()
+	if st != nil {
+		s.maybeLiftQuarantine(peer)
+	}
+}
+
+// maybeLiftQuarantine lifts peer's quarantine once its rejoin conditions are
+// met.
+func (s *Server) maybeLiftQuarantine(peer uint32) {
+	s.quarMu.Lock()
+	st := s.pendingUnq[peer]
+	lift := st != nil && st.alive && (st.synced || s.cfg.DisableDirSync)
+	if lift {
+		delete(s.pendingUnq, peer)
+	}
+	s.quarMu.Unlock()
+	if !lift {
+		return
+	}
+	s.dir.SetQuarantined(peer, false)
+	s.quarantineLifts.Add(1)
+	s.logf("peer %d rejoined and resynced: quarantine lifted", peer)
+}
+
+// QuarantineStats reports how many peers were quarantined and how many
+// quarantines have lifted over the server's lifetime.
+func (s *Server) QuarantineStats() (quarantined, lifted uint64) {
+	return s.quarantines.Load(), s.quarantineLifts.Load()
+}
+
 // --- request handling (Figure 2) ---
 
 func (s *Server) serveHTTP(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
@@ -581,6 +708,18 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		}
 	}
 	fmt.Fprintf(&b, "</ul>\n")
+	if health := s.clu.PeerHealth(); len(health) > 0 {
+		quarantined, lifted := s.QuarantineStats()
+		fmt.Fprintf(&b, "<h2>Peer health</h2>\n")
+		fmt.Fprintf(&b, "<p>quarantines: %d | lifted: %d | currently quarantined: %v</p>\n",
+			quarantined, lifted, s.dir.Quarantined())
+		fmt.Fprintf(&b, "<table border=1><tr><th>peer</th><th>state</th><th>consecutive failures</th><th>quarantined</th><th>last error</th></tr>\n")
+		for _, ph := range health {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%d</td><td>%v</td><td>%s</td></tr>\n",
+				ph.Peer, ph.State, ph.Fails, s.dir.IsQuarantined(ph.Peer), htmlEscape(ph.LastErr))
+		}
+		fmt.Fprintf(&b, "</table>\n")
+	}
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
 	entries := s.dir.SnapshotLocal()
@@ -829,6 +968,14 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 		peerDrops = append(peerDrops, wire.PeerDrops{Peer: id, Dropped: c})
 	}
 	sort.Slice(peerDrops, func(i, j int) bool { return peerDrops[i].Peer < peerDrops[j].Peer })
+	var health []wire.PeerHealth
+	for _, ph := range s.clu.PeerHealth() {
+		health = append(health, wire.PeerHealth{
+			Peer:  ph.Peer,
+			State: uint8(ph.State),
+			Fails: uint32(ph.Fails),
+		})
+	}
 	return wire.StatsReply{
 		LocalHits:   snap.LocalHits,
 		RemoteHits:  snap.RemoteHits,
@@ -840,6 +987,7 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 		Entries:     int64(s.dir.LocalLen()),
 		Dropped:     int64(s.clu.Dropped()),
 		PeerDrops:   peerDrops,
+		Health:      health,
 	}
 }
 
@@ -887,6 +1035,10 @@ func (h *clusterHandler) HandleDirSync(m *wire.DirSync) {
 		}
 	}
 	s.dir.ApplySync(m.Owner, m.Full, ops, m.Version, s.clk.Now())
+	// A catch-up from the owner means our replica of its table has
+	// converged; if the owner was quarantined and has rejoined, this is
+	// what lifts the quarantine.
+	s.noteSynced(m.Owner)
 }
 
 // DirVersion implements cluster.DirSyncer.

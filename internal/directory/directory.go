@@ -21,6 +21,7 @@ package directory
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/replacement"
@@ -222,6 +223,16 @@ type Directory struct {
 	// remote node's table.
 	peerMu   sync.Mutex
 	peerVers map[uint32]uint64
+
+	// quarMu guards quarantined: remote nodes whose tables Lookup must skip
+	// because the failure detector declared them dead. Quarantined tables
+	// keep receiving updates and syncs (so lifting the quarantine exposes a
+	// converged replica); only lookups ignore them. quarCount mirrors the
+	// map size so the lookup hot path can skip the lock entirely in the
+	// common all-alive case.
+	quarMu      sync.RWMutex
+	quarantined map[uint32]bool
+	quarCount   atomic.Int32
 }
 
 // New creates a directory for node self with the given local capacity (in
@@ -232,11 +243,12 @@ func New(self uint32, capacity int, policy replacement.Policy) *Directory {
 		policy = replacement.MustNew(replacement.LRU)
 	}
 	d := &Directory{
-		self:     self,
-		tables:   make(map[uint32]*table),
-		policy:   policy,
-		capacity: capacity,
-		peerVers: make(map[uint32]uint64),
+		self:        self,
+		tables:      make(map[uint32]*table),
+		policy:      policy,
+		capacity:    capacity,
+		peerVers:    make(map[uint32]uint64),
+		quarantined: make(map[uint32]bool),
 	}
 	d.tables[self] = newTable()
 	return d
@@ -307,12 +319,60 @@ func (d *Directory) Lookup(key string, now time.Time) (Entry, bool) {
 	d.mu.RUnlock()
 	// Deterministic probe order keeps experiments reproducible.
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	skipQuarantined := d.quarCount.Load() > 0
 	for _, id := range nodes {
+		if skipQuarantined && d.IsQuarantined(id) {
+			// The node is presumed dead: treating its entries as absent up
+			// front turns what would be a fetch-and-fail false hit into an
+			// ordinary miss served locally.
+			continue
+		}
 		if e, ok := d.tableFor(id, false).lookup(key, now); ok {
 			return e, true
 		}
 	}
 	return Entry{}, false
+}
+
+// SetQuarantined marks (or unmarks) a remote node's table as quarantined.
+// While quarantined, Lookup treats the table as empty; updates and syncs
+// still apply so the replica is converged when the quarantine lifts.
+// Quarantining the local node is ignored.
+func (d *Directory) SetQuarantined(node uint32, quarantined bool) {
+	if node == d.self {
+		return
+	}
+	d.quarMu.Lock()
+	defer d.quarMu.Unlock()
+	if quarantined == d.quarantined[node] {
+		return
+	}
+	if quarantined {
+		d.quarantined[node] = true
+		d.quarCount.Add(1)
+	} else {
+		delete(d.quarantined, node)
+		d.quarCount.Add(-1)
+	}
+}
+
+// IsQuarantined reports whether node's table is currently quarantined.
+func (d *Directory) IsQuarantined(node uint32) bool {
+	d.quarMu.RLock()
+	defer d.quarMu.RUnlock()
+	return d.quarantined[node]
+}
+
+// Quarantined returns the currently quarantined node IDs, ascending.
+func (d *Directory) Quarantined() []uint32 {
+	d.quarMu.RLock()
+	out := make([]uint32, 0, len(d.quarantined))
+	for id := range d.quarantined {
+		out = append(out, id)
+	}
+	d.quarMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // LookupLocal searches only the local table.
@@ -453,7 +513,9 @@ func (d *Directory) ExpireRemote(now time.Time) int {
 	return dropped
 }
 
-// DropPeer discards a departed peer's entire table.
+// DropPeer discards a departed peer's entire table, along with any
+// quarantine flag on it — a node that later returns under the same ID starts
+// from a clean slate.
 func (d *Directory) DropPeer(node uint32) {
 	if node == d.self {
 		return
@@ -464,6 +526,7 @@ func (d *Directory) DropPeer(node uint32) {
 	d.peerMu.Lock()
 	delete(d.peerVers, node)
 	d.peerMu.Unlock()
+	d.SetQuarantined(node, false)
 }
 
 // Version returns the local table's current update version.

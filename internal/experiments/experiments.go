@@ -78,6 +78,12 @@ type clusterSpec struct {
 	policy   string // replacement kind; "" = LRU
 	ttl      time.Duration
 	cores    int
+	// mem, when non-nil, reuses an existing in-memory network instead of
+	// creating a fresh one (so callers can wrap it, e.g. with netx.Faulty).
+	mem *netx.Mem
+	// netFor, when non-nil, supplies each node's transport (the fault
+	// experiments hand every node a fault-injection endpoint view).
+	netFor func(i int) netx.Network
 	// mutate, when non-nil, adjusts each node's config just before the
 	// server is built (replication knobs, queue depths, ...).
 	mutate func(i int, cfg *core.Config)
@@ -87,7 +93,10 @@ type clusterSpec struct {
 // content (WebStone files, nullcgi, the ADL synthetic program, and an
 // uncacheable private program), and connects the mesh.
 func newSwalaCluster(opt Options, spec clusterSpec) (*swalaCluster, error) {
-	mem := netx.NewMem()
+	mem := spec.mem
+	if mem == nil {
+		mem = netx.NewMem()
+	}
 	c := &swalaCluster{mem: mem, client: httpclient.New(mem)}
 
 	ttl := spec.ttl
@@ -114,6 +123,9 @@ func newSwalaCluster(opt Options, spec clusterSpec) (*swalaCluster, error) {
 		}
 		if spec.policy != "" {
 			cfg.Policy = replacement.Kind(spec.policy)
+		}
+		if spec.netFor != nil {
+			cfg.Network = spec.netFor(i)
 		}
 		if spec.mutate != nil {
 			spec.mutate(i, &cfg)

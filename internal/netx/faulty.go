@@ -1,0 +1,283 @@
+package netx
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faulty decorates a Network with controllable fault injection for chaos
+// tests and the benchsuite fault schedule: node kill (dials refused, live
+// connections severed), pairwise partition, added write delay, and seeded
+// probabilistic write failures (link flap). Faults are keyed by endpoint
+// names — the listen address a connection was dialed to, and (for dialers
+// that identify themselves via Endpoint) the dialer's own listen address.
+//
+// All fault controls are safe for concurrent use and take effect
+// immediately: killing or partitioning severs the matching live connections,
+// so in-flight reads and writes fail the way a reset TCP connection would.
+// Randomness (write-failure flap) comes from a single seeded source, so a
+// given schedule replays the same fault sequence.
+type Faulty struct {
+	inner Network
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	delay    time.Duration
+	failProb float64
+	killed   map[string]bool
+	hung     map[string]bool
+	cut      map[[2]string]bool // unordered pair, stored sorted
+	conns    map[*faultyConn]struct{}
+}
+
+// NewFaulty wraps inner with fault injection. seed drives the probabilistic
+// faults (SetWriteFailProb); structural faults (Kill, Partition) are fully
+// deterministic.
+func NewFaulty(inner Network, seed int64) *Faulty {
+	return &Faulty{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		killed: make(map[string]bool),
+		hung:   make(map[string]bool),
+		cut:    make(map[[2]string]bool),
+		conns:  make(map[*faultyConn]struct{}),
+	}
+}
+
+// Endpoint returns a view of the network that tags outbound dials with the
+// caller's own endpoint name (its cluster listen address), enabling pairwise
+// partitions: a connection dialed through Endpoint("a") to "b" is severed by
+// Partition("a", "b") but survives Partition("a", "c"). Listens pass
+// through unchanged.
+func (f *Faulty) Endpoint(name string) Network {
+	return endpointNetwork{f: f, name: name}
+}
+
+type endpointNetwork struct {
+	f    *Faulty
+	name string
+}
+
+func (e endpointNetwork) Listen(addr string) (net.Listener, error) { return e.f.Listen(addr) }
+func (e endpointNetwork) Dial(addr string) (net.Conn, error)       { return e.f.dialFrom(e.name, addr) }
+
+// pairKey builds the canonical (sorted) key for an unordered address pair.
+func pairKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Kill makes addr unreachable: dials to it (and identified dials from it)
+// fail, and every live connection touching it is severed. Idempotent.
+func (f *Faulty) Kill(addr string) {
+	f.mu.Lock()
+	f.killed[addr] = true
+	var doomed []*faultyConn
+	for c := range f.conns {
+		if c.local == addr || c.remote == addr {
+			doomed = append(doomed, c)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range doomed {
+		c.Close()
+	}
+}
+
+// Revive lifts a Kill; traffic to and from addr flows again.
+func (f *Faulty) Revive(addr string) {
+	f.mu.Lock()
+	delete(f.killed, addr)
+	f.mu.Unlock()
+}
+
+// Hang freezes addr without dropping anything: dials still succeed and
+// connections touching it stay open, but every byte written to or from it is
+// silently swallowed. This is the hung-host failure mode — the kernel still
+// ACKs, the process never answers — where a reactive design pays its full
+// fetch timeout on every request, because nothing ever reports the peer
+// down. Idempotent; Unhang restores traffic on the surviving connections.
+func (f *Faulty) Hang(addr string) {
+	f.mu.Lock()
+	f.hung[addr] = true
+	f.mu.Unlock()
+}
+
+// Unhang lifts a Hang; writes on connections touching addr deliver again.
+func (f *Faulty) Unhang(addr string) {
+	f.mu.Lock()
+	delete(f.hung, addr)
+	f.mu.Unlock()
+}
+
+// Partition cuts the pair (a, b): identified dials between them fail and
+// live identified connections between them are severed, in both directions.
+// Connections between either node and third parties are untouched.
+// Idempotent.
+func (f *Faulty) Partition(a, b string) {
+	key := pairKey(a, b)
+	f.mu.Lock()
+	f.cut[key] = true
+	var doomed []*faultyConn
+	for c := range f.conns {
+		if c.local != "" && c.remote != "" && pairKey(c.local, c.remote) == key {
+			doomed = append(doomed, c)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range doomed {
+		c.Close()
+	}
+}
+
+// Heal lifts a Partition of the pair (a, b).
+func (f *Faulty) Heal(a, b string) {
+	f.mu.Lock()
+	delete(f.cut, pairKey(a, b))
+	f.mu.Unlock()
+}
+
+// SetDelay adds a fixed delay to every write on every connection (existing
+// and future). Zero disables.
+func (f *Faulty) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// SetWriteFailProb makes each write fail (and sever its connection) with
+// probability p, drawn from the seeded source — a link-flap generator. Zero
+// disables.
+func (f *Faulty) SetWriteFailProb(p float64) {
+	f.mu.Lock()
+	f.failProb = p
+	f.mu.Unlock()
+}
+
+// Listen implements Network.
+func (f *Faulty) Listen(addr string) (net.Listener, error) {
+	l, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyListener{Listener: l, f: f, addr: addr}, nil
+}
+
+// Dial implements Network (anonymous dialer; kills of the target and global
+// delay/flap apply, pairwise partitions do not — use Endpoint for those).
+func (f *Faulty) Dial(addr string) (net.Conn, error) { return f.dialFrom("", addr) }
+
+func (f *Faulty) dialFrom(from, addr string) (net.Conn, error) {
+	f.mu.Lock()
+	refused := f.killed[addr] || (from != "" && f.killed[from]) ||
+		(from != "" && f.cut[pairKey(from, addr)])
+	f.mu.Unlock()
+	if refused {
+		return nil, fmt.Errorf("netx: fault injection: %q unreachable from %q", addr, from)
+	}
+	conn, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.track(conn, from, addr), nil
+}
+
+// track registers a connection for fault control. For dialed connections,
+// local is the dialer's endpoint name ("" when anonymous) and remote the
+// dialed listen address; for accepted connections, local is the listen
+// address and remote is unknown (""). Severing a dialed connection tears
+// down the underlying pair, so the accept side dies with it.
+func (f *Faulty) track(conn net.Conn, local, remote string) *faultyConn {
+	c := &faultyConn{Conn: conn, f: f, local: local, remote: remote}
+	f.mu.Lock()
+	f.conns[c] = struct{}{}
+	f.mu.Unlock()
+	return c
+}
+
+type faultyListener struct {
+	net.Listener
+	f    *Faulty
+	addr string
+}
+
+func (l *faultyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.f.mu.Lock()
+		dead := l.f.killed[l.addr]
+		l.f.mu.Unlock()
+		if dead {
+			// A killed node's listener is still running in-process; refuse
+			// the connection the way a dead host drops SYNs.
+			conn.Close()
+			continue
+		}
+		return l.f.track(conn, l.addr, ""), nil
+	}
+}
+
+type faultyConn struct {
+	net.Conn
+	f      *Faulty
+	local  string
+	remote string
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// verdict decides this write's fate under the standing faults.
+func (c *faultyConn) verdict() (dead, blackhole bool, delay time.Duration, flap bool) {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	if c.f.killed[c.local] || c.f.killed[c.remote] {
+		return true, false, 0, false
+	}
+	if c.local != "" && c.remote != "" && c.f.cut[pairKey(c.local, c.remote)] {
+		return true, false, 0, false
+	}
+	if c.f.hung[c.local] || c.f.hung[c.remote] {
+		return false, true, 0, false
+	}
+	flap = c.f.failProb > 0 && c.f.rng.Float64() < c.f.failProb
+	return false, false, c.f.delay, flap
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	dead, blackhole, delay, flap := c.verdict()
+	if dead {
+		c.Close()
+		return 0, fmt.Errorf("netx: fault injection: connection severed")
+	}
+	if blackhole {
+		// A hung host: the write "succeeds" but nothing is delivered.
+		return len(p), nil
+	}
+	if flap {
+		c.Close()
+		return 0, fmt.Errorf("netx: fault injection: link flapped")
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultyConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.f.mu.Lock()
+		delete(c.f.conns, c)
+		c.f.mu.Unlock()
+		c.closeErr = c.Conn.Close()
+	})
+	return c.closeErr
+}

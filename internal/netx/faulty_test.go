@@ -1,0 +1,404 @@
+package netx
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// acceptOne runs an accept loop that echoes nothing and just records conns.
+func acceptOne(t *testing.T, l net.Listener) <-chan net.Conn {
+	t.Helper()
+	ch := make(chan net.Conn, 16)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				close(ch)
+				return
+			}
+			ch <- c
+		}
+	}()
+	return ch
+}
+
+func TestFaultyPassthrough(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+
+	c, err := f.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := <-accepted
+	defer s.Close()
+
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := s.Read(buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("read: %q, %v", buf, err)
+	}
+}
+
+func TestFaultyKillRefusesDialsAndSeversConns(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+
+	c, err := f.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-accepted
+
+	f.Kill("srv")
+
+	if _, err := f.Dial("srv"); err == nil {
+		t.Fatal("dial to killed node succeeded")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on severed conn succeeded")
+	}
+	// The accept side dies with the dialed side.
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := s.Read(buf); err == nil {
+		t.Fatal("read on severed accept-side conn succeeded")
+	}
+
+	// Revive: dials flow again.
+	f.Revive("srv")
+	c2, err := f.Dial("srv")
+	if err != nil {
+		t.Fatalf("dial after revive: %v", err)
+	}
+	c2.Close()
+}
+
+func TestFaultyKillRefusesWhileListenerRuns(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+
+	f.Kill("srv")
+	// The inner Mem listener still exists, so the raw dial succeeds; the
+	// faulty accept loop must drop the conn, and the dial side must refuse
+	// before that anyway.
+	if _, err := f.Dial("srv"); err == nil {
+		t.Fatal("dial to killed node succeeded")
+	}
+	select {
+	case c := <-accepted:
+		t.Fatalf("killed listener accepted %v", c)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestFaultyPairwisePartition(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	for _, name := range []string{"a", "b", "c"} {
+		l, err := f.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func(l net.Listener) {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				// Echo server: keeps the accept side draining.
+				go func(c net.Conn) {
+					buf := make([]byte, 64)
+					for {
+						n, err := c.Read(buf)
+						if err != nil {
+							return
+						}
+						c.Write(buf[:n])
+					}
+				}(c)
+			}
+		}(l)
+	}
+
+	aNet := f.Endpoint("a")
+	ab, err := aNet.Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ab.Close()
+	ac, err := aNet.Dial("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+
+	f.Partition("a", "b")
+
+	if _, err := ab.Write([]byte("x")); err == nil {
+		t.Fatal("write across partition succeeded")
+	}
+	if _, err := aNet.Dial("b"); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	// Third-party traffic is untouched.
+	if _, err := ac.Write([]byte("y")); err != nil {
+		t.Fatalf("a->c write severed by unrelated partition: %v", err)
+	}
+	buf := make([]byte, 1)
+	ac.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ac.Read(buf); err != nil || buf[0] != 'y' {
+		t.Fatalf("a->c echo: %q, %v", buf, err)
+	}
+
+	f.Heal("a", "b")
+	ab2, err := aNet.Dial("b")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	ab2.Close()
+}
+
+func TestFaultyHangBlackholesWrites(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+	c, err := f.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := <-accepted
+	defer s.Close()
+
+	f.Hang("srv")
+	// Writes toward the hung host "succeed" but deliver nothing; the
+	// connection stays open and dials still complete — a frozen process
+	// whose kernel keeps ACKing.
+	if n, err := c.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("write to hung host: n=%d err=%v, want silent success", n, err)
+	}
+	if n, err := s.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("write from hung host: n=%d err=%v, want silent success", n, err)
+	}
+	c2, err := f.Dial("srv")
+	if err != nil {
+		t.Fatalf("dial to hung host must still complete: %v", err)
+	}
+	defer c2.Close()
+
+	// Nothing swallowed during the hang arrives after Unhang, but the
+	// surviving connection carries fresh traffic again.
+	f.Unhang("srv")
+	if _, err := c.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := <-accepted
+	defer s2.Close()
+	buf := make([]byte, 8)
+	n, err := s.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); got != "ab" {
+		t.Fatalf("read %q after unhang, want %q (swallowed bytes must not reappear)", got, "ab")
+	}
+}
+
+func TestFaultyDelay(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+	c, err := f.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := <-accepted
+	defer s.Close()
+
+	f.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delayed write took only %v", d)
+	}
+	f.SetDelay(0)
+	start = time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("undelayed write took %v", d)
+	}
+}
+
+func TestFaultyFlapIsSeededAndEventuallyFires(t *testing.T) {
+	f := NewFaulty(NewMem(), 42)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+	go func() {
+		for c := range accepted {
+			go func(c net.Conn) {
+				buf := make([]byte, 64)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	f.SetWriteFailProb(0.2)
+	flapped := false
+	for i := 0; i < 200 && !flapped; i++ {
+		c, err := f.Dial("srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			if _, err := c.Write([]byte("x")); err != nil {
+				flapped = true
+				break
+			}
+		}
+		c.Close()
+	}
+	if !flapped {
+		t.Fatal("write-fail probability 0.2 never flapped a link")
+	}
+}
+
+// TestFaultyConcurrentChaos hammers the fault controls from many goroutines
+// while traffic flows, for the race detector.
+func TestFaultyConcurrentChaos(t *testing.T) {
+	f := NewFaulty(NewMem(), 7)
+	names := []string{"n1", "n2", "n3"}
+	for _, name := range names {
+		l, err := f.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func(l net.Listener) {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					buf := make([]byte, 64)
+					for {
+						if _, err := c.Read(buf); err != nil {
+							c.Close()
+							return
+						}
+					}
+				}(c)
+			}
+		}(l)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Traffic: every node dials every other and writes until severed, then
+	// redials.
+	for _, from := range names {
+		for _, to := range names {
+			if from == to {
+				continue
+			}
+			wg.Add(1)
+			go func(from, to string) {
+				defer wg.Done()
+				ep := f.Endpoint(from)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, err := ep.Dial(to)
+					if err != nil {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					// Bounded burst: without it a goroutine could spin here
+					// forever after stop if no fault severs this conn.
+					for j := 0; j < 64; j++ {
+						if _, err := c.Write([]byte("chaos")); err != nil {
+							break
+						}
+					}
+					c.Close()
+				}
+			}(from, to)
+		}
+	}
+	// Chaos: kill/revive, partition/heal, flap, delay.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 6 {
+			case 0:
+				f.Kill(names[i%3])
+			case 1:
+				f.Revive(names[i%3])
+			case 2:
+				f.Partition(names[i%3], names[(i+1)%3])
+			case 3:
+				f.Heal(names[i%3], names[(i+1)%3])
+			case 4:
+				f.SetWriteFailProb(0.05)
+			case 5:
+				f.SetWriteFailProb(0)
+				f.SetDelay(time.Duration(i%2) * time.Millisecond)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

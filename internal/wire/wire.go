@@ -203,6 +203,15 @@ type PeerDrops struct {
 	Dropped uint64
 }
 
+// PeerHealth reports one peer's failure-detector verdict: State is the
+// cluster.PeerState ordinal (0 alive, 1 suspect, 2 dead) and Fails the
+// current run of consecutive probe failures.
+type PeerHealth struct {
+	Peer  uint32
+	State uint8
+	Fails uint32
+}
+
 // StatsReply carries a node's cache counters.
 type StatsReply struct {
 	Seq         uint64
@@ -219,6 +228,9 @@ type StatsReply struct {
 	Dropped int64
 	// PeerDrops breaks Dropped down by destination peer.
 	PeerDrops []PeerDrops
+	// Health lists the failure detector's per-peer state (empty when the
+	// detector is disabled or the sender predates it).
+	Health []PeerHealth
 }
 
 // Type implements Message.
@@ -511,6 +523,12 @@ func (m *StatsReply) encode(e *encoder) {
 		e.u32(pd.Peer)
 		e.u64(pd.Dropped)
 	}
+	e.u32(uint32(len(m.Health)))
+	for _, ph := range m.Health {
+		e.u32(ph.Peer)
+		e.u8(ph.State)
+		e.u32(ph.Fails)
+	}
 }
 
 func (m *StatsReply) decode(d *decoder) error {
@@ -538,6 +556,23 @@ func (m *StatsReply) decode(d *decoder) error {
 		for i := range m.PeerDrops {
 			m.PeerDrops[i].Peer = d.u32()
 			m.PeerDrops[i].Dropped = d.u64()
+		}
+	}
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating the peer-health list.
+		return nil
+	}
+	hn := int(d.u32())
+	if d.err != nil || hn < 0 || hn > (len(d.buf)-d.off)/9 {
+		d.fail()
+		return d.err
+	}
+	if hn > 0 {
+		m.Health = make([]PeerHealth, hn)
+		for i := range m.Health {
+			m.Health[i].Peer = d.u32()
+			m.Health[i].State = d.u8()
+			m.Health[i].Fails = d.u32()
 		}
 	}
 	return d.finish()

@@ -174,6 +174,54 @@ func TestStatsReplyPeerDrops(t *testing.T) {
 	}
 }
 
+func TestStatsReplyHealth(t *testing.T) {
+	in := &StatsReply{
+		Seq: 11, Entries: 4,
+		PeerDrops: []PeerDrops{{Peer: 2, Dropped: 1}},
+		Health:    []PeerHealth{{Peer: 2, State: 0, Fails: 0}, {Peer: 3, State: 2, Fails: 6}},
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestStatsReplyDecodesPreHealthFrame(t *testing.T) {
+	// A StatsReply frame that ends after the drop counters (sender predates
+	// the health list) must still decode, with Health nil.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgStatsReply))
+	e.u64(5)
+	for _, v := range []int64{10, 4, 2, 1, 1, 12, 3, 9, 2} {
+		e.i64(v)
+	}
+	e.u32(1) // one PeerDrops entry
+	e.u32(7)
+	e.u64(2)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	got, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	sr := got.(*StatsReply)
+	if sr.Seq != 5 || sr.Dropped != 2 || len(sr.PeerDrops) != 1 || sr.PeerDrops[0].Peer != 7 {
+		t.Fatalf("got %+v", sr)
+	}
+	if sr.Health != nil {
+		t.Fatalf("pre-health frame produced health stats: %+v", sr)
+	}
+}
+
+func TestStatsReplyBogusHealthCountRejected(t *testing.T) {
+	frame := Marshal(&StatsReply{Seq: 1})
+	payload := frame[4:]
+	// The health count is the last u32 of the payload.
+	binary.BigEndian.PutUint32(payload[len(payload)-4:], 1<<31-1)
+	if _, err := Unmarshal(payload); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
 func TestStatsReplyDecodesLegacyFrame(t *testing.T) {
 	// A StatsReply frame from before the drop counters (fields end at
 	// Entries) must still decode, with the new fields zero.

@@ -253,6 +253,45 @@ func InsertStormSource(addrs []string, perClient int, costMillis int) Source {
 	}
 }
 
+// HotSetSource issues perClient requests per client drawn uniformly from a
+// fixed set of cacheable keys — a steady-state hit-ratio workload. After
+// one warm pass the whole set lives in the cooperative cache, so the measured
+// hit ratio tracks directory health directly; the fault-injection experiments
+// use it to show hit-ratio collapse and recovery through kill/partition/rejoin
+// schedules. Client i targets addrs[i % len(addrs)]; draws are deterministic
+// given seed.
+func HotSetSource(addrs []string, keys, perClient, costMillis int, seed int64) Source {
+	if keys < 1 {
+		keys = 1
+	}
+	var mu sync.Mutex
+	rngs := map[int]*rand.Rand{}
+	getRNG := func(c int) *rand.Rand {
+		mu.Lock()
+		defer mu.Unlock()
+		r, ok := rngs[c]
+		if !ok {
+			r = rand.New(rand.NewSource(seed + int64(c)*7919))
+			rngs[c] = r
+		}
+		return r
+	}
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		k := getRNG(client).Intn(keys)
+		uri := fmt.Sprintf("/cgi-bin/adl?q=hot%04d&cost=%d", k, costMillis)
+		return addrs[client%len(addrs)], uri, true
+	}
+}
+
+// HotSetURI returns the URI HotSetSource generates for key k — callers use it
+// to warm or probe specific keys deterministically.
+func HotSetURI(k, costMillis int) string {
+	return fmt.Sprintf("/cgi-bin/adl?q=hot%04d&cost=%d", k, costMillis)
+}
+
 // UncacheableSource issues unique uncacheable requests (path chosen to miss
 // the cacheability rules) — the Table 4 directory-maintenance load.
 func UncacheableSource(addr string, perClient int, costMillis int) Source {
