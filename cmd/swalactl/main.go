@@ -100,6 +100,21 @@ func main() {
 				fmt.Printf("  peer %-4d %-8s fails=%d\n", ph.Peer, healthState(ph.State), ph.Fails)
 			}
 		}
+		if st := sr.Storage; st != nil {
+			fmt.Printf("storage:\n")
+			mode := "healthy"
+			if st.Degraded {
+				mode = "DEGRADED (read-only)"
+			}
+			fmt.Printf("  mode:         %s\n", mode)
+			if st.LastError != "" {
+				fmt.Printf("  last error:   %s\n", st.LastError)
+			}
+			fmt.Printf("  put failures: %d\n", st.PutFailures)
+			fmt.Printf("  quarantined:  %d\n", st.Quarantined)
+			fmt.Printf("  recovered:    %d\n", st.Recovered)
+			fmt.Printf("  orphans:      %d\n", st.OrphansSwept)
+		}
 	case "watch":
 		// One line per interval with deltas, like vmstat.
 		fmt.Printf("%8s %8s %8s %8s %8s %8s\n",

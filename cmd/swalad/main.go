@@ -46,6 +46,8 @@ func main() {
 		policy    = flag.String("policy", "lru", "replacement policy: lru|fifo|lfu|size|gds")
 		cfgPath   = flag.String("config", "", "cacheability config file (default: cache all CGI, 10m TTL)")
 		cacheDir  = flag.String("cachedir", "", "disk cache directory (default: in-memory store)")
+		persist   = flag.Bool("persist", true, "recover the disk cache across restarts: scan -cachedir at startup, rebuild the directory from intact entries, quarantine corrupt ones (-persist=false wipes the directory first, the paper's cold-start semantics)")
+		fsyncPol  = flag.String("fsync", "never", "disk cache fsync policy: never|always (always fsyncs each entry before publishing it)")
 		docsDir   = flag.String("docs", "", "static document root to serve")
 		cgiMounts = flag.String("cgi", "/cgi-bin/=demo", "comma-separated prefix=program mounts; program 'demo' is the built-in synthetic CGI")
 		cores     = flag.Int("cores", 1, "simulated CPU cores")
@@ -110,9 +112,25 @@ func main() {
 		cfg.Cacheability = pol
 	}
 	if *cacheDir != "" {
-		disk, err := store.NewDisk(*cacheDir)
+		fsync, err := store.ParseFsyncPolicy(*fsyncPol)
+		if err != nil {
+			logger.Fatalf("fsync: %v", err)
+		}
+		if !*persist {
+			// Cold start: discard whatever a previous run left behind so the
+			// node behaves exactly like the paper's (no recovery).
+			if err := os.RemoveAll(*cacheDir); err != nil {
+				logger.Fatalf("cachedir: %v", err)
+			}
+		}
+		disk, rep, err := store.OpenDisk(*cacheDir, store.DiskOptions{Fsync: fsync})
 		if err != nil {
 			logger.Fatalf("cachedir: %v", err)
+		}
+		if *persist {
+			logger.Printf("cache recovery: %d entries recovered, %d quarantined, %d orphans swept, %d duplicates, %d expired",
+				len(rep.Recovered), rep.Quarantined, rep.OrphansSwept, rep.Duplicates, rep.Expired)
+			cfg.Recovered = rep.Recovered
 		}
 		cfg.Store = disk
 	}

@@ -142,6 +142,12 @@ type Config struct {
 	Cacheability *cacheability.Policy
 	// Store holds cached bodies; nil defaults to an in-memory store.
 	Store store.Store
+	// Recovered lists entries a durable store salvaged from disk at startup
+	// (store.OpenDisk's RecoveryReport.Recovered). New repopulates the local
+	// directory table from it before serving, so a restarted node comes back
+	// warm — and, in cooperative mode, re-announces those entries to peers
+	// via the usual broadcast/anti-entropy machinery.
+	Recovered []store.RecoveredEntry
 	// MemCacheBytes, when >0, layers a size-bounded in-memory LRU read
 	// cache of that many bytes over Store, so repeated local hits and
 	// peer fetches for hot keys skip the backing store (beyond the paper,
@@ -350,7 +356,39 @@ func New(cfg Config) *Server {
 		})
 	}
 	s.buildPipeline()
+	if len(cfg.Recovered) > 0 {
+		s.warmRestart(cfg.Recovered)
+	}
 	return s
+}
+
+// warmRestart repopulates the local directory table from entries a durable
+// store recovered at startup, in recovery order (which approximates the
+// pre-crash insertion order, so LRU state is roughly preserved). Entries the
+// replacement policy evicts on the way in are deleted from the store too. In
+// cooperative mode each insert flows through the directory's OnUpdate hook,
+// so recovered entries are re-announced to peers exactly like fresh inserts.
+func (s *Server) warmRestart(recovered []store.RecoveredEntry) {
+	now := s.clk.Now()
+	for _, re := range recovered {
+		if !re.Expires.IsZero() && !re.Expires.After(now) {
+			s.store.Delete(re.Key)
+			continue
+		}
+		evicted := s.dir.InsertLocal(directory.Entry{
+			Key:      re.Key,
+			Size:     re.Size,
+			ExecTime: re.ExecTime,
+			Inserted: now,
+			Expires:  re.Expires,
+		}, now)
+		for _, victim := range evicted {
+			if err := s.store.Delete(victim); err != nil {
+				s.logf("warm restart: evict %q: %v", victim, err)
+			}
+		}
+	}
+	s.logf("warm restart: repopulated %d directory entries from recovered store", s.dir.LocalLen())
 }
 
 // Files exposes the static document registry.
@@ -720,6 +758,20 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		}
 		fmt.Fprintf(&b, "</table>\n")
 	}
+	if st, ok := store.StatusOf(s.store); ok {
+		fmt.Fprintf(&b, "<h2>Storage</h2><ul>\n")
+		mode := "healthy"
+		if st.Degraded {
+			mode = fmt.Sprintf("degraded (read-only) since %s", st.DegradedSince.Format(time.RFC3339))
+		}
+		fmt.Fprintf(&b, "<li>mode: %s</li>\n", mode)
+		if st.LastError != "" {
+			fmt.Fprintf(&b, "<li>last write error: %s</li>\n", htmlEscape(st.LastError))
+		}
+		fmt.Fprintf(&b, "<li>put failures: %d | quarantined entries: %d</li>\n", st.PutFailures, st.Quarantined)
+		fmt.Fprintf(&b, "<li>recovered at startup: %d | orphans swept: %d</li>\n", st.Recovered, st.OrphansSwept)
+		fmt.Fprintf(&b, "</ul>\n")
+	}
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
 	entries := s.dir.SnapshotLocal()
@@ -829,14 +881,18 @@ func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration
 		s.counters.FalseMiss()
 	}
 
-	if err := s.store.Put(key, res.ContentType, res.Body); err != nil {
-		s.logf("cache put %q: %v", key, err)
-		return
-	}
 	now := s.clk.Now()
 	var expires time.Time
 	if ttl > 0 {
 		expires = now.Add(ttl)
+	}
+	// PutWithMeta persists exec time and expiry alongside the body when the
+	// store is durable, so a restarted node can rebuild its directory table
+	// from the files alone. A failed Put (full or failing disk) is logged and
+	// the result simply goes uncached — the request itself already succeeded.
+	if err := store.PutWithMeta(s.store, key, res.ContentType, res.Body, execTime, expires); err != nil {
+		s.logf("cache put %q: %v", key, err)
+		return
 	}
 	entry := directory.Entry{
 		Key:      key,
@@ -976,7 +1032,7 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 			Fails: uint32(ph.Fails),
 		})
 	}
-	return wire.StatsReply{
+	reply := wire.StatsReply{
 		LocalHits:   snap.LocalHits,
 		RemoteHits:  snap.RemoteHits,
 		Misses:      snap.Misses,
@@ -989,6 +1045,17 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 		PeerDrops:   peerDrops,
 		Health:      health,
 	}
+	if st, ok := store.StatusOf(s.store); ok {
+		reply.Storage = &wire.StorageStats{
+			Degraded:     st.Degraded,
+			LastError:    st.LastError,
+			PutFailures:  st.PutFailures,
+			Quarantined:  st.Quarantined,
+			Recovered:    st.Recovered,
+			OrphansSwept: st.OrphansSwept,
+		}
+	}
+	return reply
 }
 
 // --- versioned directory replication (cluster.DirSyncer) ---

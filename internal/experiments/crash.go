@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// CrashResult is the machine-readable outcome of the crash-recovery
+// experiment (benchsuite -crash): a stand-alone node fills a durable disk
+// cache, dies mid-write (kill before the publish rename), has three of its
+// entry files damaged while it is down (truncation, a flipped bit, complete
+// loss), and restarts over the same directory. The headline numbers are the
+// warm-restart hit ratio against the cold baseline and the corrupt-served
+// count, which must be zero: every damaged entry is quarantined and
+// re-executed, never served.
+type CrashResult struct {
+	Meta Meta `json:"meta"`
+
+	// Keys is the working-set size; every key is requested twice per phase.
+	Keys int `json:"keys"`
+	// Damaged is how many published entry files were corrupted post-crash.
+	Damaged int `json:"damaged"`
+
+	// Cold is the pre-crash fill over an empty cache directory.
+	Cold struct {
+		Requests int     `json:"requests"`
+		HitRatio float64 `json:"hit_ratio"`
+	} `json:"cold"`
+
+	// Recovery is what OpenDisk found when the node restarted.
+	Recovery struct {
+		Recovered    int           `json:"recovered"`
+		Quarantined  int           `json:"quarantined"`
+		OrphansSwept int           `json:"orphans_swept"`
+		OpenTime     time.Duration `json:"open_time_ns"`
+	} `json:"recovery"`
+
+	// Warm replays the identical schedule on the restarted node.
+	Warm struct {
+		Requests int     `json:"requests"`
+		HitRatio float64 `json:"hit_ratio"`
+	} `json:"warm"`
+
+	// RuntimeCorruption is the post-restart bit-rot probe: one live entry
+	// file gets a flipped bit, and the next read must quarantine it and
+	// re-execute instead of serving the damaged body.
+	RuntimeCorruption struct {
+		Quarantined bool `json:"quarantined"`
+	} `json:"runtime_corruption"`
+
+	// CorruptBodiesServed counts responses (across every phase) whose body
+	// differed from the deterministic CGI output. The gate is zero.
+	CorruptBodiesServed int `json:"corrupt_bodies_served"`
+
+	// Acceptance gates.
+	AllCompletedRecovered bool `json:"all_completed_recovered"`
+	AllDamagedQuarantined bool `json:"all_damaged_quarantined"`
+	ZeroCorruptServed     bool `json:"zero_corrupt_served"`
+	WarmAboveCold         bool `json:"warm_hit_ratio_above_cold"`
+}
+
+// crashURI returns the deterministic request URI for key k.
+func crashURI(k, cost int) string {
+	return fmt.Sprintf("/cgi-bin/adl?q=crash-%d&cost=%d", k, cost)
+}
+
+// listEntryFiles returns the published entry files in dir, sorted by name.
+func listEntryFiles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".cache") {
+			out = append(out, filepath.Join(dir, de.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RunCrash measures crash recovery end to end: fill, die mid-write, corrupt
+// entries on disk, restart warm, and verify no damaged byte is ever served.
+func RunCrash(o Options) (CrashResult, error) {
+	o = o.withDefaults()
+	var r CrashResult
+	r.Meta = CollectMeta()
+	keys := o.pick(24, 96)
+	r.Keys = keys
+	cost := o.pick(5, 20) // paper-ms per request
+
+	cacheDir, err := os.MkdirTemp("", "swala-crash-")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// node builds a one-node stand-alone cluster over the durable store.
+	node := func(disk store.Store, recovered []store.RecoveredEntry) (*swalaCluster, error) {
+		settle()
+		return newSwalaCluster(o, clusterSpec{
+			n: 1, mode: core.StandAlone,
+			mutate: func(i int, cfg *core.Config) {
+				cfg.Store = disk
+				cfg.Recovered = recovered
+			},
+		})
+	}
+
+	// replay issues the fixed two-pass schedule (every key twice, in order)
+	// and byte-compares each response against the recorded fill bodies —
+	// the synthetic CGI is deterministic, so any mismatch means a corrupt
+	// cache body reached a client.
+	expected := make(map[int][]byte)
+	replay := func(c *swalaCluster, record bool) (requests int, err error) {
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < keys; k++ {
+				resp, err := c.client.Get(c.addrs[0], crashURI(k, cost))
+				if err != nil || resp.StatusCode != 200 {
+					return requests, fmt.Errorf("crash: GET key %d pass %d: status %v err %v", k, pass, resp, err)
+				}
+				requests++
+				if record {
+					if pass == 0 {
+						expected[k] = resp.Body
+					}
+				} else if !bytes.Equal(resp.Body, expected[k]) {
+					r.CorruptBodiesServed++
+				}
+			}
+		}
+		return requests, nil
+	}
+
+	// --- fill phase (cold, empty directory) ---
+
+	ffs := store.NewFaultFS(nil)
+	disk, _, err := store.OpenDisk(cacheDir, store.DiskOptions{FS: ffs})
+	if err != nil {
+		return r, err
+	}
+	c, err := node(disk, nil)
+	if err != nil {
+		return r, err
+	}
+	before := snapshotCounters(c)
+	r.Cold.Requests, err = replay(c, true)
+	if err != nil {
+		c.Close()
+		return r, err
+	}
+	r.Cold.HitRatio = hitRatio(before, snapshotCounters(c))
+
+	// Kill before the publish rename: the in-flight entry's temp file stays
+	// on disk as debris (a dead process cleans nothing up), the request is
+	// still answered from the execution.
+	ffs.SetCrashed(true)
+	if resp, err := c.client.Get(c.addrs[0], crashURI(keys, cost)); err != nil || resp.StatusCode != 200 {
+		c.Close()
+		return r, fmt.Errorf("crash: in-flight request failed: %v", err)
+	}
+	c.Close()
+
+	// --- corrupt the downed node's files ---
+
+	files, err := listEntryFiles(cacheDir)
+	if err != nil {
+		return r, err
+	}
+	if len(files) < keys {
+		return r, fmt.Errorf("crash: %d entry files on disk after fill, want %d", len(files), keys)
+	}
+	// Damage three published entries the three classic ways, plus one more
+	// orphaned temp file beyond the crash debris.
+	damage := []func(path string) error{
+		func(p string) error { return os.Truncate(p, 11) }, // torn tail
+		func(p string) error { // single flipped bit
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x10
+			return os.WriteFile(p, data, 0o644)
+		},
+		func(p string) error { return os.Truncate(p, 0) }, // lost content
+	}
+	r.Damaged = len(damage)
+	for i, f := range damage {
+		if err := f(files[i*len(files)/len(damage)]); err != nil {
+			return r, err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, "entry-999999.cache.tmp"), []byte("abandoned"), 0o644); err != nil {
+		return r, err
+	}
+
+	// --- warm restart over the damaged directory ---
+
+	start := time.Now()
+	disk2, rep, err := store.OpenDisk(cacheDir, store.DiskOptions{})
+	if err != nil {
+		return r, err
+	}
+	r.Recovery.OpenTime = time.Since(start)
+	r.Recovery.Recovered = len(rep.Recovered)
+	r.Recovery.Quarantined = rep.Quarantined
+	r.Recovery.OrphansSwept = rep.OrphansSwept
+
+	c2, err := node(disk2, rep.Recovered)
+	if err != nil {
+		return r, err
+	}
+	defer c2.Close()
+	before = snapshotCounters(c2)
+	r.Warm.Requests, err = replay(c2, false)
+	if err != nil {
+		return r, err
+	}
+	r.Warm.HitRatio = hitRatio(before, snapshotCounters(c2))
+
+	// --- runtime bit-rot probe ---
+
+	stBefore, _ := store.StatusOf(c2.servers[0].Store())
+	live, err := listEntryFiles(cacheDir)
+	if err != nil || len(live) == 0 {
+		return r, fmt.Errorf("crash: no live entry files for the bit-rot probe (%v)", err)
+	}
+	data, err := os.ReadFile(live[len(live)/2])
+	if err != nil {
+		return r, err
+	}
+	data[len(data)-3] ^= 0x04
+	if err := os.WriteFile(live[len(live)/2], data, 0o644); err != nil {
+		return r, err
+	}
+	// Replay once more: the rotten entry must be quarantined on read and
+	// re-executed; every body still has to match.
+	if _, err := replay(c2, false); err != nil {
+		return r, err
+	}
+	stAfter, _ := store.StatusOf(c2.servers[0].Store())
+	r.RuntimeCorruption.Quarantined = stAfter.Quarantined == stBefore.Quarantined+1
+
+	// --- gates ---
+
+	r.AllCompletedRecovered = r.Recovery.Recovered == keys-r.Damaged
+	r.AllDamagedQuarantined = r.Recovery.Quarantined == r.Damaged
+	r.ZeroCorruptServed = r.CorruptBodiesServed == 0
+	r.WarmAboveCold = r.Warm.HitRatio > r.Cold.HitRatio
+	return r, nil
+}
+
+// Render formats the result as a human-readable report.
+func (r CrashResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crash recovery, %d keys, %d damaged entries (go %s, GOMAXPROCS %d):\n",
+		r.Keys, r.Damaged, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
+	fmt.Fprintf(&b, "  cold fill: %d requests, hit ratio %.1f%%\n",
+		r.Cold.Requests, 100*r.Cold.HitRatio)
+	fmt.Fprintf(&b, "  recovery: %d entries recovered, %d quarantined, %d orphans swept in %v\n",
+		r.Recovery.Recovered, r.Recovery.Quarantined, r.Recovery.OrphansSwept,
+		r.Recovery.OpenTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  warm restart: %d requests, hit ratio %.1f%% (cold %.1f%%, above: %v)\n",
+		r.Warm.Requests, 100*r.Warm.HitRatio, 100*r.Cold.HitRatio, r.WarmAboveCold)
+	fmt.Fprintf(&b, "  runtime bit rot quarantined: %v\n", r.RuntimeCorruption.Quarantined)
+	fmt.Fprintf(&b, "  gates: completed-recovered %v, damaged-quarantined %v, corrupt bodies served %d (zero: %v)\n",
+		r.AllCompletedRecovered, r.AllDamagedQuarantined, r.CorruptBodiesServed, r.ZeroCorruptServed)
+	return b.String()
+}

@@ -249,6 +249,7 @@ func timeStoreGets(dir string, wrap func(store.Store) store.Store, hotKeys int, 
 	if wrap != nil {
 		s = wrap(s)
 	}
+	defer disk.Destroy() // Close alone keeps the files for recovery
 	defer s.Close()
 	keys := make([]string, hotKeys)
 	for i := range keys {

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Entry file format, version 1. Each cache file is self-describing so a
+// restarted node can rebuild its key→file map (and its directory table) from
+// the files alone, and so bit rot or truncation is detected before a body is
+// ever served:
+//
+//	offset 0  magic   "SWLC" (4 bytes)
+//	offset 4  version u8 (currently 1)
+//	offset 5  crc     u32, IEEE CRC32 over every byte after this field
+//	offset 9  keyLen  u32, then the canonical cache key
+//	          ctLen   u32, then the content type
+//	          exec    i64, CGI execution time in nanoseconds
+//	          expires i64, TTL deadline as Unix nanoseconds (0 = no TTL)
+//	          bodyLen u32, then the body — which must end the file exactly
+//
+// All integers are big-endian. The checksum covers the meta-data fields and
+// the body, so a truncated file, a torn final block, or a flipped bit
+// anywhere after the magic fails verification.
+
+// ErrCorrupt marks an entry file that failed structural or checksum
+// verification; such files are quarantined, never served.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+const (
+	entryVersion = 1
+	// entryFixedSize is the encoded size of an entry with empty key, empty
+	// content type, and empty body: the parse floor.
+	entryFixedSize = 4 + 1 + 4 + 4 + 4 + 8 + 8 + 4
+	// crcOffset is where the checksum field sits; coverage starts right
+	// after it.
+	crcOffset = 5
+)
+
+var entryMagic = [4]byte{'S', 'W', 'L', 'C'}
+
+// entryMeta is the decoded header of one entry file.
+type entryMeta struct {
+	Key         string
+	ContentType string
+	ExecTime    time.Duration
+	Expires     time.Time
+	// bodyOff and bodyLen locate the body inside the encoded buffer.
+	bodyOff int
+	bodyLen int
+}
+
+// encodeEntry serializes one cache entry in format version 1.
+func encodeEntry(key, contentType string, body []byte, execTime time.Duration, expires time.Time) []byte {
+	n := entryFixedSize + len(key) + len(contentType) + len(body)
+	buf := make([]byte, 0, n)
+	buf = append(buf, entryMagic[:]...)
+	buf = append(buf, entryVersion)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // crc placeholder
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(contentType)))
+	buf = append(buf, contentType...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(execTime.Nanoseconds()))
+	var exp int64
+	if !expires.IsZero() {
+		exp = expires.UnixNano()
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(exp))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	binary.BigEndian.PutUint32(buf[crcOffset:], crc32.ChecksumIEEE(buf[crcOffset+4:]))
+	return buf
+}
+
+// parseEntryHeader structurally decodes an entry buffer without verifying
+// the checksum. It never panics on arbitrary input (FuzzParseEntryHeader
+// holds it to that); every malformation is reported as ErrCorrupt.
+func parseEntryHeader(data []byte) (entryMeta, error) {
+	var m entryMeta
+	if len(data) < entryFixedSize {
+		return m, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(data), entryFixedSize)
+	}
+	if [4]byte(data[:4]) != entryMagic {
+		return m, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if data[4] != entryVersion {
+		return m, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, data[4])
+	}
+	off := crcOffset + 4
+
+	// Variable-length fields; every length is checked against the remaining
+	// buffer before use so a corrupt length can neither panic nor allocate.
+	next := func(what string) ([]byte, error) {
+		if len(data)-off < 4 {
+			return nil, fmt.Errorf("%w: truncated before %s length", ErrCorrupt, what)
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if n < 0 || n > len(data)-off {
+			return nil, fmt.Errorf("%w: %s length %d exceeds file", ErrCorrupt, what, n)
+		}
+		b := data[off : off+n]
+		off += n
+		return b, nil
+	}
+	key, err := next("key")
+	if err != nil {
+		return m, err
+	}
+	ct, err := next("content type")
+	if err != nil {
+		return m, err
+	}
+	if len(data)-off < 16 {
+		return m, fmt.Errorf("%w: truncated meta fields", ErrCorrupt)
+	}
+	m.Key = string(key)
+	m.ContentType = string(ct)
+	m.ExecTime = time.Duration(binary.BigEndian.Uint64(data[off:]))
+	exp := int64(binary.BigEndian.Uint64(data[off+8:]))
+	if exp != 0 {
+		m.Expires = time.Unix(0, exp)
+	}
+	off += 16
+	body, err := next("body")
+	if err != nil {
+		return m, err
+	}
+	m.bodyLen = len(body)
+	m.bodyOff = off - len(body)
+	if off != len(data) {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	}
+	return m, nil
+}
+
+// decodeEntry parses and checksum-verifies an entry buffer, returning the
+// meta-data and the body (aliasing data).
+func decodeEntry(data []byte) (entryMeta, []byte, error) {
+	m, err := parseEntryHeader(data)
+	if err != nil {
+		return m, nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(data[crcOffset+4:]), binary.BigEndian.Uint32(data[crcOffset:]); got != want {
+		return m, nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return m, data[m.bodyOff : m.bodyOff+m.bodyLen], nil
+}

@@ -205,8 +205,14 @@ func TestDiskFilesOnDisk(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal("Close must keep the cache directory for recovery")
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(dir); !os.IsNotExist(err) {
-		t.Fatal("Close must remove the cache directory")
+		t.Fatal("Destroy must remove the cache directory")
 	}
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Tiered layers a size-bounded in-memory LRU read cache over a backing
@@ -55,6 +56,18 @@ func (t *Tiered) Put(key, contentType string, body []byte) error {
 	if err := t.backing.Put(key, contentType, body); err != nil {
 		// The memory tier may hold the previous body for key; drop it so a
 		// failed overwrite cannot leave memory newer than the backing store.
+		t.invalidate(key)
+		return err
+	}
+	t.admit(key, contentType, body)
+	return nil
+}
+
+// PutEntry implements MetaPutter: write through with meta-data (when the
+// backing store persists it), then refresh the memory tier; a failed write
+// invalidates the tier exactly as Put does.
+func (t *Tiered) PutEntry(key, contentType string, body []byte, execTime time.Duration, expires time.Time) error {
+	if err := PutWithMeta(t.backing, key, contentType, body, execTime, expires); err != nil {
 		t.invalidate(key)
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestTieredWriteThroughAndReadBack(t *testing.T) {
@@ -182,6 +183,58 @@ func TestTieredOverDisk(t *testing.T) {
 	}
 	if disk.Len() != 0 {
 		t.Fatal("delete did not reach the disk store")
+	}
+}
+
+// failingStore wraps Memory and fails Puts on demand.
+type failingStore struct {
+	*Memory
+	failPuts bool
+}
+
+func (f *failingStore) Put(key, contentType string, body []byte) error {
+	if f.failPuts {
+		return errors.New("backing store: injected put failure")
+	}
+	return f.Memory.Put(key, contentType, body)
+}
+
+// TestTieredPutFailureInvalidatesMemTier is the regression for the bug where
+// a failed backing Put left the previous body resident in the memory tier,
+// so GetCached served data newer than (or inconsistent with) the backing
+// store.
+func TestTieredPutFailureInvalidatesMemTier(t *testing.T) {
+	backing := &failingStore{Memory: NewMemory()}
+	ts := NewTiered(backing, 1<<20)
+	defer ts.Close()
+
+	if err := ts.Put("k", "t", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ts.GetCached("k"); !ok {
+		t.Fatal("v1 not resident after successful Put")
+	}
+
+	backing.failPuts = true
+	if err := ts.Put("k", "t", []byte("v2")); err == nil {
+		t.Fatal("Put with failing backing store succeeded")
+	}
+	// The memory tier must not keep serving v1 as if it were current.
+	if _, body, ok := ts.GetCached("k"); ok {
+		t.Fatalf("mem tier still resident after failed Put (body %q)", body)
+	}
+	// Get falls through to the backing store's authoritative copy.
+	if _, body, err := ts.Get("k"); err != nil || string(body) != "v1" {
+		t.Fatalf("Get after failed overwrite = %q, %v; want backing v1", body, err)
+	}
+
+	// Same contract for the meta-data path.
+	backing.failPuts = true
+	if err := ts.PutEntry("k", "t", []byte("v3"), 0, time.Time{}); err == nil {
+		t.Fatal("PutEntry with failing backing store succeeded")
+	}
+	if _, _, ok := ts.GetCached("k"); ok {
+		t.Fatal("mem tier resident after failed PutEntry")
 	}
 }
 

@@ -20,6 +20,7 @@ func FuzzUnmarshal(f *testing.F) {
 		&Pong{Seq: 9},
 		&Stats{Seq: 1},
 		&StatsReply{Seq: 1, LocalHits: 2, Entries: 3},
+		&StatsReply{Seq: 2, Storage: &StorageStats{Degraded: true, LastError: "enospc", PutFailures: 1, Recovered: 4}},
 		&Invalidate{Origin: 7, Pattern: "GET /cgi*"},
 		&DirBatch{Owner: 1, Version: 3, Updates: []DirUpdate{
 			{Owner: 1, Key: "GET /a", Size: 9, ExecTime: time.Second},

@@ -231,6 +231,26 @@ type StatsReply struct {
 	// Health lists the failure detector's per-peer state (empty when the
 	// detector is disabled or the sender predates it).
 	Health []PeerHealth
+	// Storage reports durable-store health (nil when the node runs a pure
+	// in-memory store, or the sender predates the field).
+	Storage *StorageStats
+}
+
+// StorageStats reports the durable store's health inside a StatsReply.
+type StorageStats struct {
+	// Degraded is true while the store is in read-only degraded mode after a
+	// write failure (full or failing disk); it re-probes periodically.
+	Degraded bool
+	// LastError is the most recent write error ("" if none ever occurred).
+	LastError string
+	// PutFailures counts writes that failed (including degraded fast-fails).
+	PutFailures uint64
+	// Quarantined counts corrupt entry files moved aside, never served.
+	Quarantined uint64
+	// Recovered is how many entries the startup scan salvaged.
+	Recovered uint64
+	// OrphansSwept is how many abandoned temp files the startup scan removed.
+	OrphansSwept uint64
 }
 
 // Type implements Message.
@@ -529,6 +549,15 @@ func (m *StatsReply) encode(e *encoder) {
 		e.u8(ph.State)
 		e.u32(ph.Fails)
 	}
+	e.boolean(m.Storage != nil)
+	if m.Storage != nil {
+		e.boolean(m.Storage.Degraded)
+		e.str(m.Storage.LastError)
+		e.u64(m.Storage.PutFailures)
+		e.u64(m.Storage.Quarantined)
+		e.u64(m.Storage.Recovered)
+		e.u64(m.Storage.OrphansSwept)
+	}
 }
 
 func (m *StatsReply) decode(d *decoder) error {
@@ -573,6 +602,20 @@ func (m *StatsReply) decode(d *decoder) error {
 			m.Health[i].Peer = d.u32()
 			m.Health[i].State = d.u8()
 			m.Health[i].Fails = d.u32()
+		}
+	}
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating the storage-health report.
+		return nil
+	}
+	if d.boolean() {
+		m.Storage = &StorageStats{
+			Degraded:     d.boolean(),
+			LastError:    d.str(),
+			PutFailures:  d.u64(),
+			Quarantined:  d.u64(),
+			Recovered:    d.u64(),
+			OrphansSwept: d.u64(),
 		}
 	}
 	return d.finish()

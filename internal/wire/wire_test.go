@@ -212,6 +212,58 @@ func TestStatsReplyDecodesPreHealthFrame(t *testing.T) {
 	}
 }
 
+func TestStatsReplyStorage(t *testing.T) {
+	in := &StatsReply{
+		Seq: 13, Entries: 7,
+		Health: []PeerHealth{{Peer: 2, State: 1, Fails: 3}},
+		Storage: &StorageStats{
+			Degraded:     true,
+			LastError:    "write /tmp/cache/entry-9.cache.tmp: no space left on device",
+			PutFailures:  4,
+			Quarantined:  2,
+			Recovered:    117,
+			OrphansSwept: 1,
+		},
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	// And a healthy nil Storage must survive the round trip as nil.
+	in2 := &StatsReply{Seq: 14, Entries: 1}
+	if got := roundTrip(t, in2); !reflect.DeepEqual(got, in2) {
+		t.Fatalf("got %+v, want %+v", got, in2)
+	}
+}
+
+func TestStatsReplyDecodesPreStorageFrame(t *testing.T) {
+	// A StatsReply frame that ends after the health list (sender predates the
+	// storage report) must still decode, with Storage nil.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgStatsReply))
+	e.u64(6)
+	for _, v := range []int64{10, 4, 2, 1, 1, 12, 3, 9, 2} {
+		e.i64(v)
+	}
+	e.u32(0) // no PeerDrops
+	e.u32(1) // one health entry
+	e.u32(3)
+	e.u8(2)
+	e.u32(5)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	got, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	sr := got.(*StatsReply)
+	if sr.Seq != 6 || len(sr.Health) != 1 || sr.Health[0].Peer != 3 {
+		t.Fatalf("got %+v", sr)
+	}
+	if sr.Storage != nil {
+		t.Fatalf("pre-storage frame produced storage stats: %+v", sr.Storage)
+	}
+}
+
 func TestStatsReplyBogusHealthCountRejected(t *testing.T) {
 	frame := Marshal(&StatsReply{Seq: 1})
 	payload := frame[4:]
