@@ -18,9 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -46,6 +49,7 @@ func main() {
 		policy    = flag.String("policy", "lru", "replacement policy: lru|fifo|lfu|size|gds")
 		cfgPath   = flag.String("config", "", "cacheability config file (default: cache all CGI, 10m TTL)")
 		cacheDir  = flag.String("cachedir", "", "disk cache directory (default: in-memory store)")
+		storeKind = flag.String("store", "files", "disk cache layout for -cachedir: files (one file per entry) or log (segmented append-only log, one append per insert)")
 		persist   = flag.Bool("persist", true, "recover the disk cache across restarts: scan -cachedir at startup, rebuild the directory from intact entries, quarantine corrupt ones (-persist=false wipes the directory first, the paper's cold-start semantics)")
 		fsyncPol  = flag.String("fsync", "never", "disk cache fsync policy: never|always (always fsyncs each entry before publishing it)")
 		docsDir   = flag.String("docs", "", "static document root to serve")
@@ -67,6 +71,7 @@ func main() {
 		probeTO   = flag.Duration("probe-timeout", 0, "bound on one heartbeat round trip (0 = default 1s, clamped to probe-interval)")
 		suspAfter = flag.Int("suspect-after", 0, "consecutive probe failures before a peer is suspect (0 = default 2)")
 		deadAfter = flag.Int("dead-after", 0, "consecutive probe failures before a peer is dead and quarantined (0 = default 5)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address with mutex and block profiling enabled (empty = off)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -74,6 +79,19 @@ func main() {
 	mode, err := parseMode(*modeFlag)
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// Contention diagnosis in-situ: sampled mutex and block profiles are
+		// cheap enough to leave on while the profiling endpoint is up.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
+		go func() {
+			logger.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	cfg := core.Config{
@@ -123,13 +141,24 @@ func main() {
 				logger.Fatalf("cachedir: %v", err)
 			}
 		}
-		disk, rep, err := store.OpenDisk(*cacheDir, store.DiskOptions{Fsync: fsync})
+		var (
+			disk store.Store
+			rep  *store.RecoveryReport
+		)
+		switch *storeKind {
+		case "files":
+			disk, rep, err = store.OpenDisk(*cacheDir, store.DiskOptions{Fsync: fsync})
+		case "log":
+			disk, rep, err = store.OpenLog(*cacheDir, store.LogOptions{Fsync: fsync})
+		default:
+			logger.Fatalf("store: unknown layout %q (want files or log)", *storeKind)
+		}
 		if err != nil {
 			logger.Fatalf("cachedir: %v", err)
 		}
 		if *persist {
-			logger.Printf("cache recovery: %d entries recovered, %d quarantined, %d orphans swept, %d duplicates, %d expired",
-				len(rep.Recovered), rep.Quarantined, rep.OrphansSwept, rep.Duplicates, rep.Expired)
+			logger.Printf("cache recovery (%s store): %d entries recovered, %d quarantined, %d orphans swept, %d duplicates, %d expired",
+				*storeKind, len(rep.Recovered), rep.Quarantined, rep.OrphansSwept, rep.Duplicates, rep.Expired)
 			cfg.Recovered = rep.Recovered
 		}
 		cfg.Store = disk

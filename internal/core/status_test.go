@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/httpclient"
+)
+
+var (
+	statusMissesRE  = regexp.MustCompile(`<li>misses: (\d+)</li>`)
+	statusInsertsRE = regexp.MustCompile(`<li>inserts: (\d+)</li>`)
+)
+
+func statusCounter(t *testing.T, re *regexp.Regexp, body string) int {
+	t.Helper()
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("status page missing %v:\n%s", re, body)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestStatusSnapshotConsistentUnderLoad is the regression test for torn
+// multi-field counter reads on /swala-status: every request here is a
+// unique-key cacheable miss, and each miss is counted before its insert, so
+// any consistent snapshot must show inserts <= misses. The pre-sharding
+// counter read the fields without a cut and could render a page where an
+// insert was visible but its miss was not.
+func TestStatusSnapshotConsistentUnderLoad(t *testing.T) {
+	h := startCluster(t, 1, nil)
+	registerNullCGI(h.servers[0])
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := httpclient.New(h.mem)
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				uri := fmt.Sprintf("/cgi-bin/null?w=%d&i=%d", w, i)
+				resp, err := c.Get(h.addr(0), uri)
+				if err != nil || resp.StatusCode != 200 {
+					t.Errorf("GET %s: status %v err %v", uri, resp, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for probe := 0; probe < 50 && !t.Failed(); probe++ {
+		body := string(h.get(t, 0, StatusPath).Body)
+		misses := statusCounter(t, statusMissesRE, body)
+		inserts := statusCounter(t, statusInsertsRE, body)
+		if inserts > misses {
+			t.Errorf("torn snapshot on probe %d: inserts %d > misses %d", probe, inserts, misses)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,14 +16,18 @@ import (
 
 // CrashResult is the machine-readable outcome of the crash-recovery
 // experiment (benchsuite -crash): a stand-alone node fills a durable disk
-// cache, dies mid-write (kill before the publish rename), has three of its
-// entry files damaged while it is down (truncation, a flipped bit, complete
-// loss), and restarts over the same directory. The headline numbers are the
-// warm-restart hit ratio against the cold baseline and the corrupt-served
-// count, which must be zero: every damaged entry is quarantined and
-// re-executed, never served.
+// cache, dies mid-write (kill before the publish rename for the files
+// backend; a torn segment append for the log backend), has three of its
+// completed entries damaged while it is down, and restarts over the same
+// directory. The headline numbers are the warm-restart hit ratio against the
+// cold baseline and the corrupt-served count, which must be zero: every
+// damaged entry is quarantined and re-executed, never served.
 type CrashResult struct {
 	Meta Meta `json:"meta"`
+
+	// Backend is the durable store under test: "files" (file-per-entry
+	// Disk) or "log" (segmented append-only Log).
+	Backend string `json:"backend"`
 
 	// Keys is the working-set size; every key is requested twice per phase.
 	Keys int `json:"keys"`
@@ -88,12 +93,217 @@ func listEntryFiles(dir string) ([]string, error) {
 	return out, nil
 }
 
-// RunCrash measures crash recovery end to end: fill, die mid-write, corrupt
-// entries on disk, restart warm, and verify no damaged byte is ever served.
+// crashBackend abstracts the store-specific steps of the crash schedule so
+// the same fill / kill / damage / recover / probe flow gates both durable
+// backends.
+type crashBackend struct {
+	name string
+	// open builds the store over dir (fs nil = the real filesystem).
+	open func(dir string, fs store.FS) (store.Store, *store.RecoveryReport, error)
+	// kill arms the mid-write death for the one in-flight request: the
+	// files backend dies before the publish rename (temp debris stays), the
+	// log backend tears the segment append partway through.
+	kill func(ffs *store.FaultFS)
+	// damage corrupts n completed entries on disk and plants one orphaned
+	// temp file, returning how many entries were damaged.
+	damage func(dir string, n int) (int, error)
+	// bitrot flips one bit of a live entry's stored bytes after the warm
+	// restart, for the runtime quarantine probe.
+	bitrot func(dir string) error
+}
+
+// crashBackendFor returns the backend named "files" or "log".
+func crashBackendFor(name string) (crashBackend, error) {
+	switch name {
+	case "", "files":
+		return crashBackend{
+			name: "files",
+			open: func(dir string, fs store.FS) (store.Store, *store.RecoveryReport, error) {
+				return store.OpenDisk(dir, store.DiskOptions{FS: fs})
+			},
+			kill:   func(ffs *store.FaultFS) { ffs.SetCrashed(true) },
+			damage: damageEntryFiles,
+			bitrot: bitrotEntryFile,
+		}, nil
+	case "log":
+		return crashBackend{
+			name: "log",
+			open: func(dir string, fs store.FS) (store.Store, *store.RecoveryReport, error) {
+				return store.OpenLog(dir, store.LogOptions{FS: fs})
+			},
+			// Tear the next segment append after its first 20 bytes — the
+			// log's shape of dying mid-write. Recovery must truncate the
+			// torn tail (counted as an orphan sweep, like Disk's temp-file
+			// debris) because the append was never acknowledged.
+			kill:   func(ffs *store.FaultFS) { ffs.TornWrite(20, nil) },
+			damage: damageLogRecords,
+			bitrot: bitrotLogRecord,
+		}, nil
+	default:
+		return crashBackend{}, fmt.Errorf("crash: unknown store backend %q (want files or log)", name)
+	}
+}
+
+// damageEntryFiles corrupts n published entry files the classic ways
+// (truncated tail, a flipped bit, complete loss) and plants an orphaned temp
+// file beyond the crash debris.
+func damageEntryFiles(dir string, n int) (int, error) {
+	files, err := listEntryFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(files) < n {
+		return 0, fmt.Errorf("crash: %d entry files on disk after fill, want at least %d", len(files), n)
+	}
+	damage := []func(path string) error{
+		func(p string) error { return os.Truncate(p, 11) }, // torn tail
+		func(p string) error { // single flipped bit
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x10
+			return os.WriteFile(p, data, 0o644)
+		},
+		func(p string) error { return os.Truncate(p, 0) }, // lost content
+	}
+	for i := 0; i < n; i++ {
+		if err := damage[i%len(damage)](files[i*len(files)/n]); err != nil {
+			return 0, err
+		}
+	}
+	err = os.WriteFile(filepath.Join(dir, "entry-999999.cache.tmp"), []byte("abandoned"), 0o644)
+	return n, err
+}
+
+// bitrotEntryFile flips one bit near the end of the middle live entry file.
+func bitrotEntryFile(dir string) error {
+	live, err := listEntryFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("crash: no live entry files for the bit-rot probe")
+	}
+	p := live[len(live)/2]
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return err
+	}
+	data[len(data)-3] ^= 0x04
+	return os.WriteFile(p, data, 0o644)
+}
+
+// listSegmentFiles returns the log segment files in dir, oldest first.
+func listSegmentFiles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		name := de.Name()
+		if !de.IsDir() && strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".log") {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return segmentSeq(out[i]) < segmentSeq(out[j])
+	})
+	return out, nil
+}
+
+// segmentSeq extracts the numeric sequence from a seg-N.log path.
+func segmentSeq(path string) int64 {
+	name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "seg-"), ".log")
+	n, _ := strconv.ParseInt(name, 10, 64)
+	return n
+}
+
+// damageLogRecords flips one bit inside the bodies of n distinct records
+// spread across the segment files — each record's header still parses, its
+// checksum no longer verifies, so recovery must quarantine exactly those
+// records and keep their neighbors — and plants an orphaned temp segment.
+func damageLogRecords(dir string, n int) (int, error) {
+	segs, err := listSegmentFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	type target struct {
+		path string
+		span store.SegmentSpan
+	}
+	var targets []target
+	for _, p := range segs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return 0, err
+		}
+		for _, sp := range store.ScanSegment(data) {
+			targets = append(targets, target{path: p, span: sp})
+		}
+	}
+	if len(targets) < n {
+		return 0, fmt.Errorf("crash: %d records in segments after fill, want at least %d", len(targets), n)
+	}
+	for i := 0; i < n; i++ {
+		t := targets[i*len(targets)/n]
+		data, err := os.ReadFile(t.path)
+		if err != nil {
+			return 0, err
+		}
+		data[t.span.Off+t.span.Len-3] ^= 0x10 // inside the record's body
+		if err := os.WriteFile(t.path, data, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	err = os.WriteFile(filepath.Join(dir, "seg-999999.log.tmp"), []byte("abandoned"), 0o644)
+	return n, err
+}
+
+// bitrotLogRecord flips one bit in a live record of the newest segment. The
+// newest segment holds only post-restart appends, so every record in it is
+// the latest copy of its key.
+func bitrotLogRecord(dir string) error {
+	segs, err := listSegmentFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("crash: no segment files for the bit-rot probe")
+	}
+	p := segs[len(segs)-1]
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return err
+	}
+	spans := store.ScanSegment(data)
+	if len(spans) == 0 {
+		return fmt.Errorf("crash: newest segment %s holds no records", p)
+	}
+	sp := spans[len(spans)/2]
+	data[sp.Off+sp.Len-3] ^= 0x04
+	return os.WriteFile(p, data, 0o644)
+}
+
+// RunCrash measures crash recovery end to end against the file-per-entry
+// backend: fill, die mid-write, corrupt entries on disk, restart warm, and
+// verify no damaged byte is ever served.
 func RunCrash(o Options) (CrashResult, error) {
+	return RunCrashStore(o, "files")
+}
+
+// RunCrashStore runs the crash schedule against the named durable backend
+// ("files" or "log"); both must satisfy the same gates.
+func RunCrashStore(o Options, backend string) (CrashResult, error) {
 	o = o.withDefaults()
 	var r CrashResult
+	b, err := crashBackendFor(backend)
+	if err != nil {
+		return r, err
+	}
 	r.Meta = CollectMeta()
+	r.Backend = b.name
 	keys := o.pick(24, 96)
 	r.Keys = keys
 	cost := o.pick(5, 20) // paper-ms per request
@@ -144,11 +354,11 @@ func RunCrash(o Options) (CrashResult, error) {
 	// --- fill phase (cold, empty directory) ---
 
 	ffs := store.NewFaultFS(nil)
-	disk, _, err := store.OpenDisk(cacheDir, store.DiskOptions{FS: ffs})
+	st, _, err := b.open(cacheDir, ffs)
 	if err != nil {
 		return r, err
 	}
-	c, err := node(disk, nil)
+	c, err := node(st, nil)
 	if err != nil {
 		return r, err
 	}
@@ -160,10 +370,11 @@ func RunCrash(o Options) (CrashResult, error) {
 	}
 	r.Cold.HitRatio = hitRatio(before, snapshotCounters(c))
 
-	// Kill before the publish rename: the in-flight entry's temp file stays
-	// on disk as debris (a dead process cleans nothing up), the request is
-	// still answered from the execution.
-	ffs.SetCrashed(true)
+	// Die mid-write: the files backend is killed before the publish rename
+	// (the in-flight entry's temp file stays on disk as debris — a dead
+	// process cleans nothing up), the log backend tears the append partway.
+	// Either way the request is still answered from the execution.
+	b.kill(ffs)
 	if resp, err := c.client.Get(c.addrs[0], crashURI(keys, cost)); err != nil || resp.StatusCode != 200 {
 		c.Close()
 		return r, fmt.Errorf("crash: in-flight request failed: %v", err)
@@ -172,41 +383,17 @@ func RunCrash(o Options) (CrashResult, error) {
 
 	// --- corrupt the downed node's files ---
 
-	files, err := listEntryFiles(cacheDir)
+	// Damage three completed entries plus one more orphaned temp file beyond
+	// the crash debris.
+	r.Damaged, err = b.damage(cacheDir, 3)
 	if err != nil {
-		return r, err
-	}
-	if len(files) < keys {
-		return r, fmt.Errorf("crash: %d entry files on disk after fill, want %d", len(files), keys)
-	}
-	// Damage three published entries the three classic ways, plus one more
-	// orphaned temp file beyond the crash debris.
-	damage := []func(path string) error{
-		func(p string) error { return os.Truncate(p, 11) }, // torn tail
-		func(p string) error { // single flipped bit
-			data, err := os.ReadFile(p)
-			if err != nil {
-				return err
-			}
-			data[len(data)/2] ^= 0x10
-			return os.WriteFile(p, data, 0o644)
-		},
-		func(p string) error { return os.Truncate(p, 0) }, // lost content
-	}
-	r.Damaged = len(damage)
-	for i, f := range damage {
-		if err := f(files[i*len(files)/len(damage)]); err != nil {
-			return r, err
-		}
-	}
-	if err := os.WriteFile(filepath.Join(cacheDir, "entry-999999.cache.tmp"), []byte("abandoned"), 0o644); err != nil {
 		return r, err
 	}
 
 	// --- warm restart over the damaged directory ---
 
 	start := time.Now()
-	disk2, rep, err := store.OpenDisk(cacheDir, store.DiskOptions{})
+	st2, rep, err := b.open(cacheDir, nil)
 	if err != nil {
 		return r, err
 	}
@@ -215,7 +402,7 @@ func RunCrash(o Options) (CrashResult, error) {
 	r.Recovery.Quarantined = rep.Quarantined
 	r.Recovery.OrphansSwept = rep.OrphansSwept
 
-	c2, err := node(disk2, rep.Recovered)
+	c2, err := node(st2, rep.Recovered)
 	if err != nil {
 		return r, err
 	}
@@ -230,16 +417,7 @@ func RunCrash(o Options) (CrashResult, error) {
 	// --- runtime bit-rot probe ---
 
 	stBefore, _ := store.StatusOf(c2.servers[0].Store())
-	live, err := listEntryFiles(cacheDir)
-	if err != nil || len(live) == 0 {
-		return r, fmt.Errorf("crash: no live entry files for the bit-rot probe (%v)", err)
-	}
-	data, err := os.ReadFile(live[len(live)/2])
-	if err != nil {
-		return r, err
-	}
-	data[len(data)-3] ^= 0x04
-	if err := os.WriteFile(live[len(live)/2], data, 0o644); err != nil {
+	if err := b.bitrot(cacheDir); err != nil {
 		return r, err
 	}
 	// Replay once more: the rotten entry must be quarantined on read and
@@ -262,8 +440,8 @@ func RunCrash(o Options) (CrashResult, error) {
 // Render formats the result as a human-readable report.
 func (r CrashResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "crash recovery, %d keys, %d damaged entries (go %s, GOMAXPROCS %d):\n",
-		r.Keys, r.Damaged, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
+	fmt.Fprintf(&b, "crash recovery, %s store, %d keys, %d damaged entries (go %s, GOMAXPROCS %d):\n",
+		r.Backend, r.Keys, r.Damaged, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
 	fmt.Fprintf(&b, "  cold fill: %d requests, hit ratio %.1f%%\n",
 		r.Cold.Requests, 100*r.Cold.HitRatio)
 	fmt.Fprintf(&b, "  recovery: %d entries recovered, %d quarantined, %d orphans swept in %v\n",

@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-func TestCrashRecoveryGates(t *testing.T) {
-	r, err := RunCrash(structuralOpts())
+func testCrashGates(t *testing.T, backend string) {
+	t.Helper()
+	r, err := RunCrashStore(structuralOpts(), backend)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,3 +34,6 @@ func TestCrashRecoveryGates(t *testing.T) {
 		t.Fatalf("render missing title:\n%s", out)
 	}
 }
+
+func TestCrashRecoveryGates(t *testing.T)         { testCrashGates(t, "files") }
+func TestCrashRecoveryGatesLogStore(t *testing.T) { testCrashGates(t, "log") }

@@ -45,11 +45,40 @@ type call[V any] struct {
 	waiters int
 }
 
+// numStripes is the lock-stripe count, matching internal/directory's 32-way
+// striping: a single map+mutex serializes every coalescing check on the
+// request hot path once requests run on several cores, while 32 independent
+// stripes make same-stripe collisions between concurrent distinct keys rare.
+// Must be a power of two.
+const numStripes = 32
+
+// stripe is one independently locked shard of the key space, padded so
+// neighbouring stripes' locks don't share a cache line.
+type stripe[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+	_     [96]byte
+}
+
 // Group coalesces duplicate concurrent calls by key. The zero value is ready
 // to use. A Group must not be copied after first use.
 type Group[V any] struct {
-	mu    sync.Mutex
-	calls map[string]*call[V]
+	stripes [numStripes]stripe[V]
+}
+
+// stripeFor hashes a key to its stripe with inlined FNV-1a (the same scheme
+// internal/directory uses), avoiding per-call hasher allocations.
+func (g *Group[V]) stripeFor(key string) *stripe[V] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &g.stripes[h&(numStripes-1)]
 }
 
 // Do executes fn and returns its result, ensuring that at any moment only
@@ -69,13 +98,14 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared 
 // still waiting (fn is responsible for bounding its own work). A detached
 // initiator is still reported with shared=false.
 func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) (v V, err error, shared bool) {
-	g.mu.Lock()
-	if g.calls == nil {
-		g.calls = make(map[string]*call[V])
+	s := g.stripeFor(key)
+	s.mu.Lock()
+	if s.calls == nil {
+		s.calls = make(map[string]*call[V])
 	}
-	if c, ok := g.calls[key]; ok {
+	if c, ok := s.calls[key]; ok {
 		c.waiters++
-		g.mu.Unlock()
+		s.mu.Unlock()
 		select {
 		case <-c.done:
 			return c.val, c.err, true
@@ -84,14 +114,14 @@ func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) 
 		}
 	}
 	c := &call[V]{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
+	s.calls[key] = c
+	s.mu.Unlock()
 
 	go func() {
 		c.val, c.err = fn()
-		g.mu.Lock()
-		delete(g.calls, key)
-		g.mu.Unlock()
+		s.mu.Lock()
+		delete(s.calls, key)
+		s.mu.Unlock()
 		close(c.done)
 	}()
 
@@ -104,9 +134,16 @@ func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) 
 }
 
 // InFlight reports how many keys currently have an execution in flight,
-// for tests and introspection.
+// for tests and introspection. The count sums per-stripe sizes without
+// holding all stripe locks at once, so under churn it is a close estimate,
+// not an instantaneous cut.
 func (g *Group[V]) InFlight() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.calls)
+	n := 0
+	for i := range g.stripes {
+		s := &g.stripes[i]
+		s.mu.Lock()
+		n += len(s.calls)
+		s.mu.Unlock()
+	}
+	return n
 }

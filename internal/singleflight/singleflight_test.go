@@ -3,6 +3,7 @@ package singleflight
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -154,9 +155,10 @@ func TestDistinctKeysDoNotCoalesce(t *testing.T) {
 
 // waiterCount exposes the waiter count for tests.
 func (g *Group[V]) waiterCount(key string) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if c, ok := g.calls[key]; ok {
+	s := g.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.calls[key]; ok {
 		return c.waiters
 	}
 	return 0
@@ -287,4 +289,46 @@ func waitForWaiters(t *testing.T, g *Group[int], key string, n int) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("waiters for %q never reached %d", key, n)
+}
+
+// TestStripedManyKeysConcurrent hammers the striped map with many distinct
+// keys from many goroutines: coalescing must stay per-key exact (one
+// execution per key per round) while stripes are exercised in parallel.
+func TestStripedManyKeysConcurrent(t *testing.T) {
+	var g Group[int]
+	const keys = 128 // 4x the stripe count, every stripe occupied
+	const callersPerKey = 4
+	var execs atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		for c := 0; c < callersPerKey; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.Do(key, func() (int, error) {
+					execs.Add(1)
+					<-release // hold every flight open so duplicates pile up
+					return 0, nil
+				})
+			}()
+		}
+	}
+	// Wait until every key has its flight registered, then let them finish.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.InFlight() < keys {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight = %d, want %d", g.InFlight(), keys)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := execs.Load(); n != keys {
+		t.Fatalf("execs = %d, want %d (exactly one per key)", n, keys)
+	}
+	if n := g.InFlight(); n != 0 {
+		t.Fatalf("InFlight after completion = %d, want 0", n)
+	}
 }

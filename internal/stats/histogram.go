@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-memory, lock-free latency histogram in the style of
+// HDR histograms: log-linear buckets — one power-of-two range per row,
+// histSubBuckets linear sub-buckets inside each — giving a bounded relative
+// error of ~1/histSubBuckets (~1.6%) at any magnitude from 1ns up to the
+// int64-nanosecond ceiling. Unlike LatencyRecorder it never allocates per
+// sample, so the open-loop load generator can record completions at full
+// arrival rate without the recorder itself becoming a bottleneck (or a
+// coordinated-omission source).
+//
+// The zero value is ready to use. Record is one atomic add plus a max CAS;
+// Quantile walks the fixed bucket array and may run concurrently with
+// recording, yielding a slightly stale but never torn view.
+type Histogram struct {
+	counts [histRows * histSubBuckets]atomic.Int64
+	total  atomic.Int64
+	// max tracks the largest recorded value exactly, so Max (and the top
+	// quantiles near it) are not rounded up to a bucket boundary.
+	max atomic.Int64
+}
+
+const (
+	// histSubBucketBits fixes 64 linear sub-buckets per power-of-two row.
+	histSubBucketBits = 6
+	histSubBuckets    = 1 << histSubBucketBits
+	// histRows covers all of int64 nanoseconds: row 0 holds values below
+	// histSubBuckets exactly; each further row doubles the covered range.
+	histRows = 64 - histSubBucketBits
+)
+
+// histIndex maps a non-negative value to its bucket slot. Row 0 stores
+// v < histSubBuckets exactly at index v. In row b > 0, v>>b lies in
+// [histSubBuckets/2, histSubBuckets), so masking keeps it unique; the low
+// half of each such row is simply unused (accepted waste for branch-free
+// indexing).
+func histIndex(v int64) int {
+	row := bits.Len64(uint64(v) >> histSubBucketBits)
+	return row*histSubBuckets + int(v>>uint(row))&(histSubBuckets-1)
+}
+
+// histValue returns the inclusive upper edge of a bucket slot's value range.
+func histValue(idx int) int64 {
+	row := uint(idx / histSubBuckets)
+	sub := int64(idx % histSubBuckets)
+	if row == 0 {
+		return sub
+	}
+	// Slot holds every v with v>>row == sub; upper edge is (sub+1)<<row - 1.
+	// The top row can overflow int64, so compute in uint64 and clamp.
+	edge := (uint64(sub)+1)<<row - 1
+	if edge > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(edge)
+}
+
+// Record adds one duration sample. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count reports the number of samples recorded.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Max reports the largest recorded sample exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the q-th quantile (0..1) as a duration. The result is the
+// upper edge of the bucket holding the ranked sample, within ~1.6% relative
+// error, and never beyond the true maximum. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based position of the wanted sample in sorted order.
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			v := histValue(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Summary renders the histogram's key quantiles as a Summary. Total and Mean
+// are approximated from bucket upper edges; Min is the lowest occupied
+// bucket's edge (the histogram does not track the exact minimum).
+func (h *Histogram) Summary() Summary {
+	total := h.total.Load()
+	if total == 0 {
+		return Summary{}
+	}
+	var sum int64
+	min := int64(-1)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		v := histValue(i)
+		sum += c * v
+		if min < 0 {
+			min = v
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return Summary{
+		Count: int(total),
+		Total: time.Duration(sum),
+		Mean:  time.Duration(sum / total),
+		Min:   time.Duration(min),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}

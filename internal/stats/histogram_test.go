@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose range contains it, with the
+	// bucket's upper edge within ~1/histSubBuckets relative error above it.
+	values := []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4095, 4096,
+		1e6, 1e9, 123456789012, math.MaxInt64}
+	for _, v := range values {
+		idx := histIndex(v)
+		edge := histValue(idx)
+		if edge < v {
+			t.Errorf("histValue(histIndex(%d)) = %d, below the value", v, edge)
+		}
+		if v >= histSubBuckets && v < math.MaxInt64/2 {
+			if maxEdge := v + v/(histSubBuckets/2) + 1; edge > maxEdge {
+				t.Errorf("histValue(histIndex(%d)) = %d, relative error too large (> %d)", v, edge, maxEdge)
+			}
+		}
+	}
+	// Small values are exact.
+	for v := int64(0); v < histSubBuckets; v++ {
+		if got := histValue(histIndex(v)); got != v {
+			t.Fatalf("small value %d not exact: got %d", v, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms, uniformly: p50 ~ 500ms, p99 ~ 990ms, p999 ~ 999ms.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// Allow the bucket's ~1.6% overshoot plus rank rounding.
+		lo := c.want - c.want/20
+		hi := c.want + c.want/20
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("Max = %v, want 1s", h.Max())
+	}
+	if q := h.Quantile(1); q != 1000*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want exactly the max", q)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+	h.Record(-5 * time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatal("negative sample should count as zero")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(r.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Summary()
+	if s.P50 <= 0 || s.P999 < s.P99 || s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	if s.Max >= time.Second {
+		t.Fatalf("Max = %v, want < 1s", s.Max)
+	}
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "unsafe"
+
+// The hot-path counters in this package (HitCounter, StageStats) used to sit
+// behind one mutex or one set of atomics per counter — fine at GOMAXPROCS=1,
+// where every BENCH_*.json before the multicore campaign was recorded, but a
+// single contended cache line once request threads run on several cores:
+// every increment bounces the line between cores. They are therefore sharded:
+// numShards independent copies, each padded to its own cache lines, picked by
+// the calling goroutine and summed only when a snapshot is taken.
+
+// numShards is the counter shard count. Like the directory's 32 stripes, it
+// comfortably exceeds the core counts the server targets, so two goroutines
+// running on different cores rarely land on the same shard; a fixed power of
+// two keeps selection a hash + mask.
+const numShards = 32
+
+// shardPad rounds a shard up past typical cache-line prefetch pairs (2×64 B)
+// so neighbouring shards never share a line.
+const shardPad = 128
+
+// shardIndex picks a shard for the calling goroutine. There is no portable
+// per-CPU index in Go, but the address of a goroutine's stack frame is a good
+// stand-in: distinct goroutines occupy distinct stacks, so hashing a local
+// variable's address spreads concurrent goroutines across shards — and the
+// request threads doing the counting are long-lived pool goroutines, so the
+// mapping is stable in practice (a stack growth may remap a goroutine, which
+// is harmless: any shard is correct, only distribution matters).
+func shardIndex() int {
+	var probe byte
+	h := uintptr(unsafe.Pointer(&probe))
+	// Fibonacci hashing: stack addresses share low (alignment) and high
+	// (arena) bits, so multiply-and-take-top-bits separates them.
+	h *= 0x9E3779B97F4A7C15
+	return int(h>>59) & (numShards - 1)
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHitCounterSnapshotConsistentCut is the regression test for the torn
+// multi-field reads /swala-status used to be exposed to: each writer records
+// a Miss strictly before its matching Insert, so at every instant of real
+// execution Inserts <= Misses. A snapshot that read fields independently
+// (per-field atomics, or field-at-a-time under churn) can observe the Insert
+// without its Miss; the lock-all-shards snapshot must never.
+func TestHitCounterSnapshotConsistentCut(t *testing.T) {
+	var h HitCounter
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Miss()
+				h.Insert()
+			}
+		}()
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := h.Snapshot()
+		if s.Inserts > s.Misses {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn snapshot: Inserts=%d > Misses=%d", s.Inserts, s.Misses)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Inserts != final.Misses {
+		t.Fatalf("final snapshot lost events: Inserts=%d Misses=%d", final.Inserts, final.Misses)
+	}
+	if final.Misses == 0 {
+		t.Fatal("writers recorded nothing")
+	}
+}
+
+// TestHitCounterCountsAcrossGoroutines checks no increments are lost when
+// many goroutines (hence many shards) hammer every event type.
+func TestHitCounterCountsAcrossGoroutines(t *testing.T) {
+	var h HitCounter
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.LocalHit()
+				h.RemoteHit()
+				h.Miss()
+				h.FalseMiss()
+				h.FalseHit()
+				h.Insert()
+				h.Eviction()
+				h.Coalesced()
+				h.CoalescedAbandoned()
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	want := int64(workers * per)
+	for name, got := range map[string]int64{
+		"LocalHits": s.LocalHits, "RemoteHits": s.RemoteHits, "Misses": s.Misses,
+		"FalseMisses": s.FalseMisses, "FalseHits": s.FalseHits, "Inserts": s.Inserts,
+		"Evictions": s.Evictions, "Coalesced": s.Coalesced, "CoalescedAbandoned": s.CoalescedAbandoned,
+	} {
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestStageStatsShardedCounts checks StageStats sums shards correctly and
+// still derives serves and samples latency at roughly the configured rate.
+func TestStageStatsShardedCounts(t *testing.T) {
+	p := NewPipelineStats()
+	s := p.Stage("test")
+	const workers, per = 8, stageSampleEvery * 8
+	var wg sync.WaitGroup
+	var sampled sync.Map // worker -> count, just to force goroutine diversity
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < per; i++ {
+				if s.StartAttempt() {
+					n++
+					s.ObserveTime(time.Millisecond)
+				}
+				switch i % 4 {
+				case 0: // served: no Outcome call
+				case 1:
+					s.Outcome(StageDeferred)
+				case 2:
+					s.Outcome(StageFailed)
+				case 3:
+					s.Outcome(StageCanceled)
+				}
+			}
+			sampled.Store(w, n)
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	total := int64(workers * per)
+	if snap.Attempts != total {
+		t.Fatalf("Attempts = %d, want %d", snap.Attempts, total)
+	}
+	quarter := total / 4
+	if snap.Served != quarter || snap.Deferred != quarter || snap.Failed != quarter || snap.Canceled != quarter {
+		t.Fatalf("outcomes = served=%d deferred=%d failed=%d canceled=%d, want %d each",
+			snap.Served, snap.Deferred, snap.Failed, snap.Canceled, quarter)
+	}
+	if snap.Timed == 0 {
+		t.Fatal("no latency samples taken")
+	}
+	// Sampling is per shard (one in stageSampleEvery of each shard's
+	// attempts, plus up to one extra per occupied shard for the 1st attempt),
+	// so the overall count is bounded, not exact.
+	if max := total/stageSampleEvery + numShards; snap.Timed > max {
+		t.Fatalf("Timed = %d, want <= %d", snap.Timed, max)
+	}
+	if snap.Time != time.Duration(snap.Timed)*time.Millisecond {
+		t.Fatalf("Time = %v, want %v", snap.Time, time.Duration(snap.Timed)*time.Millisecond)
+	}
+}

@@ -61,6 +61,7 @@ type Summary struct {
 	P50    time.Duration
 	P90    time.Duration
 	P99    time.Duration
+	P999   time.Duration
 	Stddev time.Duration
 }
 
@@ -96,6 +97,7 @@ func Summarize(samples []time.Duration) Summary {
 		P50:    Percentile(sorted, 50),
 		P90:    Percentile(sorted, 90),
 		P99:    Percentile(sorted, 99),
+		P999:   Percentile(sorted, 99.9),
 		Stddev: std,
 	}
 }
@@ -128,78 +130,115 @@ func (s Summary) String() string {
 		s.Count, s.Mean, s.P50, s.P99, s.Min, s.Max)
 }
 
+// Indices into a hit shard's counter array, one per HitCounter event.
+const (
+	hitLocal = iota
+	hitRemote
+	hitMiss
+	hitFalseMiss
+	hitFalseHit
+	hitInsert
+	hitEviction
+	hitCoalesced
+	hitAbandoned
+	numHitFields
+)
+
+// hitShard is one lock-shard of a HitCounter. Each shard is padded so that
+// two shards never share a cache line: an increment touches only the calling
+// core's shard, so request threads on different cores stop bouncing one
+// counter line between them.
+type hitShard struct {
+	mu sync.Mutex
+	c  [numHitFields]int64
+	_  [shardPad - (numHitFields*8+8)%shardPad]byte
+}
+
 // HitCounter tracks cache-lookup outcomes. All methods are safe for
 // concurrent use. The zero value is ready to use.
+//
+// The counters are sharded per calling goroutine and summed on Snapshot;
+// Snapshot holds every shard lock at once, so it observes a consistent cut
+// of the counter state — an event is never half-visible, and cross-field
+// invariants that held at every instant of execution (e.g. an Insert only
+// ever follows its Miss) hold in every snapshot.
 type HitCounter struct {
-	mu          sync.Mutex
-	localHits   int64
-	remoteHits  int64
-	misses      int64
-	falseMisses int64
-	falseHits   int64
-	inserts     int64
-	evictions   int64
-	coalesced   int64
-	abandoned   int64
+	shards [numShards]hitShard
 }
 
 // LocalHit records a hit served from the node's own cache.
-func (h *HitCounter) LocalHit() { h.add(&h.localHits) }
+func (h *HitCounter) LocalHit() { h.add(hitLocal) }
 
 // RemoteHit records a hit served from a peer's cache.
-func (h *HitCounter) RemoteHit() { h.add(&h.remoteHits) }
+func (h *HitCounter) RemoteHit() { h.add(hitRemote) }
 
 // Miss records a cache miss (CGI executed).
-func (h *HitCounter) Miss() { h.add(&h.misses) }
+func (h *HitCounter) Miss() { h.add(hitMiss) }
 
 // FalseMiss records a miss that an ideal (instantaneous-consistency) cache
 // would have served as a hit.
-func (h *HitCounter) FalseMiss() { h.add(&h.falseMisses) }
+func (h *HitCounter) FalseMiss() { h.add(hitFalseMiss) }
 
 // FalseHit records a directory hit whose remote fetch failed because the
 // entry was already deleted.
-func (h *HitCounter) FalseHit() { h.add(&h.falseHits) }
+func (h *HitCounter) FalseHit() { h.add(hitFalseHit) }
 
 // Insert records a cache insertion.
-func (h *HitCounter) Insert() { h.add(&h.inserts) }
+func (h *HitCounter) Insert() { h.add(hitInsert) }
 
 // Eviction records a replacement-policy eviction.
-func (h *HitCounter) Eviction() { h.add(&h.evictions) }
+func (h *HitCounter) Eviction() { h.add(hitEviction) }
 
 // Coalesced records a request that piggybacked on a concurrent identical
 // CGI execution instead of running its own (miss coalescing, a
 // beyond-the-paper optimisation; see core.Config.CoalesceMisses). Coalesced
 // requests are deliberately excluded from Lookups/HitRatio so the paper's
 // hit-ratio accounting is unchanged when the feature is off.
-func (h *HitCounter) Coalesced() { h.add(&h.coalesced) }
+func (h *HitCounter) Coalesced() { h.add(hitCoalesced) }
 
 // CoalescedAbandoned records a coalesced waiter that gave up (its request
 // context was canceled or timed out) before the shared execution finished.
 // Abandoned waiters are counted here instead of Coalesced so the coalescing
 // numbers in EXPERIMENTS.md reflect only requests actually served from a
 // shared execution.
-func (h *HitCounter) CoalescedAbandoned() { h.add(&h.abandoned) }
+func (h *HitCounter) CoalescedAbandoned() { h.add(hitAbandoned) }
 
-func (h *HitCounter) add(p *int64) {
-	h.mu.Lock()
-	*p++
-	h.mu.Unlock()
+func (h *HitCounter) add(f int) {
+	s := &h.shards[shardIndex()]
+	s.mu.Lock()
+	s.c[f]++
+	s.mu.Unlock()
 }
 
-// Snapshot returns a point-in-time copy of the counters.
+// Snapshot returns a point-in-time copy of the counters. It locks every
+// shard (in index order, so concurrent snapshots cannot deadlock) before
+// reading any of them: the result is a consistent cut, never a torn
+// multi-field read. Snapshots are off the hot path — /swala-status, the
+// wire stats reply, end-of-run accounting — so the full sweep is cheap
+// where it matters.
 func (h *HitCounter) Snapshot() HitSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+	}
+	var c [numHitFields]int64
+	for i := range h.shards {
+		for f, v := range h.shards[i].c {
+			c[f] += v
+		}
+	}
+	for i := range h.shards {
+		h.shards[i].mu.Unlock()
+	}
 	return HitSnapshot{
-		LocalHits:          h.localHits,
-		RemoteHits:         h.remoteHits,
-		Misses:             h.misses,
-		FalseMisses:        h.falseMisses,
-		FalseHits:          h.falseHits,
-		Inserts:            h.inserts,
-		Evictions:          h.evictions,
-		Coalesced:          h.coalesced,
-		CoalescedAbandoned: h.abandoned,
+		LocalHits:          c[hitLocal],
+		RemoteHits:         c[hitRemote],
+		Misses:             c[hitMiss],
+		FalseMisses:        c[hitFalseMiss],
+		FalseHits:          c[hitFalseHit],
+		Inserts:            c[hitInsert],
+		Evictions:          c[hitEviction],
+		Coalesced:          c[hitCoalesced],
+		CoalescedAbandoned: c[hitAbandoned],
 	}
 }
 
@@ -285,20 +324,30 @@ const (
 // add on unsampled served attempts.
 const stageSampleEvery = 64
 
-// StageStats accumulates counters for one pipeline stage. All methods are
-// safe for concurrent use; counters are atomics because the stage wrappers
-// sit on the request hot path. Serves — the hot-path outcome — are not
-// counted directly: a serve is an attempt with no deferral/failure/
-// cancellation record, so Snapshot derives it and a served attempt costs one
-// atomic add total.
-type StageStats struct {
-	name     string
+// stageShard is one shard of a StageStats. Every chain walk adds to the
+// attempts counter of every stage it passes, so with a single set of atomics
+// per stage each request would bounce four stage cache lines between cores;
+// the padded shards give each core (in practice, each pool goroutine) its
+// own lines.
+type stageShard struct {
 	attempts atomic.Int64
 	deferred atomic.Int64
 	failed   atomic.Int64
 	canceled atomic.Int64
 	timed    atomic.Int64 // attempts with a latency sample
 	nanos    atomic.Int64 // summed sampled time inside the stage
+	_        [shardPad - 6*8%shardPad]byte
+}
+
+// StageStats accumulates counters for one pipeline stage. All methods are
+// safe for concurrent use; counters are sharded atomics because the stage
+// wrappers sit on the request hot path. Serves — the hot-path outcome — are
+// not counted directly: a serve is an attempt with no deferral/failure/
+// cancellation record, so Snapshot derives it and a served attempt costs one
+// atomic add total, on a shard no other core is writing.
+type StageStats struct {
+	name   string
+	shards [numShards]stageShard
 }
 
 // Name returns the stage label.
@@ -306,31 +355,36 @@ func (s *StageStats) Name() string { return s.name }
 
 // StartAttempt counts one pass into the stage and reports whether the caller
 // should time this pass (latency is sampled, not measured on every attempt).
+// The sampling decision is per shard, which preserves the overall one-in-
+// stageSampleEvery rate: each shard samples that fraction of its own
+// attempts.
 func (s *StageStats) StartAttempt() bool {
 	// stageSampleEvery is a power of two, so the sampling decision is a mask
 	// rather than a division (attempt counts are always positive).
-	return s.attempts.Add(1)&(stageSampleEvery-1) == 1
+	return s.shards[shardIndex()].attempts.Add(1)&(stageSampleEvery-1) == 1
 }
 
 // Outcome records how one pass through the stage ended. StageServed is a
 // no-op: serves are derived from the attempt count, so callers on the serve
 // path may skip the call entirely.
 func (s *StageStats) Outcome(outcome StageOutcome) {
+	sh := &s.shards[shardIndex()]
 	switch outcome {
 	case StageDeferred:
-		s.deferred.Add(1)
+		sh.deferred.Add(1)
 	case StageFailed:
-		s.failed.Add(1)
+		sh.failed.Add(1)
 	case StageCanceled:
-		s.canceled.Add(1)
+		sh.canceled.Add(1)
 	}
 }
 
 // ObserveTime records one sampled latency measurement (the time spent inside
 // the stage, excluding downstream stages).
 func (s *StageStats) ObserveTime(d time.Duration) {
-	s.timed.Add(1)
-	s.nanos.Add(int64(d))
+	sh := &s.shards[shardIndex()]
+	sh.timed.Add(1)
+	sh.nanos.Add(int64(d))
 }
 
 // StageSnapshot is a point-in-time view of one stage's counters.
@@ -357,19 +411,23 @@ func (s StageSnapshot) MeanTime() time.Duration {
 	return s.Time / time.Duration(s.Timed)
 }
 
-// Snapshot copies the stage counters. Served is derived (attempts minus the
-// other outcomes) and clamped at zero: an attempt that has started but not
-// yet recorded its outcome would otherwise briefly read as a serve.
+// Snapshot copies the stage counters, summing across shards. Served is
+// derived (attempts minus the other outcomes) and clamped at zero: an attempt
+// that has started but not yet recorded its outcome would otherwise briefly
+// read as a serve.
 func (s *StageStats) Snapshot() StageSnapshot {
-	snap := StageSnapshot{
-		Name:     s.name,
-		Attempts: s.attempts.Load(),
-		Deferred: s.deferred.Load(),
-		Failed:   s.failed.Load(),
-		Canceled: s.canceled.Load(),
-		Timed:    s.timed.Load(),
-		Time:     time.Duration(s.nanos.Load()),
+	snap := StageSnapshot{Name: s.name}
+	var nanos int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		snap.Attempts += sh.attempts.Load()
+		snap.Deferred += sh.deferred.Load()
+		snap.Failed += sh.failed.Load()
+		snap.Canceled += sh.canceled.Load()
+		snap.Timed += sh.timed.Load()
+		nanos += sh.nanos.Load()
 	}
+	snap.Time = time.Duration(nanos)
 	if served := snap.Attempts - snap.Deferred - snap.Failed - snap.Canceled; served > 0 {
 		snap.Served = served
 	}

@@ -178,6 +178,17 @@ func (f *FaultFS) Remove(path string) error {
 // RemoveAll implements FS.
 func (f *FaultFS) RemoveAll(path string) error { return f.inner.RemoveAll(path) }
 
+// OpenRead implements OpenReadFS, honoring the injected read fault.
+func (f *FaultFS) OpenRead(path string) (ReaderAtCloser, error) {
+	f.mu.Lock()
+	err := f.readErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, &os.PathError{Op: "read", Path: path, Err: err}
+	}
+	return openRead(f.inner, path)
+}
+
 // faultFile applies the parent's write verdicts to one open file.
 type faultFile struct {
 	fs    *FaultFS

@@ -76,19 +76,28 @@ func encodeEntry(key, contentType string, body []byte, execTime time.Duration, e
 	return buf
 }
 
-// parseEntryHeader structurally decodes an entry buffer without verifying
-// the checksum. It never panics on arbitrary input (FuzzParseEntryHeader
-// holds it to that); every malformation is reported as ErrCorrupt.
-func parseEntryHeader(data []byte) (entryMeta, error) {
+// errShortRecord marks a record that ends before its own declared lengths:
+// either truncated, or its tail never made it to disk. In a segmented log
+// this at the tail of the newest segment is a torn append (truncate, don't
+// quarantine); anywhere else it is corruption. Always wrapped in ErrCorrupt.
+var errShortRecord = errors.New("record shorter than its header declares")
+
+// parseEntryRecord structurally decodes one entry record at the start of
+// data — which may be followed by further records — without verifying the
+// checksum. It returns the decoded meta and the record's encoded length.
+// It never panics on arbitrary input (FuzzParseEntryHeader holds the shared
+// parse to that); every malformation is reported as ErrCorrupt, with
+// too-few-bytes cases also matching errShortRecord.
+func parseEntryRecord(data []byte) (entryMeta, int, error) {
 	var m entryMeta
 	if len(data) < entryFixedSize {
-		return m, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(data), entryFixedSize)
+		return m, 0, fmt.Errorf("%w: %w: %d bytes, want at least %d", ErrCorrupt, errShortRecord, len(data), entryFixedSize)
 	}
 	if [4]byte(data[:4]) != entryMagic {
-		return m, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+		return m, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
 	}
 	if data[4] != entryVersion {
-		return m, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, data[4])
+		return m, 0, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, data[4])
 	}
 	off := crcOffset + 4
 
@@ -96,12 +105,12 @@ func parseEntryHeader(data []byte) (entryMeta, error) {
 	// buffer before use so a corrupt length can neither panic nor allocate.
 	next := func(what string) ([]byte, error) {
 		if len(data)-off < 4 {
-			return nil, fmt.Errorf("%w: truncated before %s length", ErrCorrupt, what)
+			return nil, fmt.Errorf("%w: %w: before %s length", ErrCorrupt, errShortRecord, what)
 		}
 		n := int(binary.BigEndian.Uint32(data[off:]))
 		off += 4
 		if n < 0 || n > len(data)-off {
-			return nil, fmt.Errorf("%w: %s length %d exceeds file", ErrCorrupt, what, n)
+			return nil, fmt.Errorf("%w: %w: %s length %d exceeds buffer", ErrCorrupt, errShortRecord, what, n)
 		}
 		b := data[off : off+n]
 		off += n
@@ -109,14 +118,14 @@ func parseEntryHeader(data []byte) (entryMeta, error) {
 	}
 	key, err := next("key")
 	if err != nil {
-		return m, err
+		return m, 0, err
 	}
 	ct, err := next("content type")
 	if err != nil {
-		return m, err
+		return m, 0, err
 	}
 	if len(data)-off < 16 {
-		return m, fmt.Errorf("%w: truncated meta fields", ErrCorrupt)
+		return m, 0, fmt.Errorf("%w: %w: meta fields", ErrCorrupt, errShortRecord)
 	}
 	m.Key = string(key)
 	m.ContentType = string(ct)
@@ -128,14 +137,37 @@ func parseEntryHeader(data []byte) (entryMeta, error) {
 	off += 16
 	body, err := next("body")
 	if err != nil {
-		return m, err
+		return m, 0, err
 	}
 	m.bodyLen = len(body)
 	m.bodyOff = off - len(body)
-	if off != len(data) {
-		return m, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	return m, off, nil
+}
+
+// parseEntryHeader structurally decodes a whole-file entry buffer without
+// verifying the checksum: one record, nothing after it.
+func parseEntryHeader(data []byte) (entryMeta, error) {
+	m, n, err := parseEntryRecord(data)
+	if err != nil {
+		return m, err
+	}
+	if n != len(data) {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-n)
 	}
 	return m, nil
+}
+
+// decodeRecord parses and checksum-verifies the record at the start of data,
+// returning its meta, body (aliasing data), and encoded length.
+func decodeRecord(data []byte) (entryMeta, []byte, int, error) {
+	m, n, err := parseEntryRecord(data)
+	if err != nil {
+		return m, nil, 0, err
+	}
+	if got, want := crc32.ChecksumIEEE(data[crcOffset+4:n]), binary.BigEndian.Uint32(data[crcOffset:]); got != want {
+		return m, nil, n, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return m, data[m.bodyOff : m.bodyOff+m.bodyLen], n, nil
 }
 
 // decodeEntry parses and checksum-verifies an entry buffer, returning the

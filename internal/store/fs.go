@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"io"
 	"io/fs"
 	"os"
 )
@@ -35,6 +37,39 @@ type File interface {
 	Close() error
 }
 
+// ReaderAtCloser is the random-access read handle OpenRead returns.
+type ReaderAtCloser interface {
+	io.ReaderAt
+	Close() error
+}
+
+// OpenReadFS is the optional extension the log-structured store uses for
+// record-at-offset reads. An FS that does not implement it still works —
+// the log falls back to ReadFile-and-slice, reading the whole segment per
+// Get — so existing FS implementations stay valid.
+type OpenReadFS interface {
+	OpenRead(path string) (ReaderAtCloser, error)
+}
+
+// openRead opens path for random-access reads on any FS, preferring the
+// OpenReadFS fast path.
+func openRead(f FS, path string) (ReaderAtCloser, error) {
+	if or, ok := f.(OpenReadFS); ok {
+		return or.OpenRead(path)
+	}
+	data, err := f.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bufReaderAt{bytes.NewReader(data)}, nil
+}
+
+// bufReaderAt adapts an in-memory buffer to ReaderAtCloser.
+type bufReaderAt struct{ *bytes.Reader }
+
+// Close implements ReaderAtCloser.
+func (bufReaderAt) Close() error { return nil }
+
 // OSFS is the real filesystem.
 type OSFS struct{}
 
@@ -60,3 +95,6 @@ func (OSFS) Remove(path string) error { return os.Remove(path) }
 
 // RemoveAll implements FS.
 func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// OpenRead implements OpenReadFS.
+func (OSFS) OpenRead(path string) (ReaderAtCloser, error) { return os.Open(path) }

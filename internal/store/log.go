@@ -1,0 +1,738 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log is the log-structured alternative to the file-per-entry Disk backend.
+// Entries are appended to segmented, append-only files ("seg-N.log"), each
+// record being exactly the PR 5 checksummed entry encoding; the key→location
+// index lives in memory and is rebuilt by a recovery scan on open. Where
+// Disk pays create + write + rename (+ fsync) per warm miss, Log pays one
+// sequential append — the point of the backend.
+//
+// Crash semantics match Disk's guarantees through different mechanics:
+//
+//   - A crash mid-append leaves a torn record at the tail of the newest
+//     segment; recovery truncates it away (the write was never acknowledged
+//     as durable under FsyncNever, exactly like Disk's orphaned temp files).
+//   - Bit rot is caught by the per-record checksum — at recovery the damaged
+//     record is skipped (counted as quarantined) and the scan resynchronizes
+//     on the next record magic; at read time the entry is dropped from the
+//     index and an error returned, so a corrupt body is never served.
+//   - Overwrites and deletes append (tombstones for deletes); the old bytes
+//     become dead and are reclaimed by compaction, which rewrites the live
+//     set into a fresh segment and deletes the old ones. Replay order is
+//     (segment, offset) ascending with newest-wins, so a crash at any point
+//     of compaction leaves a directory that replays to the same live set.
+type Log struct {
+	dir   string
+	fs    FS
+	fsync FsyncPolicy
+
+	segMax      int64
+	compactFrac float64
+	compactMin  int64
+
+	mu         sync.RWMutex
+	index      map[string]recordLoc
+	active     File  // nil until the first append after open/rotate
+	activeSeq  int64 // valid only when active != nil
+	activeOff  int64
+	nextSeq    int64           // highest segment number ever used
+	segBytes   map[int64]int64 // on-disk bytes per segment
+	totalBytes int64           // bytes across all segments (live + dead)
+	deadBytes  int64           // bytes no current index entry points at
+	closed     bool
+
+	compacting bool // one compaction at a time; guarded by mu
+	compactWG  sync.WaitGroup
+
+	storeHealth
+}
+
+// recordLoc locates one live record: segment number, byte offset, length.
+type recordLoc struct {
+	seg int64
+	off int64
+	n   int
+}
+
+// tombstoneContentType marks a deletion record in the log. Real entries
+// never carry it: content types come from CGI responses, and the store
+// rejects storing a body under the sentinel.
+const tombstoneContentType = "application/x-swala-tombstone"
+
+// LogOptions tunes OpenLog. The zero value is the production default: the
+// real filesystem, no fsync, 5-second degraded re-probe, 4 MiB segments,
+// compaction at 50% dead bytes once 1 MiB is dead.
+type LogOptions struct {
+	// FS is the filesystem seam (nil = OSFS); tests inject a FaultFS here.
+	FS FS
+	// Fsync is the append durability policy (FsyncAlways syncs per append).
+	Fsync FsyncPolicy
+	// ReprobeInterval is how often a degraded store lets a Put through as a
+	// recovery probe (0 = DefaultReprobeInterval).
+	ReprobeInterval time.Duration
+	// SegmentMaxBytes rotates the active segment once it reaches this size
+	// (0 = DefaultSegmentMaxBytes).
+	SegmentMaxBytes int64
+	// CompactFraction triggers compaction when dead bytes exceed this
+	// fraction of total bytes (0 = 0.5).
+	CompactFraction float64
+	// CompactMinBytes is the dead-byte floor below which compaction never
+	// runs, so small stores don't churn (0 = DefaultCompactMinBytes).
+	CompactMinBytes int64
+}
+
+// Defaults for LogOptions zero values.
+const (
+	DefaultSegmentMaxBytes = 4 << 20
+	DefaultCompactMinBytes = 1 << 20
+	defaultCompactFraction = 0.5
+)
+
+// OpenLog opens a log-structured store rooted at dir, creating the directory
+// if necessary and recovering whatever a previous incarnation left behind:
+// segments are replayed in (segment, offset) order with newest-wins, torn
+// tails are truncated, damaged records are skipped and counted, tombstones
+// erase, and expired entries are dropped.
+func OpenLog(dir string, opts LogOptions) (*Log, *RecoveryReport, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.ReprobeInterval <= 0 {
+		opts.ReprobeInterval = DefaultReprobeInterval
+	}
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if opts.CompactFraction <= 0 {
+		opts.CompactFraction = defaultCompactFraction
+	}
+	if opts.CompactMinBytes <= 0 {
+		opts.CompactMinBytes = DefaultCompactMinBytes
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	l := &Log{
+		dir:         dir,
+		fs:          opts.FS,
+		fsync:       opts.Fsync,
+		segMax:      opts.SegmentMaxBytes,
+		compactFrac: opts.CompactFraction,
+		compactMin:  opts.CompactMinBytes,
+		index:       make(map[string]recordLoc),
+		segBytes:    make(map[int64]int64),
+	}
+	l.reprobe = opts.ReprobeInterval
+	rep, err := l.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	l.recovered = uint64(len(rep.Recovered))
+	l.orphans = uint64(rep.OrphansSwept)
+	l.quarantined.Store(uint64(rep.Quarantined))
+	return l, rep, nil
+}
+
+// Dir returns the store's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+func segmentFileName(seq int64) string {
+	return "seg-" + strconv.FormatInt(seq, 10) + ".log"
+}
+
+func parseSegmentFileName(name string) (int64, bool) {
+	s, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	s, ok = strings.CutSuffix(s, ".log")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func (l *Log) segmentPath(seq int64) string {
+	return filepath.Join(l.dir, segmentFileName(seq))
+}
+
+// recover scans the segment files and rebuilds the in-memory index.
+func (l *Log) recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	listing, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", l.dir, err)
+	}
+	var seqs []int64
+	for _, de := range listing {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		full := filepath.Join(l.dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// A truncation or compaction that never reached its rename: the
+			// original file is still in place, so the debris just goes.
+			l.fs.Remove(full)
+			rep.OrphansSwept++
+			continue
+		}
+		seq, ok := parseSegmentFileName(name)
+		if !ok {
+			continue // not ours; leave it alone
+		}
+		if seq > l.nextSeq {
+			l.nextSeq = seq
+		}
+		seqs = append(seqs, seq)
+	}
+	// Replay in segment order so later segments overwrite earlier ones.
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	metas := make(map[string]entryMeta)
+	now := time.Now()
+	for i, seq := range seqs {
+		isLast := i == len(seqs)-1
+		path := l.segmentPath(seq)
+		data, err := l.fs.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		if len(data) == 0 {
+			// An empty trailing segment (rotation or open with no appends
+			// before the crash) carries nothing; sweep it.
+			l.fs.Remove(path)
+			rep.OrphansSwept++
+			continue
+		}
+		off := 0
+		for off < len(data) {
+			m, body, n, derr := decodeRecord(data[off:])
+			if derr == nil {
+				loc := recordLoc{seg: seq, off: int64(off), n: n}
+				off += n
+				if m.ContentType == tombstoneContentType {
+					delete(l.index, m.Key)
+					delete(metas, m.Key)
+					continue
+				}
+				if !m.Expires.IsZero() && !m.Expires.After(now) {
+					if _, lived := l.index[m.Key]; lived {
+						delete(l.index, m.Key)
+						delete(metas, m.Key)
+					}
+					rep.Expired++
+					continue
+				}
+				if _, dup := l.index[m.Key]; dup {
+					// A superseded copy (overwrite, or a crash mid-compaction
+					// that left both the old segments and their rewrite).
+					rep.Duplicates++
+				}
+				_ = body // bodies stay on disk; only locations are indexed
+				l.index[m.Key] = loc
+				metas[m.Key] = m
+				continue
+			}
+			if errors.Is(derr, errShortRecord) && isLast {
+				// Torn tail of the newest segment: the record's append never
+				// completed, so it was never acknowledged. Truncate it away so
+				// the segment is clean for future scans.
+				if terr := l.truncateSegment(path, data[:off]); terr != nil {
+					return nil, terr
+				}
+				data = data[:off]
+				rep.OrphansSwept++
+				break
+			}
+			// Damaged record: count it, then resynchronize on the next record
+			// magic. A CRC failure yields a clean record length to skip; a
+			// structural failure forces a byte scan.
+			rep.Quarantined++
+			if n > 0 {
+				off += n
+				continue
+			}
+			next := nextMagic(data, off+1)
+			if next < 0 {
+				if isLast {
+					if terr := l.truncateSegment(path, data[:off]); terr != nil {
+						return nil, terr
+					}
+					data = data[:off]
+				}
+				break
+			}
+			off = next
+		}
+		if len(data) > 0 {
+			l.segBytes[seq] = int64(len(data))
+			l.totalBytes += int64(len(data))
+		}
+	}
+	// Surviving index entries, in write order, for directory repopulation.
+	type liveEntry struct {
+		loc  recordLoc
+		meta entryMeta
+	}
+	ordered := make([]liveEntry, 0, len(l.index))
+	var liveBytes int64
+	for key, loc := range l.index {
+		ordered = append(ordered, liveEntry{loc: loc, meta: metas[key]})
+		liveBytes += int64(loc.n)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].loc.seg != ordered[j].loc.seg {
+			return ordered[i].loc.seg < ordered[j].loc.seg
+		}
+		return ordered[i].loc.off < ordered[j].loc.off
+	})
+	for _, e := range ordered {
+		rep.Recovered = append(rep.Recovered, RecoveredEntry{
+			Key:         e.meta.Key,
+			ContentType: e.meta.ContentType,
+			Size:        int64(e.meta.bodyLen),
+			ExecTime:    e.meta.ExecTime,
+			Expires:     e.meta.Expires,
+		})
+	}
+	l.deadBytes = l.totalBytes - liveBytes
+	return rep, nil
+}
+
+// SegmentSpan locates one structurally parseable record inside a segment
+// image; Valid reports whether its checksum verifies. The crash harness uses
+// spans to aim damage at individual records.
+type SegmentSpan struct {
+	Off, Len int
+	Key      string
+	Valid    bool
+}
+
+// ScanSegment walks a segment image and returns a span per structurally
+// parseable record, stopping at a torn tail or structural damage.
+func ScanSegment(data []byte) []SegmentSpan {
+	var spans []SegmentSpan
+	off := 0
+	for off < len(data) {
+		m, n, err := parseEntryRecord(data[off:])
+		if err != nil {
+			break
+		}
+		_, _, _, verr := decodeRecord(data[off : off+n])
+		spans = append(spans, SegmentSpan{Off: off, Len: n, Key: m.Key, Valid: verr == nil})
+		off += n
+	}
+	return spans
+}
+
+// nextMagic returns the offset of the next record magic at or after from,
+// or -1.
+func nextMagic(data []byte, from int) int {
+	for i := from; i+len(entryMagic) <= len(data); i++ {
+		if data[i] == entryMagic[0] && [4]byte(data[i:i+4]) == entryMagic {
+			return i
+		}
+	}
+	return -1
+}
+
+// truncateSegment rewrites path to keep, via temp + rename so a crash during
+// the truncation never loses the good prefix.
+func (l *Log) truncateSegment(path string, keep []byte) error {
+	tmp := path + ".tmp"
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: truncating %s: %w", path, err)
+	}
+	_, werr := f.Write(keep)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = l.fs.Rename(tmp, path)
+	}
+	if werr != nil {
+		l.fs.Remove(tmp)
+		return fmt.Errorf("store: truncating %s: %w", path, werr)
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment (if any) and opens a fresh one.
+// Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	l.nextSeq++
+	f, err := l.fs.Create(l.segmentPath(l.nextSeq))
+	if err != nil {
+		l.nextSeq-- // the segment never existed
+		return err
+	}
+	l.active = f
+	l.activeSeq = l.nextSeq
+	l.activeOff = 0
+	l.segBytes[l.activeSeq] = 0
+	return nil
+}
+
+// appendLocked appends one encoded record to the active segment, rotating
+// first if needed, and returns where it landed. Callers hold l.mu. On error
+// the active segment is abandoned (its tail may be torn); the next append
+// starts a fresh segment so later records never follow garbage.
+func (l *Log) appendLocked(rec []byte) (recordLoc, error) {
+	if l.active == nil || l.activeOff >= l.segMax {
+		if err := l.rotateLocked(); err != nil {
+			return recordLoc{}, err
+		}
+	}
+	_, err := l.active.Write(rec)
+	if err == nil && l.fsync == FsyncAlways {
+		err = l.active.Sync()
+	}
+	if err != nil {
+		// The segment may now hold a torn record; recovery would truncate it,
+		// but the running store must also never append after the tear.
+		l.active.Close()
+		l.active = nil
+		return recordLoc{}, err
+	}
+	loc := recordLoc{seg: l.activeSeq, off: l.activeOff, n: len(rec)}
+	l.activeOff += int64(len(rec))
+	l.segBytes[l.activeSeq] += int64(len(rec))
+	l.totalBytes += int64(len(rec))
+	return loc, nil
+}
+
+// Put implements Store.
+func (l *Log) Put(key, contentType string, body []byte) error {
+	return l.PutEntry(key, contentType, body, 0, time.Time{})
+}
+
+// PutEntry implements MetaPutter. The write path is a single segment append:
+// this is the log's whole advantage over the file-per-entry backend's
+// create + write + rename.
+func (l *Log) PutEntry(key, contentType string, body []byte, execTime time.Duration, expires time.Time) error {
+	if contentType == tombstoneContentType {
+		return fmt.Errorf("store: content type %q is reserved", contentType)
+	}
+	if err := l.writeGate(); err != nil {
+		l.putFailures.Add(1)
+		return err
+	}
+	rec := encodeEntry(key, contentType, body, execTime, expires)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	loc, err := l.appendLocked(rec)
+	if err != nil {
+		l.mu.Unlock()
+		l.noteWriteError(err)
+		return err
+	}
+	if old, ok := l.index[key]; ok {
+		l.deadBytes += int64(old.n)
+	}
+	l.index[key] = loc
+	compact := l.shouldCompactLocked()
+	if compact {
+		l.compacting = true
+		l.compactWG.Add(1)
+	}
+	l.mu.Unlock()
+	l.noteWriteOK()
+	if compact {
+		go l.compact()
+	}
+	return nil
+}
+
+// Get implements Store. The record is checksum-verified on every read; an
+// entry that fails verification is dropped from the index and reported as an
+// error, so a corrupt body is never served. A read that races compaction
+// (its segment deleted between lookup and read) retries against the updated
+// index.
+func (l *Log) Get(key string) (string, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		l.mu.RLock()
+		closed := l.closed
+		loc, ok := l.index[key]
+		l.mu.RUnlock()
+		if closed {
+			return "", nil, ErrClosed
+		}
+		if !ok {
+			return "", nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		data, err := l.readRecord(loc)
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) && attempt < 4 {
+				continue // compaction deleted the segment under us; re-look up
+			}
+			return "", nil, fmt.Errorf("store: reading %s@%d: %w", segmentFileName(loc.seg), loc.off, err)
+		}
+		meta, body, err := decodeEntry(data)
+		if err == nil && meta.Key != key {
+			err = fmt.Errorf("%w: record holds key %q", ErrCorrupt, meta.Key)
+		}
+		if err == nil {
+			cp := make([]byte, len(body))
+			copy(cp, body)
+			return meta.ContentType, cp, nil
+		}
+		// Verification failed. If compaction moved the entry meanwhile, the
+		// stale bytes we read say nothing about the live record — retry.
+		l.mu.Lock()
+		stale := l.index[key] != loc
+		if !stale {
+			delete(l.index, key)
+			l.deadBytes += int64(loc.n)
+		}
+		l.mu.Unlock()
+		if stale && attempt < 4 {
+			continue
+		}
+		l.quarantined.Add(1)
+		return "", nil, fmt.Errorf("store: %s@%d: %w", segmentFileName(loc.seg), loc.off, err)
+	}
+}
+
+// readRecord fetches loc's bytes from its segment.
+func (l *Log) readRecord(loc recordLoc) ([]byte, error) {
+	r, err := openRead(l.fs, l.segmentPath(loc.seg))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	buf := make([]byte, loc.n)
+	if _, err := r.ReadAt(buf, loc.off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Delete implements Store: the key leaves the index immediately and a
+// tombstone record makes the deletion durable. If the store is degraded the
+// tombstone is skipped — the entry may resurrect on the next open, which is
+// the same wrinkle as Disk losing an unsynced delete — rather than failing
+// an eviction that must proceed.
+func (l *Log) Delete(key string) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	loc, ok := l.index[key]
+	if !ok {
+		l.mu.Unlock()
+		return nil
+	}
+	delete(l.index, key)
+	l.deadBytes += int64(loc.n)
+	l.mu.Unlock()
+
+	if err := l.writeGate(); err != nil {
+		return nil
+	}
+	rec := encodeEntry(key, tombstoneContentType, nil, 0, time.Time{})
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	_, err := l.appendLocked(rec)
+	if err == nil {
+		l.deadBytes += int64(len(rec)) // a tombstone is dead on arrival
+	}
+	compact := err == nil && l.shouldCompactLocked()
+	if compact {
+		l.compacting = true
+		l.compactWG.Add(1)
+	}
+	l.mu.Unlock()
+	if err != nil {
+		l.noteWriteError(err)
+		return nil
+	}
+	l.noteWriteOK()
+	if compact {
+		go l.compact()
+	}
+	return nil
+}
+
+// shouldCompactLocked reports whether dead bytes justify a compaction.
+// Callers hold l.mu.
+func (l *Log) shouldCompactLocked() bool {
+	return !l.compacting && !l.closed &&
+		l.deadBytes >= l.compactMin &&
+		float64(l.deadBytes) >= l.compactFrac*float64(l.totalBytes)
+}
+
+// compact rewrites the live set into a fresh segment and deletes the old
+// ones. It runs on its own goroutine with l.compacting held true.
+//
+// Ordering is what makes a crash at any point safe: the output segment gets
+// a sequence number *above* every old segment but *below* the new active
+// segment, so replay order (old, then rewrite, then new appends) always
+// converges on the same live set whether or not the old segments were
+// deleted before the crash.
+func (l *Log) compact() {
+	defer l.compactWG.Done()
+	defer func() {
+		l.mu.Lock()
+		l.compacting = false
+		l.mu.Unlock()
+	}()
+
+	// Freeze: the rewrite gets the next sequence number, appends move to a
+	// segment above it, and everything below is "old" and now immutable.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	l.nextSeq++
+	outSeq := l.nextSeq
+	// The next append rotates onto a segment numbered above outSeq.
+	snapshot := make(map[string]recordLoc, len(l.index))
+	for k, loc := range l.index {
+		snapshot[k] = loc
+	}
+	oldSeqs := make([]int64, 0, len(l.segBytes))
+	for seq := range l.segBytes {
+		if seq < outSeq {
+			oldSeqs = append(oldSeqs, seq)
+		}
+	}
+	l.mu.Unlock()
+
+	// Read the live records out of the old segments, grouped by segment so
+	// each old segment is read once.
+	bySeg := make(map[int64][]recordLoc)
+	keyAt := make(map[recordLoc]string)
+	for key, loc := range snapshot {
+		bySeg[loc.seg] = append(bySeg[loc.seg], loc)
+		keyAt[loc] = key
+	}
+	var out []byte
+	moved := make(map[string]recordLoc)
+	segs := make([]int64, 0, len(bySeg))
+	for seg := range bySeg {
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for _, seg := range segs {
+		data, err := l.fs.ReadFile(l.segmentPath(seg))
+		if err != nil {
+			// Can't read an old segment: abandon this compaction; the live
+			// index still points at whatever is readable.
+			return
+		}
+		locs := bySeg[seg]
+		sort.Slice(locs, func(i, j int) bool { return locs[i].off < locs[j].off })
+		for _, loc := range locs {
+			if loc.off+int64(loc.n) > int64(len(data)) {
+				continue
+			}
+			rec := data[loc.off : loc.off+int64(loc.n)]
+			if _, _, _, err := decodeRecord(rec); err != nil {
+				// Rot found during compaction: don't carry it forward. The
+				// key stays pointing at the damaged record and the next Get
+				// reports and drops it.
+				continue
+			}
+			moved[keyAt[loc]] = recordLoc{seg: outSeq, off: int64(len(out)), n: loc.n}
+			out = append(out, rec...)
+		}
+	}
+
+	// Publish the rewrite atomically, then swing the index and only then
+	// delete the old segments (a Get racing the deletion retries and finds
+	// the updated location).
+	outPath := l.segmentPath(outSeq)
+	if err := l.truncateSegment(outPath, out); err != nil {
+		return
+	}
+	l.mu.Lock()
+	for key, newLoc := range moved {
+		if cur, ok := l.index[key]; ok && cur == snapshot[key] {
+			l.index[key] = newLoc
+		}
+	}
+	// Old segments leave the accounting; the rewrite enters it. Everything
+	// in the old segments that was not rewritten was dead and is now gone.
+	var oldBytes int64
+	for _, seq := range oldSeqs {
+		oldBytes += l.segBytes[seq]
+		delete(l.segBytes, seq)
+	}
+	l.segBytes[outSeq] = int64(len(out))
+	l.totalBytes -= oldBytes - int64(len(out))
+	l.deadBytes -= oldBytes - int64(len(out))
+	if l.deadBytes < 0 {
+		l.deadBytes = 0
+	}
+	l.mu.Unlock()
+
+	for _, seq := range oldSeqs {
+		l.fs.Remove(l.segmentPath(seq))
+	}
+}
+
+// StorageStatus implements the health reporter used by /swala-status and
+// the wire stats.
+func (l *Log) StorageStatus() StorageStatus { return l.status() }
+
+// Len implements Store.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.index)
+}
+
+// Close implements Store. Segments stay on disk so the next OpenLog recovers
+// them; use Destroy to delete them.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	l.index = make(map[string]recordLoc)
+	l.mu.Unlock()
+	l.compactWG.Wait()
+	return nil
+}
+
+// Destroy closes the store and removes its directory and every file in it.
+func (l *Log) Destroy() error {
+	l.Close()
+	return l.fs.RemoveAll(l.dir)
+}

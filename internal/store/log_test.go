@@ -1,0 +1,546 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testLogOptions uses tiny thresholds so tests exercise rotation and
+// compaction without megabytes of data. Compaction stays effectively off
+// unless a test lowers the fraction/min further.
+func testLogOptions(fs FS) LogOptions {
+	return LogOptions{
+		FS:              fs,
+		SegmentMaxBytes: 1 << 30, // no rotation unless the test wants it
+		CompactMinBytes: 1 << 30, // no compaction unless the test wants it
+	}
+}
+
+func newTestLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, dir
+}
+
+func TestLogPutGetRoundTrip(t *testing.T) {
+	l, _ := newTestLog(t)
+	if err := l.Put("k1", "text/html", []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	ct, body, err := l.Get("k1")
+	if err != nil || ct != "text/html" || string(body) != "hello" {
+		t.Fatalf("Get = %q, %q, %v", ct, body, err)
+	}
+	if _, _, err := l.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get absent err = %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestLogOverwriteAndDelete(t *testing.T) {
+	l, _ := newTestLog(t)
+	l.Put("k", "a/a", []byte("one"))
+	l.Put("k", "b/b", []byte("two"))
+	ct, body, err := l.Get("k")
+	if err != nil || ct != "b/b" || string(body) != "two" {
+		t.Fatalf("after overwrite Get = %q, %q, %v", ct, body, err)
+	}
+	if err := l.Delete("k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, _, err := l.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete err = %v", err)
+	}
+	if err := l.Delete("k"); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+}
+
+func TestLogRecoverAcrossRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	exp := time.Now().Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := l.PutEntry(key, "text/plain", []byte("body-"+key), time.Duration(i)*time.Millisecond, exp); err != nil {
+			t.Fatalf("PutEntry: %v", err)
+		}
+	}
+	l.Delete("k3")
+	l.Close()
+
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(rep.Recovered) != 9 {
+		t.Fatalf("Recovered = %d entries, want 9 (k3 tombstoned)", len(rep.Recovered))
+	}
+	for _, e := range rep.Recovered {
+		if e.Key == "k3" {
+			t.Fatal("tombstoned key recovered")
+		}
+		if e.ContentType != "text/plain" {
+			t.Fatalf("recovered content type = %q", e.ContentType)
+		}
+	}
+	ct, body, err := l2.Get("k7")
+	if err != nil || ct != "text/plain" || string(body) != "body-k7" {
+		t.Fatalf("Get after recovery = %q, %q, %v", ct, body, err)
+	}
+	if _, _, err := l2.Get("k3"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key resurrected: %v", err)
+	}
+}
+
+// TestLogPutIsOneAppend pins the acceptance criterion that a warm miss costs
+// exactly one data write on the log's write path — no temp file, no rename
+// payload, no second write.
+func TestLogPutIsOneAppend(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(ffs))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	l.Put("warmup", "t/t", []byte("x")) // first Put also creates the segment
+	before := ffs.Writes()
+	for i := 0; i < 5; i++ {
+		if err := l.Put(fmt.Sprintf("k%d", i), "t/t", []byte(strings.Repeat("b", 100))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if got := ffs.Writes() - before; got != 5 {
+		t.Fatalf("5 Puts cost %d writes, want exactly 5 (one append each)", got)
+	}
+}
+
+// TestLogTornFinalRecord: a crash mid-append leaves a partial record at the
+// segment tail; recovery must truncate it, keep everything before it, and
+// not count it as corruption.
+func TestLogTornFinalRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	l.Put("keep1", "t/t", []byte("alpha"))
+	l.Put("keep2", "t/t", []byte("beta"))
+	l.Put("torn", "t/t", []byte("this record will be cut in half"))
+	l.Close()
+
+	segs := segmentFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want 1", segs)
+	}
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record roughly in half.
+	lastLen := len(encodeEntry("torn", "t/t", []byte("this record will be cut in half"), 0, time.Time{}))
+	if err := os.WriteFile(path, data[:len(data)-lastLen/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rep.Quarantined != 0 {
+		t.Fatalf("Quarantined = %d, want 0 (a torn tail is not corruption)", rep.Quarantined)
+	}
+	if rep.OrphansSwept == 0 {
+		t.Fatal("torn tail not reported as swept")
+	}
+	if len(rep.Recovered) != 2 {
+		t.Fatalf("Recovered = %d, want 2", len(rep.Recovered))
+	}
+	if _, _, err := l2.Get("keep1"); err != nil {
+		t.Fatalf("keep1 lost: %v", err)
+	}
+	if _, _, err := l2.Get("torn"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record served: %v", err)
+	}
+	// The truncated segment must now be clean: a third open sees no damage.
+	l2.Close()
+	l3, rep3, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer l3.Close()
+	if rep3.Quarantined != 0 || rep3.OrphansSwept != 0 {
+		t.Fatalf("third open rep = %+v, want clean", rep3)
+	}
+}
+
+// TestLogEmptyTrailingSegment: a rotation (or open) followed by a crash
+// before any append leaves a zero-byte segment; recovery sweeps it and a
+// fresh open starts clean.
+func TestLogEmptyTrailingSegment(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	l.Put("k", "t/t", []byte("v"))
+	l.Close()
+	// Simulate the crash-after-rotate: an empty segment above the real one.
+	if err := os.WriteFile(filepath.Join(dir, segmentFileName(99)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rep.OrphansSwept != 1 {
+		t.Fatalf("OrphansSwept = %d, want 1 (the empty segment)", rep.OrphansSwept)
+	}
+	if len(rep.Recovered) != 1 {
+		t.Fatalf("Recovered = %d, want 1", len(rep.Recovered))
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentFileName(99))); !os.IsNotExist(err) {
+		t.Fatal("empty segment not swept from disk")
+	}
+	// New appends must go above the swept segment's number, not reuse it.
+	if err := l2.Put("k2", "t/t", []byte("v2")); err != nil {
+		t.Fatalf("Put after sweep: %v", err)
+	}
+	segs := segmentFiles(t, dir)
+	sort.Strings(segs)
+	for _, s := range segs {
+		seq, _ := parseSegmentFileName(s)
+		if seq > 99 {
+			return
+		}
+	}
+	t.Fatalf("no segment above 99 after append; segments = %v", segs)
+}
+
+// TestLogDuplicateKeyAcrossSegments: with one key written into several
+// segments (rotation between overwrites), recovery must keep the newest.
+func TestLogDuplicateKeyAcrossSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	opts := testLogOptions(nil)
+	opts.SegmentMaxBytes = 1 // every append rotates onto a fresh segment
+	l, _, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Put("dup", "t/t", []byte(fmt.Sprintf("version-%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	l.Put("other", "t/t", []byte("solo"))
+	l.Close()
+	if segs := segmentFiles(t, dir); len(segs) < 4 {
+		t.Fatalf("segments = %v, want one per append", segs)
+	}
+
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rep.Duplicates != 3 {
+		t.Fatalf("Duplicates = %d, want 3 superseded copies", rep.Duplicates)
+	}
+	if len(rep.Recovered) != 2 {
+		t.Fatalf("Recovered = %d, want 2", len(rep.Recovered))
+	}
+	_, body, err := l2.Get("dup")
+	if err != nil || string(body) != "version-3" {
+		t.Fatalf("Get dup = %q, %v, want newest version-3", body, err)
+	}
+}
+
+// TestLogDamagedRecordQuarantinedOnRecovery: a flipped bit inside one record
+// must quarantine exactly that record; its neighbors survive.
+func TestLogDamagedRecordQuarantined(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	l.Put("before", "t/t", []byte(strings.Repeat("a", 200)))
+	l.Put("victim", "t/t", []byte(strings.Repeat("b", 200)))
+	l.Put("after", "t/t", []byte(strings.Repeat("c", 200)))
+	loc := l.index["victim"]
+	l.Close()
+
+	path := filepath.Join(dir, segmentFileName(loc.seg))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[loc.off+int64(loc.n)-10] ^= 0x40 // flip a bit inside victim's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rep.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", rep.Quarantined)
+	}
+	if len(rep.Recovered) != 2 {
+		t.Fatalf("Recovered = %d, want 2", len(rep.Recovered))
+	}
+	if _, _, err := l2.Get("victim"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("damaged record still indexed: %v", err)
+	}
+	for _, k := range []string{"before", "after"} {
+		if _, _, err := l2.Get(k); err != nil {
+			t.Fatalf("neighbor %s lost: %v", k, err)
+		}
+	}
+}
+
+// TestLogBitRotCaughtAtRead: corruption that develops after recovery is
+// detected by the per-read checksum; the corrupt body is never served.
+func TestLogBitRotCaughtAtRead(t *testing.T) {
+	l, dir := newTestLog(t)
+	l.Put("rot", "t/t", []byte(strings.Repeat("x", 500)))
+	loc := l.index["rot"]
+	path := filepath.Join(dir, segmentFileName(loc.seg))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[loc.off+50] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Get("rot"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get err = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := l.Get("rot"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Get err = %v, want ErrNotFound (dropped)", err)
+	}
+	if st := l.StorageStatus(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestLogCompactionReclaimsDeadBytes: overwrite churn triggers compaction,
+// which shrinks disk usage and keeps every live entry readable.
+func TestLogCompactionReclaims(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	opts := LogOptions{
+		SegmentMaxBytes: 4 << 10,
+		CompactMinBytes: 8 << 10,
+		CompactFraction: 0.5,
+	}
+	l, _, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	body := []byte(strings.Repeat("z", 512))
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 8; i++ {
+			if err := l.Put(fmt.Sprintf("k%d", i), "t/t", body); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+	}
+	l.compactWG.Wait()
+	l.mu.RLock()
+	dead, total := l.deadBytes, l.totalBytes
+	l.mu.RUnlock()
+	if total > 100<<10 {
+		t.Fatalf("totalBytes = %d after compaction, want well under the ~80 KiB written", total)
+	}
+	if dead > total {
+		t.Fatalf("deadBytes %d > totalBytes %d", dead, total)
+	}
+	for i := 0; i < 8; i++ {
+		_, got, err := l.Get(fmt.Sprintf("k%d", i))
+		if err != nil || string(got) != string(body) {
+			t.Fatalf("k%d after compaction: %v", i, err)
+		}
+	}
+	// Live set survives a restart of the compacted store.
+	l.Close()
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(rep.Recovered) != 8 {
+		t.Fatalf("Recovered = %d, want 8", len(rep.Recovered))
+	}
+}
+
+// TestLogCompactionRacesGet hammers Get while overwrite churn drives
+// compactions: no read may fail or observe a stale body version mix. Run
+// with -race.
+func TestLogCompactionRacesGet(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	opts := LogOptions{
+		SegmentMaxBytes: 2 << 10,
+		CompactMinBytes: 4 << 10,
+		CompactFraction: 0.3,
+	}
+	l, _, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	const keys = 4
+	body := strings.Repeat("y", 256)
+	for i := 0; i < keys; i++ {
+		l.Put(fmt.Sprintf("k%d", i), "t/t", []byte(body))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: constant overwrite churn
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Put(fmt.Sprintf("k%d", i%keys), "t/t", []byte(body)); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // readers racing the compactions
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < keys; i++ {
+					_, got, err := l.Get(fmt.Sprintf("k%d", i))
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if string(got) != body {
+						t.Errorf("Get returned wrong body (%d bytes)", len(got))
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestLogDegradedMode: append failures flip the store read-only; reads keep
+// working; a healed disk lifts the mode via the probe write.
+func TestLogDegradedMode(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := filepath.Join(t.TempDir(), "cache")
+	opts := testLogOptions(ffs)
+	opts.ReprobeInterval = time.Millisecond
+	l, _, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	defer l.Close()
+	l.Put("stable", "t/t", []byte("ok"))
+
+	ffs.FailWrites(errors.New("disk full"))
+	if err := l.Put("fails", "t/t", []byte("x")); err == nil {
+		t.Fatal("Put succeeded during write fault")
+	}
+	if st := l.StorageStatus(); !st.Degraded {
+		t.Fatal("not degraded after write failure")
+	}
+	if _, _, err := l.Get("stable"); err != nil {
+		t.Fatalf("read during degraded mode: %v", err)
+	}
+	ffs.FailWrites(nil)
+	time.Sleep(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := l.Put("probe", "t/t", []byte("y"))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store never recovered: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := l.StorageStatus(); st.Degraded {
+		t.Fatal("still degraded after successful probe")
+	}
+	if _, _, err := l.Get("probe"); err != nil {
+		t.Fatalf("probe entry unreadable: %v", err)
+	}
+}
+
+// TestLogExpiredEntriesDropped: recovery discards entries past their TTL.
+func TestLogExpiredDropped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	l, _, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	l.PutEntry("fresh", "t/t", []byte("a"), 0, time.Now().Add(time.Hour))
+	l.PutEntry("stale", "t/t", []byte("b"), 0, time.Now().Add(-time.Second))
+	l.Close()
+	l2, rep, err := OpenLog(dir, testLogOptions(nil))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rep.Expired != 1 || len(rep.Recovered) != 1 || rep.Recovered[0].Key != "fresh" {
+		t.Fatalf("rep = %+v, want 1 expired, fresh recovered", rep)
+	}
+}
+
+// segmentFiles lists the segment files under dir.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	listing, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, de := range listing {
+		if _, ok := parseSegmentFileName(de.Name()); ok {
+			out = append(out, de.Name())
+		}
+	}
+	return out
+}

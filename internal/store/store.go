@@ -21,7 +21,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -266,28 +265,16 @@ type RecoveryReport struct {
 // does. File names are sequence numbers; the key-to-file mapping is the
 // in-memory meta-data, rebuilt from the self-describing files on OpenDisk.
 type Disk struct {
-	dir     string
-	fs      FS
-	fsync   FsyncPolicy
-	reprobe time.Duration
+	dir   string
+	fs    FS
+	fsync FsyncPolicy
 
 	mu      sync.RWMutex
 	files   map[string]string // key -> file path
 	nextSeq int64
 	closed  bool
 
-	// Degraded-mode state: smu orders the degraded/probe transitions;
-	// counters are atomics so StorageStatus stays cheap.
-	smu           sync.Mutex
-	degraded      bool
-	degradedSince time.Time
-	lastErr       string
-	lastProbe     time.Time
-
-	putFailures atomic.Uint64
-	quarantined atomic.Uint64
-	recovered   uint64 // fixed at open
-	orphans     uint64 // fixed at open
+	storeHealth
 }
 
 // NewDisk creates (or recovers) a disk store rooted at dir with default
@@ -315,12 +302,12 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, *RecoveryReport, error) {
 		return nil, nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
 	d := &Disk{
-		dir:     dir,
-		fs:      opts.FS,
-		fsync:   opts.Fsync,
-		reprobe: opts.ReprobeInterval,
-		files:   make(map[string]string),
+		dir:   dir,
+		fs:    opts.FS,
+		fsync: opts.Fsync,
+		files: make(map[string]string),
 	}
+	d.reprobe = opts.ReprobeInterval
 	rep, err := d.recover()
 	if err != nil {
 		return nil, nil, err
@@ -485,62 +472,9 @@ func (d *Disk) PutEntry(key, contentType string, body []byte, execTime time.Dura
 	return nil
 }
 
-// writeGate decides whether a Put may attempt its write: always in healthy
-// mode; in degraded mode only one probe per reprobe interval.
-func (d *Disk) writeGate() error {
-	d.smu.Lock()
-	defer d.smu.Unlock()
-	if !d.degraded {
-		return nil
-	}
-	if time.Since(d.lastProbe) >= d.reprobe {
-		// This Put is the probe; its outcome decides whether the mode lifts.
-		d.lastProbe = time.Now()
-		return nil
-	}
-	return fmt.Errorf("%w: %s", ErrDegraded, d.lastErr)
-}
-
-// noteWriteError records a storage fault and enters degraded mode.
-func (d *Disk) noteWriteError(err error) {
-	d.putFailures.Add(1)
-	d.smu.Lock()
-	if !d.degraded {
-		d.degraded = true
-		d.degradedSince = time.Now()
-	}
-	d.lastErr = err.Error()
-	d.lastProbe = time.Now()
-	d.smu.Unlock()
-}
-
-// noteWriteOK records a successful write, leaving degraded mode if active.
-func (d *Disk) noteWriteOK() {
-	d.smu.Lock()
-	if d.degraded {
-		d.degraded = false
-		d.degradedSince = time.Time{}
-	}
-	d.smu.Unlock()
-}
-
 // StorageStatus implements the health reporter used by /swala-status and
 // the wire stats.
-func (d *Disk) StorageStatus() StorageStatus {
-	d.smu.Lock()
-	st := StorageStatus{
-		Persistent:    true,
-		Degraded:      d.degraded,
-		DegradedSince: d.degradedSince,
-		LastError:     d.lastErr,
-	}
-	d.smu.Unlock()
-	st.PutFailures = d.putFailures.Load()
-	st.Quarantined = d.quarantined.Load()
-	st.Recovered = d.recovered
-	st.OrphansSwept = d.orphans
-	return st
-}
+func (d *Disk) StorageStatus() StorageStatus { return d.status() }
 
 // writeFileAtomic writes data to path via a temp file + rename so that a
 // concurrent Get never observes a torn body. The temp file is removed on

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpclient"
+	"repro/internal/httpmsg"
+	"repro/internal/stats"
+)
+
+// OpenLoopDriver issues requests at a fixed Poisson arrival rate, regardless
+// of how fast the server answers. The closed-loop Driver cannot see queueing
+// collapse: its clients wait for each response before sending the next
+// request, so a slow server automatically throttles the offered load and
+// latency plateaus near clients x service time. An open-loop generator keeps
+// arriving on schedule — when the server falls behind, queueing delay shows
+// up in the tail percentiles instead of silently reducing the load, which is
+// what the multicore scaling measurements need.
+//
+// Latency is measured from each request's *scheduled* arrival time, not from
+// when the dispatch goroutine got around to sending it, so generator stalls
+// count against the server's tail rather than being coordinated-omission
+// holes in the record.
+type OpenLoopDriver struct {
+	// Client is the HTTP client (shared connection pools).
+	Client *httpclient.Client
+	// Rate is the Poisson arrival rate in requests per second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Source produces the request stream; it is consulted once per arrival,
+	// from the dispatch goroutine only, as Source(0, seq). ok=false ends the
+	// run early.
+	Source Source
+	// KeepAlive reuses connections between requests (see Driver.KeepAlive).
+	KeepAlive bool
+	// MaxInFlight caps concurrently outstanding requests; arrivals beyond the
+	// cap are shed and counted rather than queued in the generator (0 = 4096).
+	MaxInFlight int
+	// Seed drives the deterministic arrival process.
+	Seed int64
+}
+
+// OpenLoopResult is the outcome of an open-loop run.
+type OpenLoopResult struct {
+	// Latency summarizes response times (scheduled-arrival to completion)
+	// from a fixed-memory histogram: Mean/Min/Total are bucket-approximate,
+	// quantiles are within ~1.6%.
+	Latency stats.Summary
+	// Offered is how many arrivals the schedule generated; Requests how many
+	// completed successfully; Errors how many failed (transport or >=400);
+	// Shed how many were dropped at the in-flight cap.
+	Offered  int
+	Requests int
+	Errors   int
+	Shed     int
+	// Bytes is the total response body bytes received.
+	Bytes int64
+	// Elapsed is the wall-clock duration until the last response.
+	Elapsed time.Duration
+}
+
+// Throughput returns completed requests per second of wall-clock time.
+func (r OpenLoopResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Run generates arrivals until Duration elapses (or the Source ends), then
+// waits for outstanding responses.
+func (d *OpenLoopDriver) Run() OpenLoopResult {
+	maxInFlight := d.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	var hist stats.Histogram
+	var errCount, shed, bytes atomic.Int64
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+
+	start := nowMono()
+	var next time.Duration // scheduled arrival offset from start
+	offered := 0
+	for seq := 0; ; seq++ {
+		// Exponential inter-arrival gaps make the process Poisson.
+		next += time.Duration(rng.ExpFloat64() / d.Rate * float64(time.Second))
+		if next >= d.Duration {
+			break
+		}
+		if sleep := next - (nowMono() - start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		addr, uri, ok := d.Source(0, seq)
+		if !ok {
+			break
+		}
+		offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			// The system (server or client pool) is saturated far beyond the
+			// cap; shedding keeps the generator honest instead of building an
+			// unbounded in-process queue.
+			shed.Add(1)
+			continue
+		}
+		scheduled := start + next
+		wg.Add(1)
+		go func(addr, uri string, scheduled time.Duration) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req := httpmsg.NewRequest("GET", uri)
+			if !d.KeepAlive {
+				req.Header.Set("Connection", "close")
+			}
+			resp, err := d.Client.Do(addr, req)
+			lat := nowMono() - scheduled
+			if err != nil || resp.StatusCode >= 400 {
+				errCount.Add(1)
+				return
+			}
+			bytes.Add(int64(len(resp.Body)))
+			hist.Record(lat)
+		}(addr, uri, scheduled)
+	}
+	wg.Wait()
+	return OpenLoopResult{
+		Latency:  hist.Summary(),
+		Offered:  offered,
+		Requests: int(hist.Count()),
+		Errors:   int(errCount.Load()),
+		Shed:     int(shed.Load()),
+		Bytes:    bytes.Load(),
+		Elapsed:  nowMono() - start,
+	}
+}

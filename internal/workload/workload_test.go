@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/cgi"
 	"repro/internal/httpclient"
@@ -291,5 +292,78 @@ func TestDriverCountsErrors(t *testing.T) {
 	res := d.Run()
 	if res.Errors != 6 || res.Requests != 0 {
 		t.Fatalf("result = %+v, want 6 errors", res)
+	}
+}
+
+func TestOpenLoopDriverAgainstRealServer(t *testing.T) {
+	mem := netx.NewMem()
+	l, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := httpserver.New(httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+		resp := httpmsg.NewResponse(200)
+		resp.Body = []byte("ok")
+		return resp
+	}), httpserver.Config{RequestThreads: 8})
+	s.Serve(l)
+	defer s.Close()
+
+	client := httpclient.New(mem)
+	defer client.Close()
+
+	d := &OpenLoopDriver{
+		Client:   client,
+		Rate:     2000,
+		Duration: 250 * time.Millisecond,
+		Source:   RepeatSource([]string{"srv"}, "/x", 1<<30),
+		Seed:     1,
+	}
+	res := d.Run()
+	if res.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if res.Requests+res.Errors+res.Shed != res.Offered {
+		t.Fatalf("accounting mismatch: offered=%d completed=%d errors=%d shed=%d",
+			res.Offered, res.Requests, res.Errors, res.Shed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	// ~2000 req/s for 250ms should offer on the order of 500 arrivals; the
+	// Poisson process is random, so only sanity-bound it.
+	if res.Offered < 100 || res.Offered > 2000 {
+		t.Fatalf("offered = %d, want roughly 500", res.Offered)
+	}
+	if res.Latency.Count == 0 || res.Latency.P999 < res.Latency.P50 {
+		t.Fatalf("latency = %+v", res.Latency)
+	}
+}
+
+func TestOpenLoopDriverDeterministicArrivals(t *testing.T) {
+	// Same seed, same rate: the arrival schedule (and thus offered count with
+	// an unbounded source) must repeat.
+	mem := netx.NewMem()
+	l, _ := mem.Listen("srv")
+	s := httpserver.New(httpserver.HandlerFunc(func(ctx context.Context, req *httpmsg.Request) *httpmsg.Response {
+		return httpmsg.NewResponse(200)
+	}), httpserver.Config{RequestThreads: 4})
+	s.Serve(l)
+	defer s.Close()
+	client := httpclient.New(mem)
+	defer client.Close()
+
+	run := func() int {
+		d := &OpenLoopDriver{
+			Client:   client,
+			Rate:     1000,
+			Duration: 100 * time.Millisecond,
+			Source:   RepeatSource([]string{"srv"}, "/x", 1<<30),
+			Seed:     42,
+		}
+		return d.Run().Offered
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("offered differs across identical runs: %d vs %d", a, b)
 	}
 }
