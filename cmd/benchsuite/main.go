@@ -111,18 +111,19 @@ var suite = []experiment{
 
 func main() {
 	var (
-		runFlag   = flag.String("run", "", "comma-separated experiment list (default: all)")
-		quick     = flag.Bool("quick", false, "reduced request counts and sweeps")
-		scaleFlag = flag.Duration("scale", 0, "measured duration of one paper second (0 = per-experiment default)")
-		seed      = flag.Int64("seed", 1998, "workload seed")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		hotpath   = flag.String("hotpath", "", "run the hot-path optimisation comparison and write JSON to this file instead of the paper suite")
-		pipeline  = flag.String("pipeline", "", "run the fetch-pipeline overhead comparison and write JSON to this file instead of the paper suite")
-		broadcast = flag.String("broadcast", "", "run the directory-replication batching comparison and write JSON to this file instead of the paper suite")
-		faults    = flag.String("faults", "", "run the fault-injection schedule (hang/partition/rejoin) and write JSON to this file instead of the paper suite")
+		runFlag    = flag.String("run", "", "comma-separated experiment list (default: all)")
+		quick      = flag.Bool("quick", false, "reduced request counts and sweeps")
+		scaleFlag  = flag.Duration("scale", 0, "measured duration of one paper second (0 = per-experiment default)")
+		seed       = flag.Int64("seed", 1998, "workload seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		hotpath    = flag.String("hotpath", "", "run the hot-path optimisation comparison and write JSON to this file instead of the paper suite")
+		pipeline   = flag.String("pipeline", "", "run the fetch-pipeline overhead comparison and write JSON to this file instead of the paper suite")
+		broadcast  = flag.String("broadcast", "", "run the directory-replication batching comparison and write JSON to this file instead of the paper suite")
+		faults     = flag.String("faults", "", "run the fault-injection schedule (hang/partition/rejoin) and write JSON to this file instead of the paper suite")
 		crash      = flag.String("crash", "", "run the crash-recovery experiment (kill mid-write, corrupt entries, warm restart) and write JSON to this file instead of the paper suite")
 		crashStore = flag.String("crashstore", "files", "durable backend for -crash: files (file-per-entry) or log (segmented append-only)")
 		multicore  = flag.String("multicore", "", "run the GOMAXPROCS scaling sweep (closed-loop capacity + open-loop tail latency) and write JSON to this file instead of the paper suite")
+		scaleout   = flag.String("scaleout", "", "run the scale-out experiment (live 8->12 ring join and graceful leave under load vs the replicated directory) and write JSON to this file instead of the paper suite")
 		gomaxprocs = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before running (0 = inherit), so the recorded meta value is controlled")
 	)
 	flag.Parse()
@@ -176,6 +177,13 @@ func main() {
 	if *multicore != "" {
 		if err := runMulticore(*multicore, *quick, *seed); err != nil {
 			log.Fatalf("multicore failed: %v", err)
+		}
+		return
+	}
+
+	if *scaleout != "" {
+		if err := runScaleout(*scaleout, *quick, *seed); err != nil {
+			log.Fatalf("scaleout failed: %v", err)
 		}
 		return
 	}
@@ -288,6 +296,33 @@ func runFaults(path string, quick bool, seed int64) error {
 	}
 	fmt.Print(r.Render())
 	fmt.Printf("(faults in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runScaleout measures the ring-placement membership machinery end to end: a
+// replicated-directory baseline at 8 nodes, ring steady state, a live join of
+// 4 nodes under hot-set load (hit-ratio dip, recovery time, rebalance
+// traffic), the grown ring's flat per-node directory footprint, and a
+// graceful leave that hands every cached entry off before departing.
+func runScaleout(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala scale-out schedule — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunScaleout(experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(scaleout in %v)\n", time.Since(start).Round(time.Millisecond))
 
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

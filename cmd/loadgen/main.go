@@ -39,6 +39,7 @@ func main() {
 		rate      = flag.Float64("rate", 100, "open-loop arrival rate in requests per second")
 		duration  = flag.Duration("duration", 10*time.Second, "open-loop run duration")
 		inflight  = flag.Int("inflight", 4096, "open-loop cap on outstanding requests (arrivals beyond it are shed)")
+		report    = flag.Duration("report", 0, "open-loop progress line cadence, for watching throughput through a live join/leave (0 = only the final report)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,17 @@ func main() {
 			Source:      src,
 			MaxInFlight: *inflight,
 			Seed:        *seed,
+		}
+		if *report > 0 {
+			var prev, prevErr int64
+			var prevAt time.Duration
+			d.ReportEvery = *report
+			d.OnProgress = func(elapsed time.Duration, completed, errors, shed int64) {
+				secs := (elapsed - prevAt).Seconds()
+				fmt.Printf("%8s  %8.1f req/s  errors +%d  shed %d\n",
+					elapsed.Round(time.Second), float64(completed-prev)/secs, errors-prevErr, shed)
+				prev, prevErr, prevAt = completed, errors, elapsed
+			}
 		}
 		res := d.Run()
 		fmt.Printf("offered: %d   completed: %d   errors: %d   shed: %d   elapsed: %v\n",

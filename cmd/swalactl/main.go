@@ -55,7 +55,8 @@ func main() {
 				log.Fatalf("read: %v", err)
 			}
 			switch msg.(type) {
-			case *wire.Insert, *wire.Delete, *wire.DirBatch, *wire.DirSync, *wire.DirSyncReq:
+			case *wire.Insert, *wire.Delete, *wire.DirBatch, *wire.DirSync, *wire.DirSyncReq,
+				*wire.RingUpdate:
 				continue
 			}
 			return msg
@@ -154,6 +155,26 @@ func main() {
 		}
 		readReply()
 		fmt.Printf("invalidation for %q delivered\n", pattern)
+	case "ring":
+		sr := fetchStats(1)
+		if sr.Ring == nil {
+			fmt.Println("node runs replicate placement (no ring); start it with -placement=ring")
+			return
+		}
+		r := sr.Ring
+		fmt.Printf("epoch:         %d\n", r.Epoch)
+		fmt.Printf("virtual nodes: %d per member\n", r.VirtualNodes)
+		if !r.LastRebalance.IsZero() {
+			fmt.Printf("last rebalance: %s (%s ago)\n",
+				r.LastRebalance.Format(time.RFC3339), time.Since(r.LastRebalance).Round(time.Second))
+		}
+		fmt.Printf("handoff:       %d entries out, %d in (%d bytes pulled)\n",
+			r.HandoffOut, r.HandoffIn, r.HandoffBytes)
+		fmt.Printf("members:       %d\n", len(r.Members))
+		for _, m := range r.Members {
+			fmt.Printf("  node %-4d %-22s %-8s owns %5.1f%%\n",
+				m.ID, m.Addr, ringMemberState(m.State), float64(m.OwnedPermille)/10)
+		}
 	case "ping":
 		start := time.Now()
 		if err := wc.Write(&wire.Ping{Seq: 1}); err != nil {
@@ -164,7 +185,23 @@ func main() {
 		}
 		fmt.Printf("pong in %v\n", time.Since(start))
 	default:
-		log.Fatalf("unknown command %q (want stats or ping)", cmd)
+		log.Fatalf("unknown command %q (want stats, ring, watch, invalidate, or ping)", cmd)
+	}
+}
+
+// ringMemberState names the wire encoding of a ring member's state.
+func ringMemberState(s uint8) string {
+	switch s {
+	case 0:
+		return "alive"
+	case 1:
+		return "suspect"
+	case 2:
+		return "dead"
+	case 3:
+		return "self"
+	default:
+		return "unknown"
 	}
 }
 

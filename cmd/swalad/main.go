@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -72,6 +73,9 @@ func main() {
 		suspAfter = flag.Int("suspect-after", 0, "consecutive probe failures before a peer is suspect (0 = default 2)")
 		deadAfter = flag.Int("dead-after", 0, "consecutive probe failures before a peer is dead and quarantined (0 = default 5)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address with mutex and block profiling enabled (empty = off)")
+		placement = flag.String("placement", "replicate", "entry placement: replicate (the paper's replicated directory) or ring (consistent-hash ownership with runtime join/leave)")
+		joinSeeds = flag.String("join", "", "comma-separated seed addresses to join a running ring through (ring placement only)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default 256)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -79,6 +83,20 @@ func main() {
 	mode, err := parseMode(*modeFlag)
 	if err != nil {
 		logger.Fatal(err)
+	}
+	ringMode := false
+	switch *placement {
+	case "replicate":
+	case "ring":
+		if mode != core.Cooperative {
+			logger.Fatalf("-placement=ring requires -mode=cooperative")
+		}
+		ringMode = true
+	default:
+		logger.Fatalf("unknown placement %q (want replicate or ring)", *placement)
+	}
+	if *joinSeeds != "" && !ringMode {
+		logger.Fatalf("-join requires -placement=ring")
 	}
 
 	if *pprofAddr != "" {
@@ -107,6 +125,9 @@ func main() {
 		RequestTimeout: *reqTO,
 		FetchTimeout:   *fetchTO,
 		SendQueue:      *sendQueue,
+
+		RingPlacement: ringMode,
+		VirtualNodes:  *vnodes,
 
 		DisableBroadcastBatch: !*batch,
 		DisableDirSync:        !*dirSync,
@@ -215,6 +236,22 @@ func main() {
 		}
 	}
 
+	if *joinSeeds != "" {
+		seeds := strings.Split(*joinSeeds, ",")
+		for i := range seeds {
+			seeds[i] = strings.TrimSpace(seeds[i])
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := srv.JoinRing(ctx, seeds)
+		cancel()
+		if err != nil {
+			logger.Fatalf("join: %v", err)
+		}
+		if rs := srv.RingStatus(); rs != nil {
+			logger.Printf("joined ring: %d members, epoch %d", len(rs.Members), rs.Epoch)
+		}
+	}
+
 	if *watches != "" {
 		mon := monitor.New(srv.Invalidate, *watchIvl, nil)
 		for _, spec := range strings.Split(*watches, ",") {
@@ -235,6 +272,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Printf("shutting down")
+	if ringMode {
+		// Hand every owned entry to its next owner before going dark, so a
+		// planned shutdown costs the cluster no cached work.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.LeaveRing(ctx)
+		cancel()
+		logger.Printf("left ring")
+	}
 	if err := srv.Close(); err != nil {
 		logger.Printf("close: %v", err)
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/netx"
+	"repro/internal/ring"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -63,6 +64,16 @@ type DirSyncer interface {
 	// saw version since up to date with the local table; nil when the
 	// replica is already current.
 	BuildDirSync(since uint64) *wire.DirSync
+}
+
+// RingHandler is implemented by handlers that serve ring-placement fetches:
+// execute-if-missing miss forwarding and handoff takeover pulls. Optional —
+// a handler without it serves flagged fetches as plain cache lookups.
+type RingHandler interface {
+	// HandleFetchRing serves a fetch carrying ring flags (wire.FetchExecute,
+	// wire.FetchTakeover). executed reports that the body was produced by
+	// running the request at this node rather than from its cache.
+	HandleFetchRing(key string, flags uint8) (contentType string, body []byte, executed, ok bool)
 }
 
 // NopHandler ignores all events; useful for tests and pseudo-servers.
@@ -122,6 +133,17 @@ type Config struct {
 	// peer's transitions arrive in order; it must be fast and must not call
 	// back into the Node.
 	OnPeerState func(peer uint32, state PeerState)
+	// RingMode enables dynamic membership and consistent-hash placement:
+	// MsgJoin/MsgLeave/MsgRingUpdate are spoken, Hello announces ring
+	// placement, and the failure detector evicts dead members from the ring.
+	RingMode bool
+	// VirtualNodes is the per-member point count for the placement ring
+	// (default ring.DefaultVirtualNodes).
+	VirtualNodes int
+	// OnRingChange, when set, observes ring rebuilds after membership
+	// changes. Changes are delivered in order on a dedicated goroutine; the
+	// callback may call back into the Node.
+	OnRingChange func(old, new *ring.Ring)
 	// Logger receives protocol errors; nil discards.
 	Logger *log.Logger
 }
@@ -158,6 +180,16 @@ type Node struct {
 	// healthMu guards health: the failure detector's per-peer records.
 	healthMu sync.Mutex
 	health   map[uint32]*peerHealth
+
+	// memMu guards the dynamic membership table (ring mode only).
+	memMu   sync.Mutex
+	members map[uint32]memberInfo
+	epoch   uint64
+	leaving bool
+	// ringPtr is the current placement ring, swapped whole on change so the
+	// request path reads it with one atomic load.
+	ringPtr    atomic.Pointer[ring.Ring]
+	ringEvents chan ringEvent
 
 	dropped atomic.Uint64 // broadcasts dropped due to full peer queues
 
@@ -196,10 +228,13 @@ func NewNode(cfg Config, handler Handler) *Node {
 		cfg.BatchLimit = 256
 	}
 	cfg.Health.setDefaults()
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = ring.DefaultVirtualNodes
+	}
 	if handler == nil {
 		handler = NopHandler{}
 	}
-	return &Node{
+	n := &Node{
 		cfg:          cfg,
 		handler:      handler,
 		peers:        make(map[uint32]*peerLink),
@@ -211,6 +246,11 @@ func NewNode(cfg Config, handler Handler) *Node {
 		health:       make(map[uint32]*peerHealth),
 		done:         make(chan struct{}),
 	}
+	if cfg.RingMode {
+		n.members = make(map[uint32]memberInfo)
+		n.ringEvents = make(chan ringEvent, 16)
+	}
+	return n
 }
 
 // Start listens for peer connections on addr (":0" on TCP picks a port).
@@ -233,6 +273,9 @@ func (n *Node) Start(addr string) error {
 	if !n.cfg.Health.Disable {
 		n.wg.Add(1)
 		go n.probeLoop()
+	}
+	if n.cfg.RingMode {
+		n.initMembership()
 	}
 	return nil
 }
@@ -291,6 +334,12 @@ func (n *Node) serveInbound(conn net.Conn) {
 		n.logf("inbound connection did not start with hello: %v", first.Type())
 		return
 	}
+	// Protocol negotiation: reject placement/version mismatches with a clear
+	// error, never a decode failure downstream.
+	if reason := n.ringRejectHello(hello); reason != "" {
+		n.logf("rejecting inbound link: %s", reason)
+		return
+	}
 
 	var sendMu sync.Mutex
 	reply := func(m wire.Message) {
@@ -308,6 +357,12 @@ func (n *Node) serveInbound(conn net.Conn) {
 	syncer, hasSyncer := n.handler.(DirSyncer)
 	if hasSyncer && !n.cfg.DisableSync && hello.Addr != "" {
 		reply(&wire.DirSyncReq{Version: syncer.DirVersion(hello.NodeID)})
+	}
+	// Membership anti-entropy: every link (re)establishment between ring
+	// nodes exchanges the full membership view, the same pattern DirSyncReq
+	// uses for the directory.
+	if n.cfg.RingMode && hello.Addr != "" {
+		reply(&wire.RingUpdate{Origin: n.cfg.NodeID, Members: n.MembersSnapshot()})
 	}
 
 	for {
@@ -339,7 +394,10 @@ func (n *Node) serveInbound(conn net.Conn) {
 				}
 			}
 		case *wire.DirSync:
-			if hasSyncer && !n.cfg.DisableSync {
+			// Handoff frames (ring rebalance offers) bypass the DisableSync
+			// gate: ring mode turns anti-entropy off but still moves entry
+			// metadata between owners on this message.
+			if hasSyncer && (!n.cfg.DisableSync || m.Handoff) {
 				syncer.HandleDirSync(m)
 				n.syncsApplied.Add(1)
 			}
@@ -348,8 +406,13 @@ func (n *Node) serveInbound(conn net.Conn) {
 			n.wg.Add(1)
 			go func(m *wire.Fetch) {
 				defer n.wg.Done()
-				ct, body, ok := n.handler.HandleFetch(m.Key)
-				reply(&wire.FetchReply{Seq: m.Seq, OK: ok, ContentType: ct, Body: body})
+				if rh, ringOK := n.handler.(RingHandler); ringOK && m.Flags != 0 {
+					ct, body, executed, served := rh.HandleFetchRing(m.Key, m.Flags)
+					reply(&wire.FetchReply{Seq: m.Seq, OK: served, ContentType: ct, Body: body, Executed: executed})
+					return
+				}
+				ct, body, served := n.handler.HandleFetch(m.Key)
+				reply(&wire.FetchReply{Seq: m.Seq, OK: served, ContentType: ct, Body: body})
 			}(m)
 		case *wire.Ping:
 			reply(&wire.Pong{Seq: m.Seq})
@@ -359,6 +422,25 @@ func (n *Node) serveInbound(conn net.Conn) {
 			reply(&sr)
 		case *wire.Invalidate:
 			n.handler.HandleInvalidate(m)
+		case *wire.Join:
+			if !n.cfg.RingMode {
+				n.logf("join from node %d at %s ignored: this node runs replicate placement (start it with -placement=ring to accept joins)", m.NodeID, m.Addr)
+				break
+			}
+			n.admitMember(m.NodeID, m.Addr)
+			reply(&wire.RingUpdate{Origin: n.cfg.NodeID, Members: n.MembersSnapshot()})
+		case *wire.Leave:
+			if !n.cfg.RingMode {
+				n.logf("leave from node %d ignored: this node runs replicate placement", m.NodeID)
+				break
+			}
+			n.mergeMembers([]wire.Member{{ID: m.NodeID, Incarnation: m.Incarnation, Left: true}}, true)
+		case *wire.RingUpdate:
+			if !n.cfg.RingMode {
+				n.logf("ring update from node %d ignored: this node runs replicate placement", m.Origin)
+				break
+			}
+			n.handleRingUpdate(m, reply)
 		default:
 			n.logf("unexpected inbound message: %v", msg.Type())
 		}
@@ -537,7 +619,10 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 	}
 
 	wc := wire.NewConn(conn)
-	hello := &wire.Hello{NodeID: n.cfg.NodeID, NodeName: n.cfg.Name, Addr: n.Addr()}
+	hello := &wire.Hello{
+		NodeID: n.cfg.NodeID, NodeName: n.cfg.Name, Addr: n.Addr(),
+		ProtoVersion: wire.ProtoCurrent, Placement: n.placement(),
+	}
 	if err := wc.Write(hello); err != nil {
 		conn.Close()
 		return fmt.Errorf("cluster: hello to peer %d: %w", peerID, err)
@@ -821,6 +906,26 @@ func (n *Node) linkReader(link *peerLink) {
 			case link.syncCh <- struct{}{}:
 			default:
 			}
+		case *wire.RingUpdate:
+			// Membership view exchanged on link establishment (or a
+			// convergence reply to our gossip).
+			if n.cfg.RingMode {
+				n.handleRingUpdate(m, func(msg wire.Message) {
+					if err := link.send(msg); err != nil {
+						n.logf("ring reply to peer %d: %v", link.id, err)
+					}
+				})
+			}
+		case *wire.DirSync:
+			// A ring rebalance offer can arrive on either side of a link —
+			// whoever dialed first owns the connection, and the old owner
+			// pushes to the new one regardless of who that was.
+			if m.Handoff {
+				if syncer, ok := n.handler.(DirSyncer); ok {
+					syncer.HandleDirSync(m)
+					n.syncsApplied.Add(1)
+				}
+			}
 		default:
 			n.logf("unexpected reply on outbound link to %d: %v", link.id, msg.Type())
 		}
@@ -896,6 +1001,19 @@ func (n *Node) Peers() []uint32 {
 // dropped for that peer and counted; the weak consistency protocol tolerates
 // the resulting staleness (it manifests as a false miss or false hit) and
 // anti-entropy sync later heals it.
+// SendTo writes msg directly to one peer's link, bypassing the broadcast
+// queues — the transport for targeted control traffic such as handoff
+// metadata pushes during a rebalance.
+func (n *Node) SendTo(peer uint32, msg wire.Message) error {
+	n.mu.Lock()
+	link := n.peers[peer]
+	n.mu.Unlock()
+	if link == nil {
+		return fmt.Errorf("%w: %d", ErrNoPeer, peer)
+	}
+	return link.send(msg)
+}
+
 func (n *Node) Broadcast(m wire.Message) {
 	switch t := m.(type) {
 	case *wire.Insert:
@@ -1018,18 +1136,27 @@ func (n *Node) ReplicationStats() stats.ReplicationSnapshot {
 // false-hit fallback and aborting the request — by inspecting its own
 // context.
 func (n *Node) Fetch(ctx context.Context, owner uint32, key string) (contentType string, body []byte, ok bool, err error) {
+	ct, b, served, _, err := n.FetchRing(ctx, owner, key, 0)
+	return ct, b, served, err
+}
+
+// FetchRing is Fetch with ring-placement flags (wire.FetchExecute asks the
+// owner to run the request on a cache miss; wire.FetchTakeover pulls a body
+// during handoff and tells the previous owner to drop its copy). executed
+// reports whether the owner ran the request rather than serving its cache.
+func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags uint8) (contentType string, body []byte, ok, executed bool, err error) {
 	if n.PeerState(owner) == PeerDead {
 		// The failure detector has declared the owner dead: fail fast so the
 		// caller degrades to local execution immediately instead of paying
 		// FetchTimeout. (The prober keeps pinging, so a recovered peer is
 		// marked alive again without fetch traffic.)
-		return "", nil, false, fmt.Errorf("%w: %d (peer dead)", ErrNoPeer, owner)
+		return "", nil, false, false, fmt.Errorf("%w: %d (peer dead)", ErrNoPeer, owner)
 	}
 	n.mu.Lock()
 	link := n.peers[owner]
 	n.mu.Unlock()
 	if link == nil {
-		return "", nil, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
+		return "", nil, false, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
 	}
 	if n.cfg.FetchTimeout > 0 {
 		var cancel context.CancelFunc
@@ -1040,7 +1167,7 @@ func (n *Node) Fetch(ctx context.Context, owner uint32, key string) (contentType
 	link.mu.Lock()
 	if link.closed {
 		link.mu.Unlock()
-		return "", nil, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
+		return "", nil, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 	}
 	link.nextSeq++
 	seq := link.nextSeq
@@ -1048,24 +1175,24 @@ func (n *Node) Fetch(ctx context.Context, owner uint32, key string) (contentType
 	link.pending[seq] = ch
 	link.mu.Unlock()
 
-	if err := link.send(&wire.Fetch{Seq: seq, Key: key}); err != nil {
+	if err := link.send(&wire.Fetch{Seq: seq, Key: key, Flags: flags}); err != nil {
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
-		return "", nil, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
+		return "", nil, false, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
 	}
 
 	select {
 	case reply, open := <-ch:
 		if !open {
-			return "", nil, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
+			return "", nil, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 		}
-		return reply.ContentType, reply.Body, reply.OK, nil
+		return reply.ContentType, reply.Body, reply.OK, reply.Executed, nil
 	case <-ctx.Done():
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
-		return "", nil, false, ctxFetchErr(ctx.Err())
+		return "", nil, false, false, ctxFetchErr(ctx.Err())
 	}
 }
 

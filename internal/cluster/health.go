@@ -128,11 +128,24 @@ func (n *Node) probeLoop() {
 // pile up (ProbeTimeout <= ProbeInterval bounds the round).
 func (n *Node) probePeers() {
 	n.mu.Lock()
+	seen := make(map[uint32]bool, len(n.peerAddrs))
 	ids := make([]uint32, 0, len(n.peerAddrs))
 	for id := range n.peerAddrs {
+		seen[id] = true
 		ids = append(ids, id)
 	}
 	n.mu.Unlock()
+	// In ring mode the membership table is the probe roster, not just the
+	// dialed links: a member we never managed to connect to must still walk
+	// to dead (each probe fails instantly with ErrNoPeer) and be evicted, or
+	// its keyspace would stay assigned to an unreachable node forever.
+	if r := n.Ring(); r != nil {
+		for _, id := range r.Members() {
+			if id != n.cfg.NodeID && !seen[id] {
+				ids = append(ids, id)
+			}
+		}
+	}
 
 	var wg sync.WaitGroup
 	for _, id := range ids {
@@ -183,6 +196,13 @@ func (n *Node) recordProbe(peer uint32, err error) {
 		n.logf("peer %d health: %v -> %v (fails=%d)", peer, old, h.state, h.fails)
 		if n.cfg.OnPeerState != nil {
 			n.cfg.OnPeerState(peer, h.state)
+		}
+		if h.state == PeerDead && n.cfg.RingMode {
+			// The detector is the membership authority in ring mode: a dead
+			// peer is evicted from the ring so its keyspace reassigns.
+			// Asynchronous because evictMember takes memMu and then the node
+			// and detector locks via link teardown.
+			go n.evictMember(peer)
 		}
 	}
 }

@@ -1,0 +1,494 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/wire"
+)
+
+// Dynamic membership (ring placement mode).
+//
+// In replicate mode the cluster is the paper's: a fixed peer list wired at
+// boot. Ring mode replaces that with a gossiped membership table from which
+// every node derives the same consistent-hash ring:
+//
+//   - Each member is a (id, addr, incarnation, left) record. Incarnations
+//     order competing statements about one node; a departure (left) beats an
+//     arrival at the same incarnation. Merging two tables member-by-member is
+//     idempotent, commutative, and associative, so concurrent joins, leaves,
+//     and evictions converge without coordination.
+//   - A node joins by dialing any seed and sending MsgJoin; the seed admits
+//     it at a fresh incarnation, answers with its full view, and gossips the
+//     change. Every Hello between ring-mode nodes also answers with the full
+//     view, making link (re)establishment the membership anti-entropy path —
+//     the same pattern the directory uses with DirSyncReq.
+//   - Graceful leave marks the member departed at incarnation+1; the
+//     departing node hands its entries off first, then announces.
+//   - The PR 4 failure detector is the membership authority for crashes: a
+//     peer declared dead is evicted (tombstoned) and the ring excludes it.
+//     If it was a false positive, the evicted node sees its own tombstone in
+//     gossip and refutes it at a higher incarnation, rejoining the ring.
+//
+// Every effective change bumps the local epoch, rebuilds the immutable ring
+// snapshot, and fires Config.OnRingChange (in order, on a dedicated
+// goroutine) so the server layer can rebalance.
+
+type memberInfo struct {
+	addr        string
+	incarnation uint64
+	left        bool
+}
+
+// ringEvent is one ring rebuild delivered to Config.OnRingChange.
+type ringEvent struct {
+	old, new *ring.Ring
+}
+
+// initMembership seeds the membership table with this node itself. Called
+// from Start once the listen address is known.
+func (n *Node) initMembership() {
+	n.memMu.Lock()
+	n.members[n.cfg.NodeID] = memberInfo{addr: n.Addr(), incarnation: 1}
+	n.epoch++
+	n.ringPtr.Store(n.buildRingLocked())
+	n.memMu.Unlock()
+
+	n.wg.Add(1)
+	go n.ringNotifyLoop()
+}
+
+// buildRingLocked derives the ring from the non-departed members. Callers
+// hold memMu.
+func (n *Node) buildRingLocked() *ring.Ring {
+	ids := make([]uint32, 0, len(n.members))
+	for id, m := range n.members {
+		if !m.left {
+			ids = append(ids, id)
+		}
+	}
+	return ring.New(ids, n.cfg.VirtualNodes)
+}
+
+// Ring returns the current placement ring (nil when not in ring mode, never
+// nil after Start in ring mode). The returned ring is immutable.
+func (n *Node) Ring() *ring.Ring { return n.ringPtr.Load() }
+
+// RingEpoch counts effective membership changes seen by this node.
+func (n *Node) RingEpoch() uint64 {
+	n.memMu.Lock()
+	defer n.memMu.Unlock()
+	return n.epoch
+}
+
+// MembersSnapshot returns the full membership table (departed members
+// included — gossip needs the tombstones), sorted by ID.
+func (n *Node) MembersSnapshot() []wire.Member {
+	n.memMu.Lock()
+	defer n.memMu.Unlock()
+	return n.membersSnapshotLocked()
+}
+
+func (n *Node) membersSnapshotLocked() []wire.Member {
+	out := make([]wire.Member, 0, len(n.members))
+	for id, m := range n.members {
+		out = append(out, wire.Member{ID: id, Addr: m.addr, Incarnation: m.incarnation, Left: m.left})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ringNotifyLoop delivers ring changes to Config.OnRingChange in order.
+func (n *Node) ringNotifyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case ev := <-n.ringEvents:
+			if n.cfg.OnRingChange != nil {
+				n.cfg.OnRingChange(ev.old, ev.new)
+			}
+		}
+	}
+}
+
+// mergeMembers folds a batch of member statements into the table. Each
+// statement wins if its incarnation is higher than what we have, or equal
+// with Left set (departure beats arrival). A statement that this node itself
+// has left is refuted — unless the node is leaving on purpose — by
+// re-announcing at a higher incarnation, which heals detector false
+// positives. On any effective change the epoch advances, the ring is
+// rebuilt, OnRingChange fires, and (if gossip) the new view is broadcast.
+func (n *Node) mergeMembers(ms []wire.Member, gossip bool) bool {
+	n.memMu.Lock()
+	changed := false
+	for _, m := range ms {
+		cur, exists := n.members[m.ID]
+		if m.ID == n.cfg.NodeID {
+			if m.Left && m.Incarnation >= cur.incarnation && !n.leaving {
+				// Someone evicted us (detector false positive): refute.
+				n.members[m.ID] = memberInfo{addr: n.Addr(), incarnation: m.Incarnation + 1}
+				n.logf("refuting eviction at incarnation %d", m.Incarnation)
+				changed = true
+			}
+			continue
+		}
+		newer := !exists || m.Incarnation > cur.incarnation ||
+			(m.Incarnation == cur.incarnation && m.Left && !cur.left)
+		if !newer {
+			continue
+		}
+		addr := m.Addr
+		if addr == "" {
+			addr = cur.addr // tombstones may omit the address
+		}
+		n.members[m.ID] = memberInfo{addr: addr, incarnation: m.Incarnation, left: m.Left}
+		changed = true
+		if m.Left {
+			n.logf("member %d departed (incarnation %d)", m.ID, m.Incarnation)
+		} else {
+			n.logf("member %d at %s joined (incarnation %d)", m.ID, addr, m.Incarnation)
+		}
+	}
+	if !changed {
+		n.memMu.Unlock()
+		return false
+	}
+	n.ringChangedLocked(gossip)
+	return true
+}
+
+// ringChangedLocked finishes an effective membership change: epoch, ring
+// rebuild, change notification, peer-link reconciliation, and (optionally)
+// gossip. It is called with memMu held and releases it.
+func (n *Node) ringChangedLocked(gossip bool) {
+	n.epoch++
+	old := n.ringPtr.Load()
+	newRing := n.buildRingLocked()
+	n.ringPtr.Store(newRing)
+	snapshot := n.membersSnapshotLocked()
+	n.memMu.Unlock()
+
+	n.logf("ring epoch advanced: %d members", newRing.Len())
+	select {
+	case n.ringEvents <- ringEvent{old: old, new: newRing}:
+	case <-n.done:
+	}
+	n.reconcileLinks(snapshot)
+	if gossip {
+		n.Broadcast(&wire.RingUpdate{Origin: n.cfg.NodeID, Members: snapshot})
+	}
+}
+
+// reconcileLinks connects to new live members and tears down links to
+// departed ones.
+func (n *Node) reconcileLinks(members []wire.Member) {
+	for _, m := range members {
+		if m.ID == n.cfg.NodeID {
+			continue
+		}
+		if m.Left {
+			n.forgetPeer(m.ID)
+			continue
+		}
+		n.mu.Lock()
+		_, linked := n.peers[m.ID]
+		connecting := n.reconnecting[m.ID]
+		if !linked && !connecting {
+			// Claim the reconnecting slot so concurrent merges do not dial
+			// the same member twice.
+			n.reconnecting[m.ID] = true
+		}
+		closed := n.closed
+		n.mu.Unlock()
+		if linked || connecting || closed {
+			continue
+		}
+		n.wg.Add(1)
+		go func(id uint32, addr string) {
+			defer n.wg.Done()
+			defer func() {
+				n.mu.Lock()
+				delete(n.reconnecting, id)
+				n.mu.Unlock()
+			}()
+			if err := n.ConnectPeer(id, addr); err != nil {
+				n.logf("connect to member %d at %s: %v", id, addr, err)
+			}
+		}(m.ID, m.Addr)
+	}
+}
+
+// forgetPeer removes a departed member's link, dial address, and detector
+// record so no reconnect or probe resurrects it.
+func (n *Node) forgetPeer(id uint32) {
+	n.mu.Lock()
+	link := n.peers[id]
+	delete(n.peers, id)
+	delete(n.peerAddrs, id)
+	delete(n.needFullSync, id)
+	n.mu.Unlock()
+	n.healthMu.Lock()
+	delete(n.health, id)
+	n.healthMu.Unlock()
+	if link != nil {
+		link.close()
+	}
+}
+
+// admitMember handles a MsgJoin: the joiner enters (or re-enters, after an
+// eviction or restart) at a fresh incarnation.
+func (n *Node) admitMember(id uint32, addr string) {
+	n.memMu.Lock()
+	cur, exists := n.members[id]
+	if exists && !cur.left && cur.addr == addr {
+		// Already a live member at this address: idempotent re-join.
+		n.memMu.Unlock()
+		return
+	}
+	n.members[id] = memberInfo{addr: addr, incarnation: cur.incarnation + 1}
+	n.logf("admitting member %d at %s (incarnation %d)", id, addr, cur.incarnation+1)
+	n.ringChangedLocked(true)
+}
+
+// evictMember tombstones a member the failure detector declared dead — the
+// detector is the membership authority for crashes. The dial address is kept
+// in the tombstone so gossip survives; probes stop because forgetPeer (via
+// reconcileLinks) drops the peer record. A false positive heals itself: the
+// evicted node refutes the tombstone when it reconnects and sees it.
+func (n *Node) evictMember(id uint32) {
+	n.memMu.Lock()
+	cur, exists := n.members[id]
+	if !exists || cur.left {
+		n.memMu.Unlock()
+		return
+	}
+	n.members[id] = memberInfo{addr: cur.addr, incarnation: cur.incarnation + 1, left: true}
+	n.logf("evicting dead member %d (incarnation %d)", id, cur.incarnation+1)
+	n.ringChangedLocked(true)
+}
+
+// handleRingUpdate merges gossip. When the sender's view is older than ours
+// on any member, answer with our view (on the connection the gossip arrived
+// on) so the pair converges even when we learned nothing new — this is how
+// an evicted node finds out and refutes.
+func (n *Node) handleRingUpdate(m *wire.RingUpdate, reply func(wire.Message)) {
+	n.mergeMembers(m.Members, true)
+	if reply == nil {
+		return
+	}
+	n.memMu.Lock()
+	stale := false
+	theirs := make(map[uint32]wire.Member, len(m.Members))
+	for _, mb := range m.Members {
+		theirs[mb.ID] = mb
+	}
+	for id, cur := range n.members {
+		t, ok := theirs[id]
+		if !ok || cur.incarnation > t.Incarnation ||
+			(cur.incarnation == t.Incarnation && cur.left && !t.Left) {
+			stale = true
+			break
+		}
+	}
+	var snapshot []wire.Member
+	if stale {
+		snapshot = n.membersSnapshotLocked()
+	}
+	n.memMu.Unlock()
+	if stale {
+		reply(&wire.RingUpdate{Origin: n.cfg.NodeID, Members: snapshot})
+	}
+}
+
+// JoinSeed joins the ring through a seed member: it dials the seed, sends
+// MsgJoin, and waits for a membership view that includes this node. The
+// merge then connects to every live member. The temporary seed connection is
+// discarded; the mesh link to the seed is established like any other.
+func (n *Node) JoinSeed(ctx context.Context, seedAddr string) error {
+	if !n.cfg.RingMode {
+		return fmt.Errorf("cluster: join requires ring placement mode")
+	}
+	if n.cfg.FetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.FetchTimeout)
+		defer cancel()
+	}
+	conn, err := n.cfg.Network.Dial(seedAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+	}
+	defer conn.Close()
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d)
+	}
+	wc := wire.NewConn(conn)
+	hello := &wire.Hello{
+		NodeID: n.cfg.NodeID, NodeName: n.cfg.Name, Addr: n.Addr(),
+		ProtoVersion: wire.ProtoCurrent, Placement: wire.PlacementRing,
+	}
+	if err := wc.Write(hello); err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+	}
+	if err := wc.Write(&wire.Join{NodeID: n.cfg.NodeID, Addr: n.Addr()}); err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+	}
+	for {
+		msg, err := wc.Read()
+		if err != nil {
+			return fmt.Errorf("cluster: join via %s: no admission (the seed may run replicate placement): %w", seedAddr, err)
+		}
+		ru, ok := msg.(*wire.RingUpdate)
+		if !ok {
+			continue // DirSyncReq and friends arrive first on this conn
+		}
+		admitted := false
+		for _, m := range ru.Members {
+			if m.ID == n.cfg.NodeID && !m.Left {
+				admitted = true
+				break
+			}
+		}
+		if !admitted {
+			continue
+		}
+		n.mergeMembers(ru.Members, true)
+		n.logf("joined ring via %s: %d members", seedAddr, n.Ring().Len())
+		return nil
+	}
+}
+
+// LeaveRing marks this node departed in its own view and rebuilds the ring
+// without it, firing OnRingChange so the server layer hands its entries off
+// to their new owners. Nothing is announced yet — call AnnounceLeave once
+// the handoff has drained, so receivers keep serving our fetches meanwhile.
+func (n *Node) LeaveRing() {
+	n.memMu.Lock()
+	if n.leaving {
+		n.memMu.Unlock()
+		return
+	}
+	n.leaving = true
+	cur := n.members[n.cfg.NodeID]
+	n.members[n.cfg.NodeID] = memberInfo{addr: cur.addr, incarnation: cur.incarnation + 1, left: true}
+	n.logf("leaving ring (incarnation %d)", cur.incarnation+1)
+	n.ringChangedLocked(false)
+}
+
+// AnnounceLeave tells every peer directly (bypassing the async queues, best
+// effort) that this node has departed. Peers tombstone it and gossip on.
+func (n *Node) AnnounceLeave() {
+	n.memMu.Lock()
+	inc := n.members[n.cfg.NodeID].incarnation
+	n.memMu.Unlock()
+	msg := &wire.Leave{NodeID: n.cfg.NodeID, Incarnation: inc}
+	n.mu.Lock()
+	links := make([]*peerLink, 0, len(n.peers))
+	for _, l := range n.peers {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		if err := l.send(msg); err != nil {
+			n.logf("leave announce to peer %d: %v", l.id, err)
+		}
+	}
+}
+
+// RingMemberInfo is a point-in-time view of one live ring member for
+// status reporting.
+type RingMemberInfo struct {
+	ID    uint32
+	Addr  string
+	State PeerState
+	// Self marks the reporting node's own row (State is meaningless there).
+	Self bool
+	// Owned is the member's share of the hash circle.
+	Owned float64
+}
+
+// RingStatus summarizes ring membership for /swala-status and swalactl.
+type RingStatus struct {
+	Epoch        uint64
+	VirtualNodes int
+	Members      []RingMemberInfo
+}
+
+// RingStatusSnapshot reports the live membership with detector verdicts and
+// owned shares. Nil when not in ring mode.
+func (n *Node) RingStatusSnapshot() *RingStatus {
+	r := n.Ring()
+	if r == nil {
+		return nil
+	}
+	n.memMu.Lock()
+	epoch := n.epoch
+	addrs := make(map[uint32]string, len(n.members))
+	for id, m := range n.members {
+		if !m.left {
+			addrs[id] = m.addr
+		}
+	}
+	n.memMu.Unlock()
+
+	st := &RingStatus{Epoch: epoch, VirtualNodes: r.VirtualNodes()}
+	for _, id := range r.Members() {
+		info := RingMemberInfo{ID: id, Addr: addrs[id], Owned: r.OwnedFraction(id)}
+		if id != n.cfg.NodeID {
+			info.State = n.PeerState(id)
+		} else {
+			info.Self = true
+		}
+		st.Members = append(st.Members, info)
+	}
+	return st
+}
+
+// ringRejectHello enforces protocol negotiation for cluster-node links
+// (administrative clients, which announce no address, are exempt). It
+// returns a non-empty reason when the peer must be rejected.
+func (n *Node) ringRejectHello(hello *wire.Hello) string {
+	if hello.Addr == "" {
+		return ""
+	}
+	if n.cfg.RingMode {
+		if hello.ProtoVersion < wire.ProtoRing {
+			return fmt.Sprintf("peer %d (%s) speaks protocol v%d (replicate-era message set); ring placement requires v%d — upgrade it or start this node with -placement=replicate",
+				hello.NodeID, hello.NodeName, hello.ProtoVersion, wire.ProtoRing)
+		}
+		if hello.Placement != wire.PlacementRing {
+			return fmt.Sprintf("peer %d (%s) runs replicate placement; this node runs ring placement — align -placement across the cluster",
+				hello.NodeID, hello.NodeName)
+		}
+		return ""
+	}
+	if hello.Placement == wire.PlacementRing {
+		return fmt.Sprintf("peer %d (%s) runs ring placement; this node replicates — align -placement across the cluster",
+			hello.NodeID, hello.NodeName)
+	}
+	return ""
+}
+
+// placement returns the placement byte this node announces in Hello.
+func (n *Node) placement() uint8 {
+	if n.cfg.RingMode {
+		return wire.PlacementRing
+	}
+	return wire.PlacementReplicate
+}
+
+// waitSettled is a test helper hook point: it blocks until the ring event
+// queue has drained into OnRingChange (best effort, bounded by d).
+func (n *Node) waitRingEvents(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if len(n.ringEvents) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netx"
+	"repro/internal/wire"
+)
+
+// startRingNode starts one ring-placement node on the shared in-memory
+// network. Health settings are aggressive so eviction tests run fast.
+func startRingNode(t *testing.T, mem *netx.Mem, id uint32, fastHealth bool) (*Node, *recordingHandler) {
+	t.Helper()
+	h := newRecordingHandler()
+	cfg := Config{
+		NodeID:       id,
+		Network:      mem,
+		FetchTimeout: 2 * time.Second,
+		DialRetry:    50 * time.Millisecond,
+		RingMode:     true,
+		VirtualNodes: 32,
+	}
+	if fastHealth {
+		cfg.Health = HealthConfig{
+			ProbeInterval: 20 * time.Millisecond,
+			ProbeTimeout:  20 * time.Millisecond,
+			SuspectAfter:  1,
+			DeadAfter:     3,
+		}
+	}
+	n := NewNode(cfg, h)
+	if err := n.Start(fmt.Sprintf("ring-%d", id)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, h
+}
+
+func ringHas(n *Node, want ...uint32) bool {
+	r := n.Ring()
+	if r == nil || r.Len() != len(want) {
+		return false
+	}
+	for _, id := range want {
+		if !r.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingleNodeRingLocalOnly(t *testing.T) {
+	mem := netx.NewMem()
+	n, _ := startRingNode(t, mem, 1, false)
+	r := n.Ring()
+	if r == nil || r.Len() != 1 || !r.Contains(1) {
+		t.Fatalf("single node ring = %+v", r)
+	}
+	owner, ok := r.Owner("GET /anything")
+	if !ok || owner != 1 {
+		t.Fatalf("owner = %d, %v; want self", owner, ok)
+	}
+}
+
+func TestJoinSeedConvergence(t *testing.T) {
+	mem := netx.NewMem()
+	n1, _ := startRingNode(t, mem, 1, false)
+	n2, _ := startRingNode(t, mem, 2, false)
+	n3, _ := startRingNode(t, mem, 3, false)
+
+	ctx := context.Background()
+	if err := n2.JoinSeed(ctx, "ring-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n3.JoinSeed(ctx, "ring-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "all nodes to converge on 3 members", func() bool {
+		return ringHas(n1, 1, 2, 3) && ringHas(n2, 1, 2, 3) && ringHas(n3, 1, 2, 3)
+	})
+	// All three converged on the same placement.
+	for _, key := range []string{"GET /a", "GET /b", "GET /c?x=1"} {
+		o1, _ := n1.Ring().Owner(key)
+		o2, _ := n2.Ring().Owner(key)
+		o3, _ := n3.Ring().Owner(key)
+		if o1 != o2 || o2 != o3 {
+			t.Fatalf("divergent owners for %q: %d %d %d", key, o1, o2, o3)
+		}
+	}
+	// Membership drove link setup: 2 and 3 never dialed each other explicitly
+	// but must be meshed.
+	waitFor(t, "auto-connected mesh", func() bool {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		return n2.Ping(ctx, 3) == nil && n3.Ping(ctx, 2) == nil
+	})
+}
+
+func TestGracefulLeave(t *testing.T) {
+	mem := netx.NewMem()
+	n1, _ := startRingNode(t, mem, 1, false)
+	n2, _ := startRingNode(t, mem, 2, false)
+	n3, _ := startRingNode(t, mem, 3, false)
+
+	ctx := context.Background()
+	if err := n2.JoinSeed(ctx, "ring-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n3.JoinSeed(ctx, "ring-2"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "3-member ring", func() bool {
+		return ringHas(n1, 1, 2, 3) && ringHas(n2, 1, 2, 3) && ringHas(n3, 1, 2, 3)
+	})
+
+	// Two-phase departure: drop out of our own ring first (handoff would run
+	// here), then tell the others.
+	n3.LeaveRing()
+	if ringHas(n3, 1, 2, 3) {
+		t.Fatal("leaving node still owns keyspace in its own view")
+	}
+	n3.AnnounceLeave()
+
+	waitFor(t, "survivors to drop the departed member", func() bool {
+		return ringHas(n1, 1, 2) && ringHas(n2, 1, 2)
+	})
+}
+
+func TestDeadMemberEvicted(t *testing.T) {
+	mem := netx.NewMem()
+	n1, _ := startRingNode(t, mem, 1, true)
+	n2, _ := startRingNode(t, mem, 2, true)
+
+	if err := n2.JoinSeed(context.Background(), "ring-1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "2-member ring", func() bool {
+		return ringHas(n1, 1, 2) && ringHas(n2, 1, 2)
+	})
+
+	// Crash node 2. The detector walks it to dead and evicts it.
+	n2.Close()
+	waitFor(t, "survivor to evict the dead member", func() bool {
+		return ringHas(n1, 1)
+	})
+}
+
+func TestEvictionRefuted(t *testing.T) {
+	mem := netx.NewMem()
+	n1, _ := startRingNode(t, mem, 1, false)
+	n2, _ := startRingNode(t, mem, 2, false)
+
+	if err := n2.JoinSeed(context.Background(), "ring-1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "2-member ring", func() bool {
+		return ringHas(n1, 1, 2) && ringHas(n2, 1, 2)
+	})
+
+	// A false-positive eviction reaches node 2 as gossip: it must refute at a
+	// higher incarnation and the refutation must win back node 1's view.
+	n2.memMu.Lock()
+	inc := n2.members[2].incarnation
+	n2.memMu.Unlock()
+	n2.mergeMembers([]wire.Member{{ID: 2, Incarnation: inc + 1, Left: true}}, true)
+
+	if !ringHas(n2, 1, 2) {
+		t.Fatal("node did not refute its own tombstone")
+	}
+	n2.memMu.Lock()
+	refuted := n2.members[2].incarnation
+	n2.memMu.Unlock()
+	if refuted <= inc+1 {
+		t.Fatalf("refutation incarnation %d not above tombstone %d", refuted, inc+1)
+	}
+	waitFor(t, "refutation to reach the peer", func() bool {
+		n1.memMu.Lock()
+		defer n1.memMu.Unlock()
+		m := n1.members[2]
+		return !m.left && m.incarnation == refuted
+	})
+}
+
+func TestPlacementMismatchRejected(t *testing.T) {
+	mem := netx.NewMem()
+	ringNode, _ := startRingNode(t, mem, 1, false)
+
+	h := newRecordingHandler()
+	replicate := NewNode(Config{
+		NodeID:       2,
+		Network:      mem,
+		FetchTimeout: time.Second,
+		DialRetry:    time.Hour, // no background retry noise
+	}, h)
+	if err := replicate.Start("legacy-2"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replicate.Close() })
+
+	// The dial itself succeeds; the ring node rejects the link on Hello.
+	if err := replicate.ConnectPeer(1, "ring-1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := replicate.Ping(ctx, 1); err == nil {
+		t.Fatal("replicate-placement peer was admitted by a ring node")
+	}
+	if ringNode.Ring().Len() != 1 {
+		t.Fatalf("rejected peer leaked into the ring: %d members", ringNode.Ring().Len())
+	}
+}
+
+func TestJoinRejectedByReplicateSeed(t *testing.T) {
+	mem := netx.NewMem()
+	h := newRecordingHandler()
+	seed := NewNode(Config{NodeID: 1, Network: mem, FetchTimeout: 500 * time.Millisecond}, h)
+	if err := seed.Start("legacy-1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seed.Close() })
+
+	joiner, _ := startRingNode(t, mem, 2, false)
+	err := joiner.JoinSeed(context.Background(), "legacy-1")
+	if err == nil {
+		t.Fatal("join through a replicate-placement seed succeeded")
+	}
+}

@@ -187,6 +187,16 @@ type Config struct {
 	// exchange on peer connect and the catch-up snapshots that heal
 	// dropped broadcasts and reconnect gaps).
 	DisableDirSync bool
+	// RingPlacement switches cooperative mode from the paper's fully
+	// replicated directory to consistent-hash entry placement (swalad
+	// -placement=ring): keys are owned by the ring-designated node, misses
+	// are executed at the owner, membership changes at runtime (join/leave/
+	// eviction), and entries are handed off live when ownership moves.
+	// Default off — full replication is the paper's design.
+	RingPlacement bool
+	// VirtualNodes is the per-member virtual node count in ring placement
+	// (default ring.DefaultVirtualNodes).
+	VirtualNodes int
 	// DisableHealth turns off the peer failure detector and directory
 	// quarantine: remote fetches to a dead peer then fail only by timing
 	// out and falling back to local execution — the paper's exact reactive
@@ -253,6 +263,16 @@ type Server struct {
 
 	quarantines     atomic.Uint64 // peers quarantined (dead transitions)
 	quarantineLifts atomic.Uint64 // quarantines lifted after rejoin+resync
+
+	// Ring-placement rebalance state: handoffCh queues body pulls on the
+	// receiving side of a handoff; the counters feed StatsReply.Ring.
+	handoffCh     chan handoffTask
+	handoffWG     sync.WaitGroup
+	handoffOut    atomic.Uint64 // entries taken over by new owners
+	handoffIn     atomic.Uint64 // entries pulled from old owners
+	handoffBytes  atomic.Uint64 // body bytes pulled during handoffs
+	rebalances    atomic.Uint64 // ring changes handled
+	lastRebalance atomic.Int64  // unix nanos of the last ring change
 
 	started   atomic.Bool
 	purgeStop chan struct{}
@@ -332,13 +352,35 @@ func New(cfg Config) *Server {
 		},
 		Logger: cfg.Logger,
 	}
-	if cfg.Mode == Cooperative && !cfg.DisableHealth {
+	ringMode := cfg.Mode == Cooperative && cfg.RingPlacement
+	if cfg.Mode == Cooperative && !cfg.DisableHealth && !ringMode {
 		// Failure-detector transitions drive directory quarantine: a dead
 		// peer's entries are skipped by Lookup until it rejoins and resyncs.
+		// Ring mode doesn't replicate tables, so there is nothing to
+		// quarantine: the detector evicts the dead member from the ring
+		// instead, and its keyspace reassigns.
 		clusterCfg.OnPeerState = s.onPeerState
 	}
+	if ringMode {
+		clusterCfg.RingMode = true
+		clusterCfg.VirtualNodes = cfg.VirtualNodes
+		// There are no replicated peer tables to anti-entropy in ring mode;
+		// handoff DirSync frames are pushed directly and bypass this.
+		clusterCfg.DisableSync = true
+		clusterCfg.OnRingChange = s.onRingChange
+		s.handoffCh = make(chan handoffTask, handoffQueueDepth)
+	}
 	s.clu = cluster.NewNode(clusterCfg, (*clusterHandler)(s))
-	if cfg.Mode == Cooperative {
+	if ringMode {
+		s.dir.SetRing(func(key string) (uint32, bool) {
+			r := s.clu.Ring()
+			if r == nil {
+				return 0, false
+			}
+			return r.Owner(key)
+		})
+	}
+	if cfg.Mode == Cooperative && !ringMode {
 		// Every versioned local directory mutation — insert, replace,
 		// eviction, remove, expiry — is broadcast from here, in version
 		// order (the directory invokes the callback under its local-table
@@ -435,6 +477,12 @@ func (s *Server) Start(httpAddr, clusterAddr string) error {
 	}
 	s.started.Store(true)
 	go s.purgeDaemon()
+	if s.ringMode() {
+		for i := 0; i < handoffWorkers; i++ {
+			s.handoffWG.Add(1)
+			go s.handoffWorker()
+		}
+	}
 	return nil
 }
 
@@ -460,6 +508,9 @@ func (s *Server) Close() error {
 		}
 		err1 := s.http.Close()
 		err2 := s.clu.Close()
+		// Handoff workers exit on purgeStop; closed cluster links unblock any
+		// in-flight body pull. Wait before tearing down the store they write.
+		s.handoffWG.Wait()
 		s.node.Stop()
 		err3 := s.store.Close()
 		for _, err := range []error{err1, err2, err3} {
@@ -772,6 +823,26 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		fmt.Fprintf(&b, "<li>recovered at startup: %d | orphans swept: %d</li>\n", st.Recovered, st.OrphansSwept)
 		fmt.Fprintf(&b, "</ul>\n")
 	}
+	if rs := s.ringStats(); rs != nil {
+		fmt.Fprintf(&b, "<h2>Ring</h2><ul>\n")
+		fmt.Fprintf(&b, "<li>epoch: %d | virtual nodes per member: %d</li>\n", rs.Epoch, rs.VirtualNodes)
+		if !rs.LastRebalance.IsZero() {
+			fmt.Fprintf(&b, "<li>last rebalance: %s</li>\n", rs.LastRebalance.Format(time.RFC3339))
+		}
+		fmt.Fprintf(&b, "<li>handoff: %d entries out, %d in, %d bytes pulled</li>\n",
+			rs.HandoffOut, rs.HandoffIn, rs.HandoffBytes)
+		fmt.Fprintf(&b, "</ul>\n")
+		fmt.Fprintf(&b, "<table border=1><tr><th>member</th><th>addr</th><th>state</th><th>owned keyspace</th></tr>\n")
+		for _, m := range rs.Members {
+			state := cluster.PeerState(m.State).String()
+			if m.ID == s.cfg.NodeID {
+				state = "self"
+			}
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%.1f%%</td></tr>\n",
+				m.ID, htmlEscape(m.Addr), state, float64(m.OwnedPermille)/10)
+		}
+		fmt.Fprintf(&b, "</table>\n")
+	}
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
 	entries := s.dir.SnapshotLocal()
@@ -1055,6 +1126,7 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 			OrphansSwept: st.OrphansSwept,
 		}
 	}
+	reply.Ring = s.ringStats()
 	return reply
 }
 
@@ -1084,9 +1156,15 @@ func (h *clusterHandler) HandleDirBatch(m *wire.DirBatch) {
 }
 
 // HandleDirSync implements cluster.DirSyncer: apply an anti-entropy catch-up
-// (full snapshot or delta) of a peer's directory table.
+// (full snapshot or delta) of a peer's directory table. A Handoff frame is
+// not replication at all: it is a rebalance offer listing entries whose ring
+// ownership moved to this node; the bodies are pulled asynchronously.
 func (h *clusterHandler) HandleDirSync(m *wire.DirSync) {
 	s := h.server()
+	if m.Handoff {
+		s.acceptHandoff(m)
+		return
+	}
 	ops := make([]directory.SyncOp, len(m.Updates))
 	for i := range m.Updates {
 		u := &m.Updates[i]

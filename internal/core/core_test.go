@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cacheability"
 	"repro/internal/cgi"
+	"repro/internal/directory"
 	"repro/internal/httpclient"
 	"repro/internal/httpmsg"
 	"repro/internal/netx"
@@ -213,8 +214,17 @@ func TestFalseHitFallsBackToExecution(t *testing.T) {
 	})
 
 	// Delete the entry on node 1 without node 2 hearing about it (simulates
-	// the deletion broadcast still in flight).
+	// the deletion broadcast still in flight). The delete does broadcast and
+	// can land before node 2's request, so wait it out and replant the stale
+	// replica pointer deterministically.
 	h.servers[0].Directory().RemoveLocal(key)
+	waitUntil(t, "delete broadcast", func() bool {
+		_, ok := h.servers[1].Directory().Lookup(key, time.Now())
+		return !ok
+	})
+	h.servers[1].Directory().ApplyInsert(directory.Entry{
+		Key: key, Owner: 1, Size: 64, Inserted: time.Now(),
+	}, time.Now())
 
 	resp := h.get(t, 1, "/cgi-bin/null?x=1")
 	if resp.StatusCode != 200 {
@@ -743,8 +753,18 @@ func TestFalseHitLocalExecutionWithCoalescing(t *testing.T) {
 
 	// The owner drops the entry; node 2's directory replica still points at
 	// it (the delete broadcast is "in flight"), so node 2's next lookup is
-	// a false hit and its remote fetch comes back empty.
+	// a false hit and its remote fetch comes back empty. The broadcast can
+	// win the race against node 2's request, so make the stale pointer
+	// deterministic: wait for the delete to land, then replant the replica
+	// entry by hand.
 	h.servers[0].Directory().RemoveLocal(key)
+	waitUntil(t, "delete broadcast", func() bool {
+		_, ok := h.servers[1].Directory().Lookup(key, time.Now())
+		return !ok
+	})
+	h.servers[1].Directory().ApplyInsert(directory.Entry{
+		Key: key, Owner: 1, Size: 64, Inserted: time.Now(),
+	}, time.Now())
 
 	resp := h.get(t, 1, "/cgi-bin/null?x=1")
 	if resp.StatusCode != 200 || len(resp.Body) == 0 {

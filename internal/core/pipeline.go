@@ -14,6 +14,7 @@ import (
 	"repro/internal/singleflight"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 // This file implements the paper's Figure 2 as a fetchpipe chain. Each
@@ -43,7 +44,11 @@ func (s *Server) buildPipeline() {
 	}
 	stages = append(stages, &localStage{s: s})
 	if s.cfg.Mode == Cooperative {
-		stages = append(stages, &remoteStage{s: s})
+		if s.cfg.RingPlacement {
+			stages = append(stages, &ringStage{s: s})
+		} else {
+			stages = append(stages, &remoteStage{s: s})
+		}
 	}
 	stages = append(stages, &originStage{s: s})
 	s.chain = fetchpipe.Chain(s.pipe, stages...)
@@ -263,6 +268,61 @@ func (st *remoteStage) Fetch(ctx context.Context, key string, hint any) (fetchpi
 	return fetchpipe.Result{Status: 200, ContentType: ct, Body: body, Source: "remote"}, nil
 }
 
+// --- ring stage ---
+
+// ringStage replaces remoteStage under consistent-hash placement: the
+// directory's ring lookup names the owner of every out-of-range key, and
+// both hits AND misses route there. A miss executes at the owner
+// (FetchExecute), which caches the result — execute-and-announce, but only
+// by the one node placement will route future requests to. Owner failures
+// fall through to local execution like the paper's false hit, except the
+// result is not inserted here (originStage checks ownership) so placement
+// stays authoritative.
+type ringStage struct{ s *Server }
+
+func (st *ringStage) Name() string { return "ring" }
+
+func (st *ringStage) Fetch(ctx context.Context, key string, hint any) (fetchpipe.Result, error) {
+	s := st.s
+	e, ok := s.dirResolve(hint, key)
+	if !ok || e.Owner == s.dir.Self() {
+		// No owner (empty/degenerate ring) or ours: origin executes locally.
+		if hint == nil {
+			hint = dirHintFor(e, ok)
+		}
+		return fetchpipe.Defer(hint)
+	}
+	ct, body, found, executed, err := s.clu.FetchRing(ctx, e.Owner, key, wire.FetchExecute)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fetchpipe.Result{}, fetchpipe.CtxErr(ctx.Err())
+		}
+		s.logf("ring fetch %q from owner %d: %v", key, e.Owner,
+			fmt.Errorf("%w: %w", fetchpipe.ErrPeerUnavailable, err))
+		s.counters.FalseHit()
+		return fetchpipe.Defer(dirMiss{})
+	}
+	if !found {
+		// The owner could neither serve nor execute; run it ourselves.
+		s.counters.FalseHit()
+		return fetchpipe.Defer(dirMiss{})
+	}
+	cost := s.cfg.Costs.RemoteFetchCost + s.cfg.Costs.FileBaseCost +
+		time.Duration(len(body))*s.cfg.Costs.PerByte
+	if _, err := s.node.Run(ctx, cost); err != nil {
+		return fetchpipe.Result{}, fetchpipe.CtxErr(err)
+	}
+	if executed {
+		// The owner ran the CGI: a miss for the cluster (the owner itself
+		// counts only the insert), served through the owner so the next
+		// request anywhere is a remote hit.
+		s.counters.Miss()
+		return fetchpipe.Result{Status: 200, ContentType: ct, Body: body, Source: "owner"}, nil
+	}
+	s.counters.RemoteHit()
+	return fetchpipe.Result{Status: 200, ContentType: ct, Body: body, Source: "remote"}, nil
+}
+
 // --- origin stage ---
 
 // originStage is the chain's terminal: execute the CGI, tee the result into
@@ -290,8 +350,10 @@ func (st *originStage) Fetch(ctx context.Context, key string, _ any) (fetchpipe.
 	}
 	s.counters.Miss()
 
-	// Insert only successful, sufficiently long executions.
-	if res.Status == 200 && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
+	// Insert only successful, sufficiently long executions — and, under ring
+	// placement, only keys this node owns: a fallback execution after an
+	// owner failure must not plant an entry placement will never route to.
+	if res.Status == 200 && s.ownsKey(key) && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
 		s.insertResult(key, res, execTime, fs.ttl)
 	}
 	return fetchpipe.Result{Status: res.Status, ContentType: res.ContentType, Body: res.Body}, nil
@@ -321,7 +383,7 @@ func (s *Server) coalescedOrigin(ctx context.Context, key string, fs fetchState)
 		// released (or a new request becomes a fresh leader), the result is
 		// already in the directory, so no duplicate execution can slip in
 		// between execution and insertion.
-		if err == nil && res.Status == 200 &&
+		if err == nil && res.Status == 200 && s.ownsKey(key) &&
 			s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
 			s.insertResult(key, res, execTime, fs.ttl)
 		}

@@ -224,6 +224,15 @@ type Directory struct {
 	peerMu   sync.Mutex
 	peerVers map[uint32]uint64
 
+	// placeMu guards place, the consistent-hash placement resolver. When set
+	// (ring mode) Lookup stops scanning replicated peer tables: the ring
+	// names the only node that can hold a key, so an out-of-range key
+	// resolves to a synthetic entry pointing at its owner — per-node
+	// directory state shrinks from the whole cluster's metadata to just the
+	// local table.
+	placeMu sync.RWMutex
+	place   func(key string) (owner uint32, ok bool)
+
 	// quarMu guards quarantined: remote nodes whose tables Lookup must skip
 	// because the failure detector declared them dead. Quarantined tables
 	// keep receiving updates and syncs (so lifting the quarantine exposes a
@@ -302,10 +311,50 @@ func (d *Directory) tableFor(node uint32, create bool) *table {
 	return t
 }
 
-// Lookup searches all tables for key, checking the local table first (a
-// local hit avoids a network round trip). It returns the entry copy and
-// whether it was found. Expired entries are treated as absent.
+// SetRing installs a consistent-hash placement resolver and switches Lookup
+// to ring placement: the local table is still consulted first (it is the
+// ground truth for what this node holds), but instead of scanning replicated
+// peer tables, a key that resolves to another live node returns a synthetic
+// entry naming that owner. resolve should consult the current ring on every
+// call so membership changes take effect without re-registration. A nil
+// resolve restores the paper's full-replication lookup.
+func (d *Directory) SetRing(resolve func(key string) (owner uint32, ok bool)) {
+	d.placeMu.Lock()
+	d.place = resolve
+	d.placeMu.Unlock()
+}
+
+// resolver returns the installed placement resolver, or nil in replicate mode.
+func (d *Directory) resolver() func(string) (uint32, bool) {
+	d.placeMu.RLock()
+	defer d.placeMu.RUnlock()
+	return d.place
+}
+
+// Lookup searches for key, checking the local table first (a local hit
+// avoids a network round trip). It returns the entry copy and whether it was
+// found. Expired entries are treated as absent.
+//
+// In replicate mode (the paper's design) every peer table is scanned. In
+// ring mode (SetRing) placement is deterministic: the only other node that
+// can hold the key is its ring owner, so the lookup is a pure hash — no peer
+// tables, no per-peer metadata. A quarantined owner reads as a miss, exactly
+// like a quarantined table in replicate mode.
 func (d *Directory) Lookup(key string, now time.Time) (Entry, bool) {
+	if resolve := d.resolver(); resolve != nil {
+		if e, ok := d.tableFor(d.self, false).lookup(key, now); ok {
+			return e, true
+		}
+		owner, ok := resolve(key)
+		if !ok || owner == d.self {
+			// Unplaceable (empty ring) or ours-but-absent: a plain miss.
+			return Entry{}, false
+		}
+		if d.quarCount.Load() > 0 && d.IsQuarantined(owner) {
+			return Entry{}, false
+		}
+		return Entry{Key: key, Owner: owner}, true
+	}
 	if e, ok := d.tableFor(d.self, false).lookup(key, now); ok {
 		return e, true
 	}
@@ -656,6 +705,21 @@ func (d *Directory) Nodes() []uint32 {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MisplacedLocal returns copies of the local entries that owns reports as no
+// longer placed on this node — the handoff set after a ring change. The scan
+// is read-locked per stripe; entries inserted concurrently are picked up by
+// the next rebalance pass.
+func (d *Directory) MisplacedLocal(owns func(key string) bool) []Entry {
+	var out []Entry
+	for _, e := range d.tableFor(d.self, false).snapshot() {
+		if !owns(e.Key) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 

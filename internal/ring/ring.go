@@ -1,0 +1,257 @@
+// Package ring implements consistent-hash placement of cache entries over
+// the cluster membership. Each member contributes a fixed number of virtual
+// nodes (points on a 64-bit hash circle); a key is owned by the member whose
+// point is the first at or clockwise after the key's hash. Placement is a
+// pure function of (member set, virtual-node count), so every node that has
+// converged on the same membership computes the same owner with no
+// coordination — the property that lets the directory drop full replication.
+//
+// A Ring is immutable: membership changes build a new Ring and Diff reports
+// how much of the keyspace moved, which is exactly the set of entries a
+// rebalance must hand off.
+package ring
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member point count used when a caller does
+// not choose one. 256 points per node keeps the expected per-node load
+// imbalance within a few percent at the cluster sizes swala targets.
+const DefaultVirtualNodes = 256
+
+type point struct {
+	hash uint64
+	node uint32
+}
+
+// Ring is an immutable consistent-hash ring over a set of member node IDs.
+type Ring struct {
+	vnodes  int
+	members []uint32 // sorted, unique
+	points  []point  // sorted by hash
+}
+
+// New builds a ring from the given member IDs with vnodes points per member.
+// Duplicates are ignored; vnodes <= 0 selects DefaultVirtualNodes. A ring
+// with no members is valid: every lookup reports no owner.
+func New(members []uint32, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[uint32]bool, len(members))
+	uniq := make([]uint32, 0, len(members))
+	for _, id := range members {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+
+	r := &Ring{vnodes: vnodes, members: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, id := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(id, uint32(v)), node: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Ties broken by node ID so placement stays deterministic even on
+		// the (astronomically unlikely) hash collision.
+		return a.node < b.node
+	})
+	return r
+}
+
+// mix64 is a 64-bit finalizer (the murmur3 fmix): FNV-1a avalanches poorly
+// on short structured inputs like (id, vnode) pairs, which skews point
+// placement badly; one multiply-xorshift round restores uniformity.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// pointHash maps (member, virtual index) to a position on the circle.
+func pointHash(id, vnode uint32) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:], id)
+	binary.BigEndian.PutUint32(b[4:], vnode)
+	h := fnv.New64a()
+	h.Write(b[:])
+	return mix64(h.Sum64())
+}
+
+// KeyHash maps a cache key to its position on the circle.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// Members returns the ring's member IDs in ascending order. The returned
+// slice is shared; callers must not modify it.
+func (r *Ring) Members() []uint32 { return r.members }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// VirtualNodes returns the per-member point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Contains reports whether id is a ring member.
+func (r *Ring) Contains(id uint32) bool {
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i] >= id })
+	return i < len(r.members) && r.members[i] == id
+}
+
+// successor returns the index of the first point at or clockwise after h.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return i
+}
+
+// Owner returns the member that owns key. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (owner uint32, ok bool) {
+	return r.OwnerOfHash(KeyHash(key))
+}
+
+// OwnerOfHash is Owner for a precomputed key hash.
+func (r *Ring) OwnerOfHash(h uint64) (owner uint32, ok bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	return r.points[r.successor(h)].node, true
+}
+
+// Replicas returns up to n distinct members for key, starting with the owner
+// and continuing clockwise — the replica set used when an entry is stored on
+// more than one node. Fewer than n members yields all of them.
+func (r *Ring) Replicas(key string, n int) []uint32 {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]uint32, 0, n)
+	seen := make(map[uint32]bool, n)
+	start := r.successor(KeyHash(key))
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// OwnedFraction returns the fraction of the hash circle owned by id
+// (0 if id is not a member). Summed over all members it is 1.
+func (r *Ring) OwnedFraction(id uint32) float64 {
+	if len(r.points) == 0 {
+		return 0
+	}
+	if len(r.points) == 1 {
+		if r.points[0].node == id {
+			return 1
+		}
+		return 0
+	}
+	// Accumulate in float64: the arcs sum to exactly 2^64, which wraps a
+	// uint64 accumulator to zero.
+	var owned float64
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		if p.node == id {
+			owned += float64(arc)
+		}
+		prev = p.hash
+	}
+	return owned / circle
+}
+
+// circle is the length of the hash circle (2^64) as a float64.
+const circle = float64(math.MaxUint64) + 1
+
+// Moves describes the keyspace movement between two rings: the planning
+// output a rebalance uses to size its handoff.
+type Moves struct {
+	// MovedFraction is the fraction of the hash circle whose owner changed.
+	MovedFraction float64
+	// GainedBy maps each member to the fraction of keyspace it gained.
+	GainedBy map[uint32]float64
+	// LostBy maps each member to the fraction of keyspace it lost.
+	LostBy map[uint32]float64
+}
+
+// Diff compares two rings and reports how much keyspace changed hands. For a
+// well-balanced ring, adding one node to n moves ~1/(n+1) of the keyspace —
+// the consistent-hashing minimum — and Diff lets callers verify that.
+func Diff(old, new *Ring) Moves {
+	m := Moves{GainedBy: map[uint32]float64{}, LostBy: map[uint32]float64{}}
+	if len(old.points) == 0 && len(new.points) == 0 {
+		return m
+	}
+	// Walk the union of both rings' boundary points: within each arc between
+	// consecutive boundaries, both rings' ownership is constant.
+	bounds := make([]uint64, 0, len(old.points)+len(new.points))
+	for _, p := range old.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range new.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+
+	var moved float64
+	prev := bounds[len(bounds)-1]
+	for _, b := range bounds {
+		arcLen := float64(b - prev) // uint64 subtraction wraps for the first arc
+		if len(bounds) == 1 {
+			arcLen = circle // single boundary: the whole circle
+		}
+		if arcLen == 0 {
+			prev = b
+			continue
+		}
+		oldOwner, oldOK := old.OwnerOfHash(b)
+		newOwner, newOK := new.OwnerOfHash(b)
+		if oldOK != newOK || (oldOK && oldOwner != newOwner) {
+			frac := arcLen / circle
+			moved += frac
+			if oldOK {
+				m.LostBy[oldOwner] += frac
+			}
+			if newOK {
+				m.GainedBy[newOwner] += frac
+			}
+		}
+		prev = b
+	}
+	m.MovedFraction = moved
+	return m
+}

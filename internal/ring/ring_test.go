@@ -1,0 +1,179 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func nodeIDs(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i + 1)
+	}
+	return ids
+}
+
+// Placement must be a pure function of (member set, vnode count): two rings
+// built from the same members — in any order — agree on every key.
+func TestPlacementDeterministic(t *testing.T) {
+	a := New([]uint32{1, 2, 3, 4, 5, 6, 7, 8}, 128)
+	b := New([]uint32{8, 3, 1, 7, 2, 6, 4, 5, 5}, 128) // shuffled + duplicate
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("/cgi-bin/adl?id=%d&r=%d", i, rng.Int63())
+		oa, okA := a.Owner(key)
+		ob, okB := b.Owner(key)
+		if !okA || !okB || oa != ob {
+			t.Fatalf("key %q: ring a → (%d,%v), ring b → (%d,%v)", key, oa, okA, ob, okB)
+		}
+	}
+}
+
+// The satellite property test: across 8 nodes, per-node key load stays
+// within 15% of the even share.
+func TestPlacementBalancedWithin15Percent(t *testing.T) {
+	const nodes, keys = 8, 100000
+	r := New(nodeIDs(nodes), DefaultVirtualNodes)
+	counts := map[uint32]int{}
+	for i := 0; i < keys; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("/cgi-bin/adl?id=%d&cost=10", i))
+		if !ok {
+			t.Fatal("no owner on a populated ring")
+		}
+		counts[owner]++
+	}
+	mean := float64(keys) / nodes
+	for _, id := range r.Members() {
+		dev := (float64(counts[id]) - mean) / mean
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("node %d owns %d keys, %.1f%% off the even share %v",
+				id, counts[id], 100*dev, mean)
+		}
+	}
+}
+
+func TestOwnedFractionSumsToOne(t *testing.T) {
+	r := New(nodeIDs(8), 128)
+	var sum float64
+	for _, id := range r.Members() {
+		f := r.OwnedFraction(id)
+		if f <= 0 {
+			t.Errorf("node %d owns fraction %v", id, f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v, want ~1", sum)
+	}
+	if f := r.OwnedFraction(99); f != 0 {
+		t.Errorf("non-member owns fraction %v", f)
+	}
+}
+
+func TestEmptyAndSingleNodeRing(t *testing.T) {
+	empty := New(nil, 128)
+	if _, ok := empty.Owner("/k"); ok {
+		t.Error("empty ring reported an owner")
+	}
+	if reps := empty.Replicas("/k", 3); reps != nil {
+		t.Errorf("empty ring replicas = %v", reps)
+	}
+
+	solo := New([]uint32{7}, 128)
+	for i := 0; i < 100; i++ {
+		owner, ok := solo.Owner(fmt.Sprintf("/k%d", i))
+		if !ok || owner != 7 {
+			t.Fatalf("single-node ring: owner = %d, ok = %v", owner, ok)
+		}
+	}
+	if f := solo.OwnedFraction(7); f < 0.999 {
+		t.Errorf("single member owns %v of the circle", f)
+	}
+}
+
+func TestReplicasDistinctAndOwnerFirst(t *testing.T) {
+	r := New(nodeIDs(8), 128)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("/cgi-bin/adl?id=%d", i)
+		owner, _ := r.Owner(key)
+		reps := r.Replicas(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %q: replicas = %v", key, reps)
+		}
+		if reps[0] != owner {
+			t.Fatalf("key %q: replicas[0] = %d, owner = %d", key, reps[0], owner)
+		}
+		seen := map[uint32]bool{}
+		for _, id := range reps {
+			if seen[id] {
+				t.Fatalf("key %q: duplicate replica in %v", key, reps)
+			}
+			seen[id] = true
+		}
+	}
+	// Asking for more replicas than members yields all members.
+	if reps := r.Replicas("/k", 20); len(reps) != 8 {
+		t.Errorf("replicas(20) over 8 members = %v", reps)
+	}
+}
+
+// Adding one node to n moves about 1/(n+1) of the keyspace — the
+// consistent-hashing minimum — and never more than a few times that; removing
+// it moves the same amount back. Keys that stay owned must not move at all.
+func TestDiffMinimalMovement(t *testing.T) {
+	old := New(nodeIDs(8), 128)
+	grown := New(nodeIDs(9), 128)
+
+	mv := Diff(old, grown)
+	ideal := 1.0 / 9
+	if mv.MovedFraction < ideal*0.5 || mv.MovedFraction > ideal*2.5 {
+		t.Errorf("8→9 moved %.3f of keyspace, want ~%.3f", mv.MovedFraction, ideal)
+	}
+	// Everything that moved was gained by the new node; nobody else gains.
+	for id, f := range mv.GainedBy {
+		if id != 9 {
+			t.Errorf("node %d gained %.4f on a pure join", id, f)
+		}
+	}
+	if mv.GainedBy[9] < ideal*0.5 {
+		t.Errorf("joiner gained only %.4f", mv.GainedBy[9])
+	}
+
+	// Ownership agrees with Diff: keys whose owner is unchanged are the
+	// complement of the moved fraction (spot-check via sampling).
+	movedKeys := 0
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		key := fmt.Sprintf("/k%d", i)
+		a, _ := old.Owner(key)
+		b, _ := grown.Owner(key)
+		if a != b {
+			movedKeys++
+			if b != 9 {
+				t.Fatalf("key %q moved %d→%d, not to the joiner", key, a, b)
+			}
+		}
+	}
+	sampled := float64(movedKeys) / samples
+	if diff := sampled - mv.MovedFraction; diff < -0.05 || diff > 0.05 {
+		t.Errorf("sampled moved fraction %.3f vs Diff %.3f", sampled, mv.MovedFraction)
+	}
+
+	back := Diff(grown, old)
+	if d := back.MovedFraction - mv.MovedFraction; d < -1e-9 || d > 1e-9 {
+		t.Errorf("shrink moved %.4f, grow moved %.4f", back.MovedFraction, mv.MovedFraction)
+	}
+}
+
+func TestDiffAgainstEmpty(t *testing.T) {
+	r := New(nodeIDs(4), 64)
+	empty := New(nil, 64)
+	mv := Diff(empty, r)
+	if mv.MovedFraction < 0.999 {
+		t.Errorf("empty→populated moved %.4f, want ~1", mv.MovedFraction)
+	}
+	if mv2 := Diff(empty, empty); mv2.MovedFraction != 0 {
+		t.Errorf("empty→empty moved %.4f", mv2.MovedFraction)
+	}
+}

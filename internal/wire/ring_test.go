@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestRoundTripJoinLeaveRingUpdate(t *testing.T) {
+	j := &Join{NodeID: 9, Addr: "10.0.0.9:9080"}
+	if got := roundTrip(t, j); !reflect.DeepEqual(got, j) {
+		t.Fatalf("got %+v, want %+v", got, j)
+	}
+	l := &Leave{NodeID: 9, Incarnation: 4}
+	if got := roundTrip(t, l); !reflect.DeepEqual(got, l) {
+		t.Fatalf("got %+v, want %+v", got, l)
+	}
+	ru := &RingUpdate{
+		Origin: 2,
+		Members: []Member{
+			{ID: 1, Addr: "h1:9080", Incarnation: 1},
+			{ID: 2, Addr: "h2:9080", Incarnation: 3},
+			{ID: 5, Addr: "h5:9080", Incarnation: 2, Left: true},
+		},
+	}
+	if got := roundTrip(t, ru); !reflect.DeepEqual(got, ru) {
+		t.Fatalf("got %+v, want %+v", got, ru)
+	}
+	empty := &RingUpdate{Origin: 1}
+	if got := roundTrip(t, empty); !reflect.DeepEqual(got, empty) {
+		t.Fatalf("got %+v, want %+v", got, empty)
+	}
+}
+
+func TestRingUpdateBogusCountRejected(t *testing.T) {
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgRingUpdate))
+	e.u32(1)
+	e.u32(1 << 30) // claims a billion members in an empty payload
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	if _, err := ReadMessage(bytes.NewReader(e.buf)); err == nil {
+		t.Fatal("bogus member count decoded")
+	}
+}
+
+func TestRoundTripHelloVersioned(t *testing.T) {
+	in := &Hello{
+		NodeID: 3, NodeName: "node-3", Addr: "h3:9080",
+		ProtoVersion: ProtoCurrent, Placement: PlacementRing,
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestHelloDecodesReplicateEraFrame(t *testing.T) {
+	// A Hello from before version negotiation ends at Addr; it must decode
+	// as the replicate-era protocol rather than fail on trailing fields.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgHello))
+	e.u32(7)
+	e.str("node-7")
+	e.str("h7:9080")
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	got, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	h := got.(*Hello)
+	if h.ProtoVersion != ProtoReplicate || h.Placement != PlacementReplicate {
+		t.Fatalf("legacy hello decoded as proto %d placement %d", h.ProtoVersion, h.Placement)
+	}
+	if h.NodeID != 7 || h.Addr != "h7:9080" {
+		t.Fatalf("got %+v", h)
+	}
+}
+
+func TestFetchFlagsAndLegacyFrame(t *testing.T) {
+	in := &Fetch{Seq: 11, Key: "GET /x", Flags: FetchExecute | FetchTakeover}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+
+	// Replicate-era Fetch ends at Key.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgFetch))
+	e.u64(12)
+	e.str("GET /y")
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	got, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	f := got.(*Fetch)
+	if f.Flags != 0 || f.Key != "GET /y" {
+		t.Fatalf("got %+v", f)
+	}
+}
+
+func TestFetchReplyExecutedAndLegacyFrame(t *testing.T) {
+	in := &FetchReply{Seq: 4, OK: true, ContentType: "text/html", Body: []byte("b"), Executed: true}
+	got := roundTrip(t, in).(*FetchReply)
+	if !got.Executed {
+		t.Fatal("Executed lost in round trip")
+	}
+
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgFetchReply))
+	e.u64(4)
+	e.boolean(true)
+	e.str("text/html")
+	e.bytes([]byte("b"))
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	m, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if m.(*FetchReply).Executed {
+		t.Fatal("legacy frame decoded Executed=true")
+	}
+}
+
+func TestDirSyncHandoffAndLegacyFrame(t *testing.T) {
+	in := &DirSync{
+		Owner: 1, Version: 9, Handoff: true,
+		Updates: []DirUpdate{{Owner: 1, Key: "GET /a", Size: 10}},
+	}
+	got := roundTrip(t, in).(*DirSync)
+	if !got.Handoff || len(got.Updates) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+
+	// Replicate-era DirSync ends after Updates.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgDirSync))
+	e.u32(1)
+	e.u64(9)
+	e.boolean(false)
+	e.u32(0)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	m, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if m.(*DirSync).Handoff {
+		t.Fatal("legacy frame decoded Handoff=true")
+	}
+}
+
+func TestStatsReplyRing(t *testing.T) {
+	in := &StatsReply{
+		Seq: 2,
+		Ring: &RingStats{
+			Epoch: 5, VirtualNodes: 256,
+			LastRebalance: time.Unix(100, 0),
+			HandoffOut:    40, HandoffIn: 12, HandoffBytes: 81920,
+			Members: []RingMember{
+				{ID: 1, Addr: "h1:9080", State: 0, OwnedPermille: 126},
+				{ID: 2, Addr: "h2:9080", State: 1, OwnedPermille: 131},
+			},
+		},
+	}
+	got := roundTrip(t, in).(*StatsReply)
+	if got.Ring == nil || got.Ring.Epoch != 5 || len(got.Ring.Members) != 2 {
+		t.Fatalf("got %+v", got.Ring)
+	}
+	if !reflect.DeepEqual(got.Ring.Members, in.Ring.Members) {
+		t.Fatalf("members %+v, want %+v", got.Ring.Members, in.Ring.Members)
+	}
+	if !got.Ring.LastRebalance.Equal(in.Ring.LastRebalance) {
+		t.Fatalf("LastRebalance = %v", got.Ring.LastRebalance)
+	}
+
+	// A pre-ring frame (ends after the storage section) still decodes.
+	noRing := &StatsReply{Seq: 3, Storage: &StorageStats{Recovered: 1}}
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgStatsReply))
+	e.u64(noRing.Seq)
+	for i := 0; i < 9; i++ {
+		e.i64(0)
+	}
+	e.u32(0) // no peer drops
+	e.u32(0) // no health
+	e.boolean(true)
+	e.boolean(false)
+	e.str("")
+	e.u64(0)
+	e.u64(0)
+	e.u64(1)
+	e.u64(0)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	m, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	sr := m.(*StatsReply)
+	if sr.Ring != nil || sr.Storage == nil || sr.Storage.Recovered != 1 {
+		t.Fatalf("got %+v", sr)
+	}
+}

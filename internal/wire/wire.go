@@ -62,6 +62,14 @@ const (
 	// MsgDirSync carries an anti-entropy catch-up: either a delta of missed
 	// updates or a full snapshot of the sender's local directory table.
 	MsgDirSync
+	// MsgJoin asks a seed node to admit the sender into the hash ring
+	// (ring placement only).
+	MsgJoin
+	// MsgLeave announces a member's graceful departure from the ring.
+	MsgLeave
+	// MsgRingUpdate gossips the sender's full membership view; receivers
+	// merge it by per-member incarnation so concurrent changes converge.
+	MsgRingUpdate
 )
 
 // String implements fmt.Stringer.
@@ -93,10 +101,39 @@ func (t MsgType) String() string {
 		return "dir-sync-req"
 	case MsgDirSync:
 		return "dir-sync"
+	case MsgJoin:
+		return "join"
+	case MsgLeave:
+		return "leave"
+	case MsgRingUpdate:
+		return "ring-update"
 	default:
 		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
 	}
 }
+
+// Protocol versions announced in the Hello exchange. Frames from builds
+// predating version negotiation carry no version field and decode as
+// ProtoReplicate.
+const (
+	// ProtoReplicate is the replicate-era protocol: fully replicated
+	// directory, fixed boot-time peer list, no membership messages.
+	ProtoReplicate uint32 = 1
+	// ProtoRing adds MsgJoin/MsgLeave/MsgRingUpdate, ring placement flags
+	// on Fetch, and handoff DirSync frames.
+	ProtoRing uint32 = 2
+	// ProtoCurrent is the version this build announces.
+	ProtoCurrent = ProtoRing
+)
+
+// Placement modes a node announces in Hello.
+const (
+	// PlacementReplicate is the paper's mode: every insert is broadcast and
+	// every node replicates the full directory.
+	PlacementReplicate uint8 = 0
+	// PlacementRing places each entry on its consistent-hash owner.
+	PlacementRing uint8 = 1
+)
 
 // MaxFrameSize bounds a single frame; larger frames are rejected as corrupt.
 // Cached CGI results in the paper's workload are well under a megabyte, but
@@ -123,7 +160,14 @@ type Hello struct {
 	NodeID   uint32
 	NodeName string
 	// Addr is the address at which the sender accepts cluster connections.
+	// Administrative clients (swalactl) leave it empty.
 	Addr string
+	// ProtoVersion is the sender's protocol version (ProtoReplicate for
+	// frames from builds predating version negotiation).
+	ProtoVersion uint32
+	// Placement is the sender's placement mode (PlacementReplicate or
+	// PlacementRing); meaningful only for cluster nodes (Addr != "").
+	Placement uint8
 }
 
 // Type implements Message.
@@ -156,11 +200,24 @@ type Delete struct {
 // Type implements Message.
 func (*Delete) Type() MsgType { return MsgDelete }
 
+// Fetch flag bits (ring placement).
+const (
+	// FetchExecute asks the owner to execute the request when the entry is
+	// not cached instead of reporting a miss — ring-mode miss forwarding.
+	FetchExecute uint8 = 1 << 0
+	// FetchTakeover marks a handoff body pull: the requester is the key's
+	// new ring owner, and the sender should drop its local copy once served.
+	FetchTakeover uint8 = 1 << 1
+)
+
 // Fetch asks the owner node for a cached body.
 type Fetch struct {
 	// Seq correlates the reply with the request on a multiplexed link.
 	Seq uint64
 	Key string
+	// Flags carries ring-placement fetch options (FetchExecute,
+	// FetchTakeover); zero for replicate-era senders.
+	Flags uint8
 }
 
 // Type implements Message.
@@ -174,6 +231,10 @@ type FetchReply struct {
 	OK          bool
 	ContentType string
 	Body        []byte
+	// Executed is true when the owner produced the body by running the
+	// request (a FetchExecute miss at the owner) rather than serving its
+	// cache — the requester counts a cluster-wide miss, not a remote hit.
+	Executed bool
 }
 
 // Type implements Message.
@@ -234,6 +295,39 @@ type StatsReply struct {
 	// Storage reports durable-store health (nil when the node runs a pure
 	// in-memory store, or the sender predates the field).
 	Storage *StorageStats
+	// Ring reports consistent-hash membership (nil when the node runs
+	// replicate placement, or the sender predates the field).
+	Ring *RingStats
+}
+
+// RingMember is one live member inside a RingStats report.
+type RingMember struct {
+	ID   uint32
+	Addr string
+	// State is the reporter's failure-detector verdict for the member
+	// (0 alive, 1 suspect, 2 dead; the reporter itself is always 0).
+	State uint8
+	// OwnedPermille is the member's share of the hash circle in 1/1000ths.
+	OwnedPermille uint32
+}
+
+// RingStats reports ring placement state inside a StatsReply.
+type RingStats struct {
+	// Epoch counts effective membership changes seen by the reporter.
+	Epoch uint64
+	// VirtualNodes is the per-member point count.
+	VirtualNodes uint32
+	// LastRebalance is when the reporter last started a handoff (zero if
+	// never).
+	LastRebalance time.Time
+	// HandoffOut / HandoffIn count entries this node pushed to / adopted
+	// from other owners across all rebalances.
+	HandoffOut uint64
+	HandoffIn  uint64
+	// HandoffBytes counts body bytes pulled during rebalances.
+	HandoffBytes uint64
+	// Members lists the current (non-departed) membership.
+	Members []RingMember
 }
 
 // StorageStats reports the durable store's health inside a StatsReply.
@@ -314,10 +408,55 @@ type DirSync struct {
 	Version uint64
 	Full    bool
 	Updates []DirUpdate
+	// Handoff marks a ring-rebalance migration: Updates are entries whose
+	// ring owner is now the receiver, which adopts them into its own local
+	// table (and pulls the bodies from Owner) instead of a peer replica.
+	Handoff bool
 }
 
 // Type implements Message.
 func (*DirSync) Type() MsgType { return MsgDirSync }
+
+// Member describes one cluster member inside a RingUpdate. Incarnation
+// orders competing statements about the same node: the highest wins, and a
+// departure (Left) beats an arrival at the same incarnation.
+type Member struct {
+	ID          uint32
+	Addr        string
+	Incarnation uint64
+	Left        bool
+}
+
+// Join asks a seed member to admit the sender into the ring. The seed
+// answers on the same connection with a RingUpdate carrying its full
+// membership view and gossips the new member to everyone else.
+type Join struct {
+	NodeID uint32
+	Addr   string
+}
+
+// Type implements Message.
+func (*Join) Type() MsgType { return MsgJoin }
+
+// Leave announces the sender's graceful departure at the given incarnation.
+type Leave struct {
+	NodeID      uint32
+	Incarnation uint64
+}
+
+// Type implements Message.
+func (*Leave) Type() MsgType { return MsgLeave }
+
+// RingUpdate gossips the sender's full membership view. Receivers merge it
+// member-by-member (highest incarnation wins) and re-gossip on change, so
+// concurrent joins, leaves, and evictions converge without coordination.
+type RingUpdate struct {
+	Origin  uint32
+	Members []Member
+}
+
+// Type implements Message.
+func (*RingUpdate) Type() MsgType { return MsgRingUpdate }
 
 // --- encoding ---
 
@@ -443,12 +582,23 @@ func (m *Hello) encode(e *encoder) {
 	e.u32(m.NodeID)
 	e.str(m.NodeName)
 	e.str(m.Addr)
+	e.u32(m.ProtoVersion)
+	e.u8(m.Placement)
 }
 
 func (m *Hello) decode(d *decoder) error {
 	m.NodeID = d.u32()
 	m.NodeName = d.str()
 	m.Addr = d.str()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating version negotiation: the
+		// replicate-era protocol, by definition.
+		m.ProtoVersion = ProtoReplicate
+		m.Placement = PlacementReplicate
+		return nil
+	}
+	m.ProtoVersion = d.u32()
+	m.Placement = d.u8()
 	return d.finish()
 }
 
@@ -483,11 +633,17 @@ func (m *Delete) decode(d *decoder) error {
 func (m *Fetch) encode(e *encoder) {
 	e.u64(m.Seq)
 	e.str(m.Key)
+	e.u8(m.Flags)
 }
 
 func (m *Fetch) decode(d *decoder) error {
 	m.Seq = d.u64()
 	m.Key = d.str()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating ring placement: no flags.
+		return nil
+	}
+	m.Flags = d.u8()
 	return d.finish()
 }
 
@@ -496,6 +652,7 @@ func (m *FetchReply) encode(e *encoder) {
 	e.boolean(m.OK)
 	e.str(m.ContentType)
 	e.bytes(m.Body)
+	e.boolean(m.Executed)
 }
 
 func (m *FetchReply) decode(d *decoder) error {
@@ -503,6 +660,11 @@ func (m *FetchReply) decode(d *decoder) error {
 	m.OK = d.boolean()
 	m.ContentType = d.str()
 	m.Body = d.bytes()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating ring placement: cache-served.
+		return nil
+	}
+	m.Executed = d.boolean()
 	return d.finish()
 }
 
@@ -557,6 +719,22 @@ func (m *StatsReply) encode(e *encoder) {
 		e.u64(m.Storage.Quarantined)
 		e.u64(m.Storage.Recovered)
 		e.u64(m.Storage.OrphansSwept)
+	}
+	e.boolean(m.Ring != nil)
+	if m.Ring != nil {
+		e.u64(m.Ring.Epoch)
+		e.u32(m.Ring.VirtualNodes)
+		e.timeVal(m.Ring.LastRebalance)
+		e.u64(m.Ring.HandoffOut)
+		e.u64(m.Ring.HandoffIn)
+		e.u64(m.Ring.HandoffBytes)
+		e.u32(uint32(len(m.Ring.Members)))
+		for _, rm := range m.Ring.Members {
+			e.u32(rm.ID)
+			e.str(rm.Addr)
+			e.u8(rm.State)
+			e.u32(rm.OwnedPermille)
+		}
 	}
 }
 
@@ -617,6 +795,36 @@ func (m *StatsReply) decode(d *decoder) error {
 			Recovered:    d.u64(),
 			OrphansSwept: d.u64(),
 		}
+	}
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating the ring report.
+		return nil
+	}
+	if d.boolean() {
+		r := &RingStats{
+			Epoch:         d.u64(),
+			VirtualNodes:  d.u32(),
+			LastRebalance: d.timeVal(),
+			HandoffOut:    d.u64(),
+			HandoffIn:     d.u64(),
+			HandoffBytes:  d.u64(),
+		}
+		rn := int(d.u32())
+		// 13 = min encoding of one RingMember (empty addr).
+		if d.err != nil || rn < 0 || rn > (len(d.buf)-d.off)/13 {
+			d.fail()
+			return d.err
+		}
+		if rn > 0 {
+			r.Members = make([]RingMember, rn)
+			for i := range r.Members {
+				r.Members[i].ID = d.u32()
+				r.Members[i].Addr = d.str()
+				r.Members[i].State = d.u8()
+				r.Members[i].OwnedPermille = d.u32()
+			}
+		}
+		m.Ring = r
 	}
 	return d.finish()
 }
@@ -699,6 +907,7 @@ func (m *DirSync) encode(e *encoder) {
 	for i := range m.Updates {
 		e.dirUpdate(&m.Updates[i])
 	}
+	e.boolean(m.Handoff)
 }
 
 func (m *DirSync) decode(d *decoder) error {
@@ -706,6 +915,67 @@ func (m *DirSync) decode(d *decoder) error {
 	m.Version = d.u64()
 	m.Full = d.boolean()
 	m.Updates = d.dirUpdates()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating ring handoff.
+		return nil
+	}
+	m.Handoff = d.boolean()
+	return d.finish()
+}
+
+// memberMinSize is the smallest encoding of one Member (empty addr); it
+// bounds the member count a frame can claim.
+const memberMinSize = 4 + 4 + 8 + 1
+
+func (m *Join) encode(e *encoder) {
+	e.u32(m.NodeID)
+	e.str(m.Addr)
+}
+
+func (m *Join) decode(d *decoder) error {
+	m.NodeID = d.u32()
+	m.Addr = d.str()
+	return d.finish()
+}
+
+func (m *Leave) encode(e *encoder) {
+	e.u32(m.NodeID)
+	e.u64(m.Incarnation)
+}
+
+func (m *Leave) decode(d *decoder) error {
+	m.NodeID = d.u32()
+	m.Incarnation = d.u64()
+	return d.finish()
+}
+
+func (m *RingUpdate) encode(e *encoder) {
+	e.u32(m.Origin)
+	e.u32(uint32(len(m.Members)))
+	for _, mb := range m.Members {
+		e.u32(mb.ID)
+		e.str(mb.Addr)
+		e.u64(mb.Incarnation)
+		e.boolean(mb.Left)
+	}
+}
+
+func (m *RingUpdate) decode(d *decoder) error {
+	m.Origin = d.u32()
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > (len(d.buf)-d.off)/memberMinSize {
+		d.fail()
+		return d.err
+	}
+	if n > 0 {
+		m.Members = make([]Member, n)
+		for i := range m.Members {
+			m.Members[i].ID = d.u32()
+			m.Members[i].Addr = d.str()
+			m.Members[i].Incarnation = d.u64()
+			m.Members[i].Left = d.boolean()
+		}
+	}
 	return d.finish()
 }
 
@@ -771,6 +1041,12 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = &DirSyncReq{}
 	case MsgDirSync:
 		m = &DirSync{}
+	case MsgJoin:
+		m = &Join{}
+	case MsgLeave:
+		m = &Leave{}
+	case MsgRingUpdate:
+		m = &RingUpdate{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, payload[0])
 	}

@@ -42,6 +42,13 @@ type OpenLoopDriver struct {
 	MaxInFlight int
 	// Seed drives the deterministic arrival process.
 	Seed int64
+	// OnProgress, when set, receives cumulative completed/error/shed counts
+	// roughly every ReportEvery (default 1s) from the dispatch goroutine —
+	// enough to watch a hit-ratio or latency dip live during a cluster
+	// membership change without waiting for the final report.
+	OnProgress func(elapsed time.Duration, completed, errors, shed int64)
+	// ReportEvery is the OnProgress cadence (0 = 1s).
+	ReportEvery time.Duration
 }
 
 // OpenLoopResult is the outcome of an open-loop run.
@@ -85,6 +92,11 @@ func (d *OpenLoopDriver) Run() OpenLoopResult {
 	var wg sync.WaitGroup
 
 	start := nowMono()
+	report := d.ReportEvery
+	if report <= 0 {
+		report = time.Second
+	}
+	nextReport := report
 	var next time.Duration // scheduled arrival offset from start
 	offered := 0
 	for seq := 0; ; seq++ {
@@ -95,6 +107,12 @@ func (d *OpenLoopDriver) Run() OpenLoopResult {
 		}
 		if sleep := next - (nowMono() - start); sleep > 0 {
 			time.Sleep(sleep)
+		}
+		if d.OnProgress != nil {
+			if el := nowMono() - start; el >= nextReport {
+				d.OnProgress(el, hist.Count(), errCount.Load(), shed.Load())
+				nextReport = el + report
+			}
 		}
 		addr, uri, ok := d.Source(0, seq)
 		if !ok {
