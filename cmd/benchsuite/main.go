@@ -124,6 +124,7 @@ func main() {
 		crashStore = flag.String("crashstore", "files", "durable backend for -crash: files (file-per-entry) or log (segmented append-only)")
 		multicore  = flag.String("multicore", "", "run the GOMAXPROCS scaling sweep (closed-loop capacity + open-loop tail latency) and write JSON to this file instead of the paper suite")
 		scaleout   = flag.String("scaleout", "", "run the scale-out experiment (live 8->12 ring join and graceful leave under load vs the replicated directory) and write JSON to this file instead of the paper suite")
+		replicat   = flag.String("replication", "", "run the adaptive hot-entry replication experiment (viral key on an 8-node ring with and without -replicate-hot) and write JSON to this file instead of the paper suite")
 		gomaxprocs = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before running (0 = inherit), so the recorded meta value is controlled")
 	)
 	flag.Parse()
@@ -184,6 +185,13 @@ func main() {
 	if *scaleout != "" {
 		if err := runScaleout(*scaleout, *quick, *seed); err != nil {
 			log.Fatalf("scaleout failed: %v", err)
+		}
+		return
+	}
+
+	if *replicat != "" {
+		if err := runReplication(*replicat, *quick, *seed); err != nil {
+			log.Fatalf("replication failed: %v", err)
 		}
 		return
 	}
@@ -333,6 +341,40 @@ func runScaleout(path string, quick bool, seed int64) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runReplication measures adaptive hot-entry replication: a single viral key
+// on an 8-node ring, single-owner vs -replicate-hot. The headline criteria:
+// the hottest node's share of peer-routed serves drops to at most 60% of the
+// single-owner baseline, hotset p99 is no worse, and the replicas retire on
+// their own after the hotspot moves to a fresh key range.
+func runReplication(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala adaptive-replication experiment — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunReplication(experiments.Options{
+		Quick: quick, Seed: seed,
+		Scale: timescale.Scale{PerSecond: latencyScale},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(replication in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !r.GatesPassed() {
+		return fmt.Errorf("acceptance gates failed: spread=%v tail=%v retire=%v",
+			r.SpreadGate, r.TailGate, r.RetireGate)
+	}
 	return nil
 }
 

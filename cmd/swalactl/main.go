@@ -116,6 +116,16 @@ func main() {
 			fmt.Printf("  recovered:    %d\n", st.Recovered)
 			fmt.Printf("  orphans:      %d\n", st.OrphansSwept)
 		}
+		if rp := sr.Replicas; rp != nil {
+			fmt.Printf("replication:\n")
+			fmt.Printf("  tracked keys:   %d\n", rp.Tracked)
+			fmt.Printf("  hot (pushing):  %d\n", rp.Hot)
+			fmt.Printf("  held replicas:  %d\n", rp.Held)
+			fmt.Printf("  pushes sent:    %d (retires %d)\n", rp.Pushed, rp.Retired)
+			fmt.Printf("  bodies pulled:  %d (dropped %d)\n", rp.Pulled, rp.Dropped)
+			fmt.Printf("  replica serves: %d\n", rp.ReplicaServes)
+			fmt.Printf("  hint skips:     %d\n", rp.HintSkips)
+		}
 	case "watch":
 		// One line per interval with deltas, like vmstat.
 		fmt.Printf("%8s %8s %8s %8s %8s %8s\n",

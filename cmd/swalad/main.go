@@ -76,6 +76,10 @@ func main() {
 		placement = flag.String("placement", "replicate", "entry placement: replicate (the paper's replicated directory) or ring (consistent-hash ownership with runtime join/leave)")
 		joinSeeds = flag.String("join", "", "comma-separated seed addresses to join a running ring through (ring placement only)")
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default 256)")
+		replHot   = flag.Bool("replicate-hot", false, "adaptively replicate hot entries to their ring successors so reads of a viral key spread across multiple nodes (ring placement only)")
+		hotRPS    = flag.Float64("hot-rps", 0, "decayed remote-serve rate (req/s) above which an entry replicates (0 = default 50)")
+		hotRepl   = flag.Int("hot-replicas", 0, "ring successors that receive a copy of each hot entry (0 = default 2)")
+		handoffRt = flag.Int("handoff-rate", 0, "throttle rebalance handoff offers to this many entries/s (0 = unthrottled)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -97,6 +101,9 @@ func main() {
 	}
 	if *joinSeeds != "" && !ringMode {
 		logger.Fatalf("-join requires -placement=ring")
+	}
+	if *replHot && !ringMode {
+		logger.Fatalf("-replicate-hot requires -placement=ring")
 	}
 
 	if *pprofAddr != "" {
@@ -128,6 +135,10 @@ func main() {
 
 		RingPlacement: ringMode,
 		VirtualNodes:  *vnodes,
+		ReplicateHot:  *replHot,
+		HotRPS:        *hotRPS,
+		HotReplicas:   *hotRepl,
+		HandoffRate:   *handoffRt,
 
 		DisableBroadcastBatch: !*batch,
 		DisableDirSync:        !*dirSync,

@@ -71,9 +71,26 @@ type DirSyncer interface {
 // a handler without it serves flagged fetches as plain cache lookups.
 type RingHandler interface {
 	// HandleFetchRing serves a fetch carrying ring flags (wire.FetchExecute,
-	// wire.FetchTakeover). executed reports that the body was produced by
-	// running the request at this node rather than from its cache.
-	HandleFetchRing(key string, flags uint8) (contentType string, body []byte, executed, ok bool)
+	// wire.FetchTakeover, wire.FetchReplica). executed reports that the body
+	// was produced by running the request at this node rather than from its
+	// cache; stored reports whether the result was (or already is) cached
+	// here — executed-and-not-stored tells the requester the key is
+	// uncacheable or too cold to keep, so routing the next miss here is
+	// wasted.
+	HandleFetchRing(key string, flags uint8) (contentType string, body []byte, executed, stored, ok bool)
+}
+
+// ReplicaHandler is implemented by handlers that speak adaptive hot-entry
+// replication: targeted replica pushes from a key's home owner and broadcast
+// replica events announcing where copies live. Optional — without it both
+// message kinds are ignored.
+type ReplicaHandler interface {
+	// HandleReplicaPush applies a home owner's instruction to hold (or
+	// retire) a replica of one of its hot entries.
+	HandleReplicaPush(m *wire.ReplicaPush)
+	// HandleReplicaEvent applies a holder's announcement that it now serves
+	// (or no longer serves) a replica.
+	HandleReplicaEvent(m *wire.ReplicaEvent)
 }
 
 // NopHandler ignores all events; useful for tests and pseudo-servers.
@@ -407,8 +424,8 @@ func (n *Node) serveInbound(conn net.Conn) {
 			go func(m *wire.Fetch) {
 				defer n.wg.Done()
 				if rh, ringOK := n.handler.(RingHandler); ringOK && m.Flags != 0 {
-					ct, body, executed, served := rh.HandleFetchRing(m.Key, m.Flags)
-					reply(&wire.FetchReply{Seq: m.Seq, OK: served, ContentType: ct, Body: body, Executed: executed})
+					ct, body, executed, stored, served := rh.HandleFetchRing(m.Key, m.Flags)
+					reply(&wire.FetchReply{Seq: m.Seq, OK: served, ContentType: ct, Body: body, Executed: executed, Stored: stored})
 					return
 				}
 				ct, body, served := n.handler.HandleFetch(m.Key)
@@ -422,6 +439,14 @@ func (n *Node) serveInbound(conn net.Conn) {
 			reply(&sr)
 		case *wire.Invalidate:
 			n.handler.HandleInvalidate(m)
+		case *wire.ReplicaPush:
+			if rh, ok := n.handler.(ReplicaHandler); ok {
+				rh.HandleReplicaPush(m)
+			}
+		case *wire.ReplicaEvent:
+			if rh, ok := n.handler.(ReplicaHandler); ok {
+				rh.HandleReplicaEvent(m)
+			}
 		case *wire.Join:
 			if !n.cfg.RingMode {
 				n.logf("join from node %d at %s ignored: this node runs replicate placement (start it with -placement=ring to accept joins)", m.NodeID, m.Addr)
@@ -926,6 +951,16 @@ func (n *Node) linkReader(link *peerLink) {
 					n.syncsApplied.Add(1)
 				}
 			}
+		case *wire.ReplicaPush:
+			// Like handoff offers, replica control traffic rides whichever
+			// side of the pair's links the sender owns.
+			if rh, ok := n.handler.(ReplicaHandler); ok {
+				rh.HandleReplicaPush(m)
+			}
+		case *wire.ReplicaEvent:
+			if rh, ok := n.handler.(ReplicaHandler); ok {
+				rh.HandleReplicaEvent(m)
+			}
 		default:
 			n.logf("unexpected reply on outbound link to %d: %v", link.id, msg.Type())
 		}
@@ -1136,27 +1171,30 @@ func (n *Node) ReplicationStats() stats.ReplicationSnapshot {
 // false-hit fallback and aborting the request — by inspecting its own
 // context.
 func (n *Node) Fetch(ctx context.Context, owner uint32, key string) (contentType string, body []byte, ok bool, err error) {
-	ct, b, served, _, err := n.FetchRing(ctx, owner, key, 0)
+	ct, b, served, _, _, err := n.FetchRing(ctx, owner, key, 0)
 	return ct, b, served, err
 }
 
 // FetchRing is Fetch with ring-placement flags (wire.FetchExecute asks the
 // owner to run the request on a cache miss; wire.FetchTakeover pulls a body
-// during handoff and tells the previous owner to drop its copy). executed
-// reports whether the owner ran the request rather than serving its cache.
-func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags uint8) (contentType string, body []byte, ok, executed bool, err error) {
+// during handoff and tells the previous owner to drop its copy;
+// wire.FetchReplica pulls a copy the source keeps). executed reports whether
+// the owner ran the request rather than serving its cache; stored reports
+// whether the result is cached at the owner (false after an execute means
+// the key is not worth routing to the owner again until something changes).
+func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags uint8) (contentType string, body []byte, ok, executed, stored bool, err error) {
 	if n.PeerState(owner) == PeerDead {
 		// The failure detector has declared the owner dead: fail fast so the
 		// caller degrades to local execution immediately instead of paying
 		// FetchTimeout. (The prober keeps pinging, so a recovered peer is
 		// marked alive again without fetch traffic.)
-		return "", nil, false, false, fmt.Errorf("%w: %d (peer dead)", ErrNoPeer, owner)
+		return "", nil, false, false, false, fmt.Errorf("%w: %d (peer dead)", ErrNoPeer, owner)
 	}
 	n.mu.Lock()
 	link := n.peers[owner]
 	n.mu.Unlock()
 	if link == nil {
-		return "", nil, false, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
+		return "", nil, false, false, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
 	}
 	if n.cfg.FetchTimeout > 0 {
 		var cancel context.CancelFunc
@@ -1167,7 +1205,7 @@ func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags ui
 	link.mu.Lock()
 	if link.closed {
 		link.mu.Unlock()
-		return "", nil, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
+		return "", nil, false, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 	}
 	link.nextSeq++
 	seq := link.nextSeq
@@ -1179,20 +1217,20 @@ func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags ui
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
-		return "", nil, false, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
+		return "", nil, false, false, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
 	}
 
 	select {
 	case reply, open := <-ch:
 		if !open {
-			return "", nil, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
+			return "", nil, false, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 		}
-		return reply.ContentType, reply.Body, reply.OK, reply.Executed, nil
+		return reply.ContentType, reply.Body, reply.OK, reply.Executed, reply.Stored, nil
 	case <-ctx.Done():
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
-		return "", nil, false, false, ctxFetchErr(ctx.Err())
+		return "", nil, false, false, false, ctxFetchErr(ctx.Err())
 	}
 }
 

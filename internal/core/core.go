@@ -197,6 +197,25 @@ type Config struct {
 	// VirtualNodes is the per-member virtual node count in ring placement
 	// (default ring.DefaultVirtualNodes).
 	VirtualNodes int
+	// ReplicateHot enables adaptive hot-entry replication under ring
+	// placement (swalad -replicate-hot): per-entry serve rates are tracked
+	// with decayed windows, entries above HotRPS are replicated to their
+	// ring successors, and replicas retire as load decays. Requires
+	// RingPlacement; default off keeps exact single-owner semantics.
+	ReplicateHot bool
+	// HotRPS is the decayed remote-serve rate (requests/second) above which
+	// an owned entry is replicated (default 50).
+	HotRPS float64
+	// HotReplicas is how many ring successors hold a copy of each hot entry
+	// (default 2).
+	HotReplicas int
+	// HotInterval is the replication controller's tick period (default 1s).
+	HotInterval time.Duration
+	// HandoffRate, when >0, paces ring-rebalance handoff offers to roughly
+	// that many entries per second instead of offering everything at once,
+	// so a join against a large cache does not stampede the wire. Default 0
+	// (unpaced, PR-7 behavior).
+	HandoffRate int
 	// DisableHealth turns off the peer failure detector and directory
 	// quarantine: remote fetches to a dead peer then fail only by timing
 	// out and falling back to local execution — the paper's exact reactive
@@ -268,6 +287,9 @@ type Server struct {
 	// receiving side of a handoff; the counters feed StatsReply.Ring.
 	handoffCh     chan handoffTask
 	handoffWG     sync.WaitGroup
+	// rep holds the adaptive hot-entry replication state (nil unless
+	// Config.ReplicateHot is set in ring mode); see replica.go.
+	rep *replicaState
 	handoffOut    atomic.Uint64 // entries taken over by new owners
 	handoffIn     atomic.Uint64 // entries pulled from old owners
 	handoffBytes  atomic.Uint64 // body bytes pulled during handoffs
@@ -316,6 +338,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("swala-%d", cfg.NodeID)
+	}
+	if cfg.HotRPS <= 0 {
+		cfg.HotRPS = 50
+	}
+	if cfg.HotReplicas <= 0 {
+		cfg.HotReplicas = 2
+	}
+	if cfg.HotInterval <= 0 {
+		cfg.HotInterval = time.Second
 	}
 
 	s := &Server{
@@ -369,6 +400,9 @@ func New(cfg Config) *Server {
 		clusterCfg.DisableSync = true
 		clusterCfg.OnRingChange = s.onRingChange
 		s.handoffCh = make(chan handoffTask, handoffQueueDepth)
+		if cfg.ReplicateHot {
+			s.rep = newReplicaState(cfg)
+		}
 	}
 	s.clu = cluster.NewNode(clusterCfg, (*clusterHandler)(s))
 	if ringMode {
@@ -481,6 +515,13 @@ func (s *Server) Start(httpAddr, clusterAddr string) error {
 		for i := 0; i < handoffWorkers; i++ {
 			s.handoffWG.Add(1)
 			go s.handoffWorker()
+		}
+	}
+	if s.rep != nil {
+		s.handoffWG.Add(1 + replicaPullWorkers)
+		go s.replicaLoop()
+		for i := 0; i < replicaPullWorkers; i++ {
+			go s.replicaPuller()
 		}
 	}
 	return nil
@@ -843,6 +884,15 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		}
 		fmt.Fprintf(&b, "</table>\n")
 	}
+	if reps := s.ReplicaStats(); reps != nil {
+		fmt.Fprintf(&b, "<h2>Adaptive replication</h2><ul>\n")
+		fmt.Fprintf(&b, "<li>tracked keys: %d | replicated as home: %d | held for peers: %d</li>\n",
+			reps.Tracked, reps.Hot, reps.Held)
+		fmt.Fprintf(&b, "<li>pushes sent: %d | retires sent: %d</li>\n", reps.Pushed, reps.Retired)
+		fmt.Fprintf(&b, "<li>bodies pulled: %d | replicas dropped: %d</li>\n", reps.Pulled, reps.Dropped)
+		fmt.Fprintf(&b, "<li>replica serves: %d | cold-hint skips: %d</li>\n", reps.ReplicaServes, reps.HintSkips)
+		fmt.Fprintf(&b, "</ul>\n")
+	}
 	fmt.Fprintf(&b, "<h2>Directory</h2><p>%d local entries, %d total (all nodes: %v)</p>\n",
 		s.dir.LocalLen(), s.dir.TotalLen(), s.dir.Nodes())
 	entries := s.dir.SnapshotLocal()
@@ -1049,7 +1099,8 @@ func (h *clusterHandler) HandleDelete(m *wire.Delete) {
 // manager on the node that owns the item updates meta-data statistics").
 func (h *clusterHandler) HandleFetch(key string) (string, []byte, bool) {
 	s := h.server()
-	if _, ok := s.dir.LookupLocal(key, s.clk.Now()); !ok {
+	e, ok := s.dir.LookupLocal(key, s.clk.Now())
+	if !ok {
 		return "", nil, false
 	}
 	ct, body, err := s.store.Get(key)
@@ -1064,6 +1115,13 @@ func (h *clusterHandler) HandleFetch(key string) (string, []byte, bool) {
 		s.node.Run(context.Background(), cost)
 	}
 	s.dir.TouchLocal(key)
+	s.counters.RemoteServe()
+	if s.rep != nil {
+		s.rep.tracker.Observe(key, cost)
+		if e.Replica {
+			s.rep.replicaServes.Add(1)
+		}
+	}
 	return ct, body, true
 }
 
@@ -1127,6 +1185,7 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 		}
 	}
 	reply.Ring = s.ringStats()
+	reply.Replicas = s.ReplicaStats()
 	return reply
 }
 

@@ -278,6 +278,12 @@ func (st *remoteStage) Fetch(ctx context.Context, key string, hint any) (fetchpi
 // fall through to local execution like the paper's false hit, except the
 // result is not inserted here (originStage checks ownership) so placement
 // stays authoritative.
+//
+// With adaptive replication on, two refinements: routed reads rotate across
+// the key's announced replica holders (falling back to the home owner when a
+// holder fails), and a key whose owner just executed it WITHOUT caching gets
+// a short-TTL negative hint here so an immediate re-miss executes locally
+// instead of paying the hop for another guaranteed owner-side execution.
 type ringStage struct{ s *Server }
 
 func (st *ringStage) Name() string { return "ring" }
@@ -292,12 +298,32 @@ func (st *ringStage) Fetch(ctx context.Context, key string, hint any) (fetchpipe
 		}
 		return fetchpipe.Defer(hint)
 	}
-	ct, body, found, executed, err := s.clu.FetchRing(ctx, e.Owner, key, wire.FetchExecute)
+	if s.rep != nil && s.rep.coldHinted(key, s.clk.Now()) {
+		// The owner executed this key moments ago without storing it; routing
+		// again buys the same execution plus a round trip. Run it locally.
+		s.rep.hintSkips.Add(1)
+		return fetchpipe.Defer(dirHintFor(e, ok))
+	}
+	target, viaReplica := s.pickReplicaTarget(e)
+	flags := wire.FetchExecute
+	if viaReplica {
+		// Holders only serve cached bodies; a miss at a holder falls back to
+		// the home owner below rather than executing off-placement.
+		flags = 0
+	}
+	ct, body, found, executed, stored, err := s.clu.FetchRing(ctx, target, key, flags)
+	if viaReplica && (err != nil || !found) && ctx.Err() == nil {
+		// The holder is gone or already dropped its copy: stop routing there
+		// and retry once at the home owner, which can always execute.
+		s.dir.RemoveReplica(key, target)
+		target, viaReplica = e.Owner, false
+		ct, body, found, executed, stored, err = s.clu.FetchRing(ctx, target, key, wire.FetchExecute)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return fetchpipe.Result{}, fetchpipe.CtxErr(ctx.Err())
 		}
-		s.logf("ring fetch %q from owner %d: %v", key, e.Owner,
+		s.logf("ring fetch %q from %d: %v", key, target,
 			fmt.Errorf("%w: %w", fetchpipe.ErrPeerUnavailable, err))
 		s.counters.FalseHit()
 		return fetchpipe.Defer(dirMiss{})
@@ -316,11 +342,18 @@ func (st *ringStage) Fetch(ctx context.Context, key string, hint any) (fetchpipe
 		// The owner ran the CGI: a miss for the cluster (the owner itself
 		// counts only the insert), served through the owner so the next
 		// request anywhere is a remote hit.
+		if s.rep != nil && !stored {
+			s.rep.noteCold(key, s.clk.Now())
+		}
 		s.counters.Miss()
 		return fetchpipe.Result{Status: 200, ContentType: ct, Body: body, Source: "owner"}, nil
 	}
 	s.counters.RemoteHit()
-	return fetchpipe.Result{Status: 200, ContentType: ct, Body: body, Source: "remote"}, nil
+	source := "remote"
+	if viaReplica {
+		source = "replica"
+	}
+	return fetchpipe.Result{Status: 200, ContentType: ct, Body: body, Source: source}, nil
 }
 
 // --- origin stage ---

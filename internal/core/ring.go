@@ -153,6 +153,7 @@ func (s *Server) onRingChange(old, new *ring.Ring) {
 	s.logf("ring changed: %d -> %d members, %.1f%% of keyspace moved",
 		old.Len(), new.Len(), 100*moves.MovedFraction)
 	s.rebalance(new)
+	s.replicaRingChange(old, new)
 }
 
 // rebalance offers every local entry the new ring places elsewhere to its new
@@ -168,30 +169,82 @@ func (s *Server) rebalance(r *ring.Ring) {
 	if len(misplaced) == 0 {
 		return
 	}
-	byOwner := make(map[uint32][]wire.DirUpdate)
+	var offers []handoffOffer
 	for _, e := range misplaced {
 		owner, ok := r.Owner(e.Key)
 		if !ok || owner == self {
 			continue
 		}
-		byOwner[owner] = append(byOwner[owner], wire.DirUpdate{
+		offers = append(offers, handoffOffer{owner: owner, update: wire.DirUpdate{
 			Owner: self, Key: e.Key, Size: e.Size,
 			ExecTime: e.ExecTime, Expires: e.Expires,
-		})
+		}})
 	}
-	offered := 0
+	if rate := s.cfg.HandoffRate; rate > 0 && len(offers) > 0 {
+		// Throttled mode: spread the offers over time so a mass rebalance
+		// (node join with a full cache) does not flood the receivers' pull
+		// queues and the network all at once. Runs off-loop so the ring
+		// notification goroutine stays ordered; a newer ring supersedes us.
+		s.logf("rebalance: pacing %d misplaced entries at %d entries/s", len(offers), rate)
+		go s.pacedOffers(r, offers, rate)
+		return
+	}
+	sent, owners := s.sendOffers(offers)
+	s.logf("rebalance: offered %d of %d misplaced entries to %d new owners",
+		sent, len(misplaced), owners)
+}
+
+// handoffOffer is one misplaced entry awaiting its rebalance offer.
+type handoffOffer struct {
+	owner  uint32
+	update wire.DirUpdate
+}
+
+// sendOffers groups offers by new owner and sends them, returning how many
+// updates went out directly and to how many owners.
+func (s *Server) sendOffers(offers []handoffOffer) (sent, owners int) {
+	byOwner := make(map[uint32][]wire.DirUpdate)
+	for _, o := range offers {
+		byOwner[o.owner] = append(byOwner[o.owner], o.update)
+	}
 	for owner, updates := range byOwner {
-		if err := s.clu.SendTo(owner, &wire.DirSync{Owner: self, Handoff: true, Updates: updates}); err != nil {
+		if err := s.clu.SendTo(owner, &wire.DirSync{Owner: s.dir.Self(), Handoff: true, Updates: updates}); err != nil {
 			// The link to a fresh joiner may not be up yet — the connect that
 			// reconcileLinks kicked off races this offer. Retry off-loop; the
 			// entries stay serveable here until the offer lands.
 			go s.retryHandoffOffer(owner, updates)
 			continue
 		}
-		offered += len(updates)
+		sent += len(updates)
 	}
-	s.logf("rebalance: offered %d of %d misplaced entries to %d new owners",
-		offered, len(misplaced), len(byOwner))
+	return sent, len(byOwner)
+}
+
+// pacedOffers drains a rebalance's offer list at Config.HandoffRate entries
+// per second, in 100ms chunks. Aborts when the server stops or another ring
+// change supersedes this one (the newer change rescans misplaced entries, so
+// nothing is lost — the entries stay serveable here meanwhile).
+func (s *Server) pacedOffers(r *ring.Ring, offers []handoffOffer, rate int) {
+	chunk := rate / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	for len(offers) > 0 {
+		select {
+		case <-s.purgeStop:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if s.clu.Ring() != r {
+			return
+		}
+		n := chunk
+		if n > len(offers) {
+			n = len(offers)
+		}
+		s.sendOffers(offers[:n])
+		offers = offers[n:]
+	}
 }
 
 // retryHandoffOffer re-sends one rebalance offer until the link to the new
@@ -272,12 +325,12 @@ func (s *Server) pullHandoff(t handoffTask) {
 		// A routed miss already executed here before the pull ran — we have a
 		// fresher body than the old owner's. Still send the takeover so the
 		// old owner relinquishes its now-misplaced copy; discard the body.
-		if _, _, _, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover); err != nil {
+		if _, _, _, _, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover); err != nil {
 			s.logf("handoff release %q at %d: %v", key, t.owner, err)
 		}
 		return
 	}
-	ct, body, ok, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover)
+	ct, body, ok, _, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover)
 	if err != nil {
 		s.logf("handoff pull %q from %d: %v", key, t.owner, err)
 		return
@@ -305,11 +358,18 @@ func (s *Server) pullHandoff(t handoffTask) {
 
 // HandleFetchRing implements cluster.RingHandler: a peer fetch carrying
 // placement flags.
-func (h *clusterHandler) HandleFetchRing(key string, flags uint8) (contentType string, body []byte, executed, ok bool) {
+func (h *clusterHandler) HandleFetchRing(key string, flags uint8) (contentType string, body []byte, executed, stored, ok bool) {
 	s := h.server()
 	if flags&wire.FetchTakeover != 0 {
 		ct, b, served := s.serveTakeover(key)
-		return ct, b, false, served
+		return ct, b, false, false, served
+	}
+	if flags&wire.FetchReplica != 0 {
+		// A holder pulling a hot entry's body for replication: an ordinary
+		// remote serve (charged and load-tracked by HandleFetch), except the
+		// copy stays here — the whole point is more serving copies.
+		ct, b, served := h.HandleFetch(key)
+		return ct, b, false, false, served
 	}
 	// FetchExecute: a miss routed here because the ring names us the owner.
 	// Serve from cache when we have it (an ordinary remote hit for the
@@ -317,10 +377,10 @@ func (h *clusterHandler) HandleFetchRing(key string, flags uint8) (contentType s
 	// request for the key — on any node — finds it.
 	if _, cached := s.dir.LookupLocal(key, s.clk.Now()); cached {
 		ct, b, served := h.HandleFetch(key)
-		return ct, b, false, served
+		return ct, b, false, false, served
 	}
-	ct, b, served := s.executeAsOwner(key)
-	return ct, b, true, served
+	ct, b, stored, served := s.executeAsOwner(key)
+	return ct, b, true, stored, served
 }
 
 // serveTakeover serves one handed-off body to its new owner and drops the
@@ -352,8 +412,9 @@ func (s *Server) serveTakeover(key string) (string, []byte, bool) {
 // (announced) only if we still own the key — a racing ring change must not
 // plant entries placement will never find — and only 200s are served back;
 // failures make the requester fall back to its own local execution, which
-// reproduces the real status code.
-func (s *Server) executeAsOwner(key string) (string, []byte, bool) {
+// reproduces the real status code. stored tells the requester whether the
+// result was cached here, so it can record a negative hint when it was not.
+func (s *Server) executeAsOwner(key string) (contentType string, body []byte, stored, ok bool) {
 	ctx := context.Background()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -366,13 +427,20 @@ func (s *Server) executeAsOwner(key string) (string, []byte, bool) {
 	res, execTime, err := s.execCGI(ctx, fs.creq)
 	if err != nil {
 		s.logf("owner execute %q: %v", key, err)
-		return "", nil, false
+		return "", nil, false, false
 	}
 	if res.Status != 200 {
-		return "", nil, false
+		return "", nil, false, false
 	}
 	if s.ownsKey(key) && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
 		s.insertResult(key, res, execTime, fs.ttl)
+		stored = true
+	}
+	// A routed execution concentrates load on the owner exactly like a remote
+	// serve does — feed the replication controller's load estimate.
+	s.counters.RemoteServe()
+	if s.rep != nil {
+		s.rep.tracker.Observe(key, execTime)
 	}
 	// Shipping the fresh result to the requester costs the same as serving a
 	// cached body remotely.
@@ -380,5 +448,5 @@ func (s *Server) executeAsOwner(key string) (string, []byte, bool) {
 	if cost > 0 {
 		s.node.Run(context.Background(), cost)
 	}
-	return res.ContentType, res.Body, true
+	return res.ContentType, res.Body, stored, true
 }

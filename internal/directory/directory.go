@@ -43,6 +43,14 @@ type Entry struct {
 	Expires time.Time
 	// Hits counts fetches served from this entry (maintained by the owner).
 	Hits int64
+	// Replica marks a local-table entry held as an adaptive replica of a
+	// key homed elsewhere on the ring: serveable like any owned entry, but
+	// outside the replacement policy, never journaled, and skipped by
+	// rebalance scans. In-memory only — never encoded on the wire.
+	Replica bool
+	// Holders lists nodes currently serving replicas of the key (ring-mode
+	// synthetic lookup results only; nil when the key is unreplicated).
+	Holders []uint32
 }
 
 // Expired reports whether the entry's TTL has passed at time now.
@@ -111,14 +119,18 @@ func (t *table) insert(e *Entry) {
 }
 
 // insertReporting stores e and reports whether the key was already present
-// (the caller's capacity bookkeeping needs to know).
-func (t *table) insertReporting(e *Entry) (existed bool) {
+// and, if so, whether the displaced entry was a held replica (replicas are
+// invisible to the replacement policy, so the caller's capacity bookkeeping
+// must treat overwriting one as a fresh insert).
+func (t *table) insertReporting(e *Entry) (existed, wasReplica bool) {
 	s := t.stripeFor(e.Key)
 	s.mu.Lock()
-	_, existed = s.entries[e.Key]
+	if old, ok := s.entries[e.Key]; ok {
+		existed, wasReplica = true, old.Replica
+	}
 	s.entries[e.Key] = e
 	s.mu.Unlock()
-	return existed
+	return existed, wasReplica
 }
 
 // touch bumps the hit counter of key if present.
@@ -242,6 +254,33 @@ type Directory struct {
 	quarMu      sync.RWMutex
 	quarantined map[uint32]bool
 	quarCount   atomic.Int32
+
+	// holders tracks, per key, which nodes currently serve adaptive replicas
+	// (maintained from ReplicaEvent broadcasts). holderCount mirrors the
+	// number of replicated keys so the ring-lookup hot path can skip the
+	// stripe lock entirely while nothing is replicated — the default.
+	holders     [numStripes]holderStripe
+	holderCount atomic.Int32
+}
+
+// holderStripe is one lock-shard of the replica-holder index.
+type holderStripe struct {
+	mu sync.RWMutex
+	m  map[string][]uint32
+}
+
+// stripeIndex selects a stripe for key (same FNV-1a as table.stripeFor).
+func stripeIndex(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % numStripes)
 }
 
 // New creates a directory for node self with the given local capacity (in
@@ -260,6 +299,9 @@ func New(self uint32, capacity int, policy replacement.Policy) *Directory {
 		quarantined: make(map[uint32]bool),
 	}
 	d.tables[self] = newTable()
+	for i := range d.holders {
+		d.holders[i].m = make(map[string][]uint32)
+	}
 	return d
 }
 
@@ -350,10 +392,14 @@ func (d *Directory) Lookup(key string, now time.Time) (Entry, bool) {
 			// Unplaceable (empty ring) or ours-but-absent: a plain miss.
 			return Entry{}, false
 		}
-		if d.quarCount.Load() > 0 && d.IsQuarantined(owner) {
+		var holders []uint32
+		if d.holderCount.Load() > 0 {
+			holders = d.ReplicaHolders(key)
+		}
+		if d.quarCount.Load() > 0 && d.IsQuarantined(owner) && len(holders) == 0 {
 			return Entry{}, false
 		}
-		return Entry{Key: key, Owner: owner}, true
+		return Entry{Key: key, Owner: owner, Holders: holders}, true
 	}
 	if e, ok := d.tableFor(d.self, false).lookup(key, now); ok {
 		return e, true
@@ -436,6 +482,8 @@ func (d *Directory) LookupLocal(key string, now time.Time) (Entry, bool) {
 // in place with no eviction.
 func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 	e.Owner = d.self
+	e.Replica = false
+	e.Holders = nil
 	if e.Inserted.IsZero() {
 		e.Inserted = now
 	}
@@ -445,13 +493,15 @@ func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 	defer d.localMu.Unlock()
 
 	ec := e
-	exists := t.insertReporting(&ec)
+	exists, wasReplica := t.insertReporting(&ec)
 
-	if exists {
+	if exists && !wasReplica {
 		d.policy.Access(e.Key)
 		d.record(false, e)
 		return nil
 	}
+	// New key — or one that only existed as a held replica, which the
+	// policy has never seen: either way it enters capacity bookkeeping now.
 	d.policy.Insert(e.Key, replacement.Meta{Size: e.Size, ExecTime: e.ExecTime})
 	d.record(false, e)
 	if d.capacity > 0 {
@@ -468,6 +518,50 @@ func (d *Directory) InsertLocal(e Entry, now time.Time) (evicted []string) {
 	return evicted
 }
 
+// InsertLocalReplica installs a replica of a key homed on another ring
+// member. Replicas live in the local table (so local and peer fetches serve
+// them like owned entries) but bypass the replacement policy and capacity —
+// the replication controller bounds how many exist — and are never journaled
+// or broadcast: they are serving state, not directory truth.
+func (d *Directory) InsertLocalReplica(e Entry, now time.Time) {
+	e.Owner = d.self
+	e.Replica = true
+	e.Holders = nil
+	if e.Inserted.IsZero() {
+		e.Inserted = now
+	}
+	ec := e
+	d.tableFor(d.self, true).insert(&ec)
+}
+
+// RemoveLocalReplica drops a held replica. Entries not marked Replica are
+// left alone — the key may have been promoted to an owned entry since — and
+// nothing is recorded or broadcast either way.
+func (d *Directory) RemoveLocalReplica(key string) bool {
+	t := d.tableFor(d.self, false)
+	s := t.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || !e.Replica {
+		return false
+	}
+	delete(s.entries, key)
+	return true
+}
+
+// PromoteReplica turns a held replica into an ordinary owned entry — used
+// when a ring change makes the holder the key's home, so the body it already
+// has becomes the authoritative copy. The entry enters the replacement
+// policy like a fresh insert; evicted keys are returned as from InsertLocal.
+func (d *Directory) PromoteReplica(key string, now time.Time) (evicted []string, ok bool) {
+	e, found := d.LookupLocal(key, now)
+	if !found || !e.Replica {
+		return nil, false
+	}
+	return d.InsertLocal(e, now), true
+}
+
 // TouchLocal records a hit on a locally owned entry: bumps the hit counter
 // and informs the replacement policy. The paper has the owning node update
 // meta-data statistics after each fetch.
@@ -480,8 +574,13 @@ func (d *Directory) TouchLocal(key string) {
 }
 
 // RemoveLocal deletes a locally owned entry (TTL expiry or administrative
-// invalidation). It reports whether the entry existed.
+// invalidation). It reports whether the entry existed. Held replicas are
+// dropped too (an invalidation must not leave stale replica bodies behind),
+// but without touching the policy or the journal.
 func (d *Directory) RemoveLocal(key string) bool {
+	if d.RemoveLocalReplica(key) {
+		return true
+	}
 	t := d.tableFor(d.self, false)
 	d.localMu.Lock()
 	defer d.localMu.Unlock()
@@ -530,6 +629,12 @@ func (d *Directory) ExpireLocal(now time.Time) []string {
 	d.localMu.Lock()
 	defer d.localMu.Unlock()
 	for _, k := range keys {
+		if d.RemoveLocalReplica(k) {
+			// Expired replica: drop it silently — the policy never knew it
+			// and nothing is broadcast; the holder's controller notices the
+			// disappearance and announces the retirement.
+			continue
+		}
 		d.policy.Remove(k)
 		if t.remove(k) {
 			d.record(true, Entry{Key: k, Owner: d.self})
@@ -709,19 +814,112 @@ func (d *Directory) Nodes() []uint32 {
 }
 
 // MisplacedLocal returns copies of the local entries that owns reports as no
-// longer placed on this node — the handoff set after a ring change. The scan
-// is read-locked per stripe; entries inserted concurrently are picked up by
-// the next rebalance pass.
+// longer placed on this node — the handoff set after a ring change. Held
+// replicas are skipped: by definition they are homed elsewhere, and the
+// replication controller (not the rebalance) manages their lifetime. The
+// scan is read-locked per stripe; entries inserted concurrently are picked
+// up by the next rebalance pass.
 func (d *Directory) MisplacedLocal(owns func(key string) bool) []Entry {
 	var out []Entry
 	for _, e := range d.tableFor(d.self, false).snapshot() {
-		if !owns(e.Key) {
+		if !e.Replica && !owns(e.Key) {
 			out = append(out, e)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
+
+// --- adaptive-replica holder index ---
+
+// AddReplica records that holder now serves a replica of key (applied from a
+// ReplicaEvent broadcast). Adding a holder twice is a no-op.
+func (d *Directory) AddReplica(key string, holder uint32) {
+	hs := &d.holders[stripeIndex(key)]
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	cur := hs.m[key]
+	for _, h := range cur {
+		if h == holder {
+			return
+		}
+	}
+	if len(cur) == 0 {
+		d.holderCount.Add(1)
+	}
+	hs.m[key] = append(cur, holder)
+}
+
+// RemoveReplica records that holder no longer serves a replica of key.
+func (d *Directory) RemoveReplica(key string, holder uint32) {
+	hs := &d.holders[stripeIndex(key)]
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	cur := hs.m[key]
+	for i, h := range cur {
+		if h != holder {
+			continue
+		}
+		cur = append(cur[:i], cur[i+1:]...)
+		if len(cur) == 0 {
+			delete(hs.m, key)
+			d.holderCount.Add(-1)
+		} else {
+			hs.m[key] = cur
+		}
+		return
+	}
+}
+
+// ReplicaHolders returns a copy of the holder set for key (nil when the key
+// is unreplicated).
+func (d *Directory) ReplicaHolders(key string) []uint32 {
+	hs := &d.holders[stripeIndex(key)]
+	hs.mu.RLock()
+	defer hs.mu.RUnlock()
+	cur := hs.m[key]
+	if len(cur) == 0 {
+		return nil
+	}
+	return append([]uint32(nil), cur...)
+}
+
+// DropReplicaHolder removes node from every holder set — the failure
+// detector (via ring eviction) or a graceful leave declared it gone. The
+// surviving copies, home included, keep serving untouched; no quarantine.
+// It returns how many keys lost a holder.
+func (d *Directory) DropReplicaHolder(node uint32) int {
+	if d.holderCount.Load() == 0 {
+		return 0
+	}
+	dropped := 0
+	for i := range d.holders {
+		hs := &d.holders[i]
+		hs.mu.Lock()
+		for key, cur := range hs.m {
+			for j, h := range cur {
+				if h != node {
+					continue
+				}
+				cur = append(cur[:j], cur[j+1:]...)
+				dropped++
+				if len(cur) == 0 {
+					delete(hs.m, key)
+					d.holderCount.Add(-1)
+				} else {
+					hs.m[key] = cur
+				}
+				break
+			}
+		}
+		hs.mu.Unlock()
+	}
+	return dropped
+}
+
+// ReplicatedKeys reports how many keys currently have at least one live
+// replica holder in this node's view.
+func (d *Directory) ReplicatedKeys() int { return int(d.holderCount.Load()) }
 
 // SnapshotLocal returns copies of all local entries, sorted by key, for
 // inspection and tests.

@@ -1,0 +1,144 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+)
+
+func TestReplicaEntriesBypassPolicyAndJournal(t *testing.T) {
+	d := New(1, 2, nil) // capacity 2: replicas must not consume it
+	r := ring.New([]uint32{1, 2, 3}, 32)
+	d.SetRing(func(key string) (uint32, bool) { return r.Owner(key) })
+	now := time.Now()
+
+	d.InsertLocal(Entry{Key: "GET /a", Size: 1}, now)
+	d.InsertLocal(Entry{Key: "GET /b", Size: 1}, now)
+	d.InsertLocalReplica(Entry{Key: "GET /r1", Size: 1}, now)
+	d.InsertLocalReplica(Entry{Key: "GET /r2", Size: 1}, now)
+
+	if e, ok := d.LookupLocal("GET /r1", now); !ok || !e.Replica {
+		t.Fatalf("replica entry = %+v, %v", e, ok)
+	}
+	// Owned entries survived: replicas sit outside the replacement policy.
+	for _, k := range []string{"GET /a", "GET /b"} {
+		if e, ok := d.LookupLocal(k, now); !ok || e.Replica {
+			t.Fatalf("owned entry %q = %+v, %v", k, e, ok)
+		}
+	}
+
+	// Promotion re-enters the owned path (now subject to capacity).
+	if _, ok := d.PromoteReplica("GET /r1", now); !ok {
+		t.Fatal("promotion failed")
+	}
+	if e, _ := d.LookupLocal("GET /r1", now); e.Replica {
+		t.Fatal("promoted entry still flagged replica")
+	}
+	// Removing a promoted entry via the replica path must refuse.
+	if d.RemoveLocalReplica("GET /r1") {
+		t.Fatal("RemoveLocalReplica removed an owned entry")
+	}
+	if !d.RemoveLocalReplica("GET /r2") {
+		t.Fatal("RemoveLocalReplica refused a replica entry")
+	}
+}
+
+func TestReplicaHolderIndex(t *testing.T) {
+	d := New(1, 0, nil)
+	r := ring.New([]uint32{1, 2, 3, 4}, 32)
+	d.SetRing(func(key string) (uint32, bool) { return r.Owner(key) })
+	now := time.Now()
+
+	// Find a key owned elsewhere so Lookup resolves through the ring.
+	key := ""
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("GET /k%d", i)
+		if o, _ := r.Owner(k); o != 1 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no remote-owned key found")
+	}
+
+	d.AddReplica(key, 3)
+	d.AddReplica(key, 4)
+	d.AddReplica(key, 3) // idempotent
+	e, ok := d.Lookup(key, now)
+	if !ok || len(e.Holders) != 2 {
+		t.Fatalf("lookup = %+v, %v; want 2 holders", e, ok)
+	}
+	if d.ReplicatedKeys() != 1 {
+		t.Fatalf("ReplicatedKeys = %d", d.ReplicatedKeys())
+	}
+
+	d.RemoveReplica(key, 3)
+	if hs := d.ReplicaHolders(key); len(hs) != 1 || hs[0] != 4 {
+		t.Fatalf("holders after remove = %v", hs)
+	}
+	if n := d.DropReplicaHolder(4); n != 1 {
+		t.Fatalf("DropReplicaHolder = %d", n)
+	}
+	if d.ReplicatedKeys() != 0 {
+		t.Fatalf("ReplicatedKeys after drop = %d", d.ReplicatedKeys())
+	}
+	if e, ok := d.Lookup(key, now); !ok || len(e.Holders) != 0 {
+		t.Fatalf("lookup after drop = %+v, %v; want ring owner, no holders", e, ok)
+	}
+}
+
+// TestReplicaHolderIndexRace drives holder add/remove/drop, replica entry
+// insert/remove/promote, and ring lookups concurrently; run under -race it
+// guards the lock discipline of the holder stripes and the replica flag.
+func TestReplicaHolderIndexRace(t *testing.T) {
+	d := New(1, 0, nil)
+	r := ring.New([]uint32{1, 2, 3, 4}, 32)
+	d.SetRing(func(key string) (uint32, bool) { return r.Owner(key) })
+	now := time.Now()
+
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("GET /race%d", i)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spin := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					f(i)
+				}
+			}
+		}()
+	}
+
+	spin(func(i int) { d.AddReplica(keys[i%len(keys)], uint32(2+i%3)) })
+	spin(func(i int) { d.RemoveReplica(keys[i%len(keys)], uint32(2+i%3)) })
+	spin(func(i int) { d.DropReplicaHolder(uint32(2 + i%3)) })
+	spin(func(i int) { d.Lookup(keys[i%len(keys)], now) })
+	spin(func(i int) { d.ReplicaHolders(keys[i%len(keys)]) })
+	spin(func(i int) {
+		k := keys[i%len(keys)]
+		d.InsertLocalReplica(Entry{Key: k, Size: 1}, now)
+		if i%7 == 0 {
+			d.PromoteReplica(k, now)
+			d.RemoveLocal(k)
+		} else {
+			d.RemoveLocalReplica(k)
+		}
+	})
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,197 @@
+// Package replctl decides when cache entries become hot enough to replicate
+// to their ring successors and when those replicas should retire.
+//
+// The controller is pure bookkeeping: it consumes the decayed per-key load
+// estimates from stats.LoadTracker plus two callbacks describing current
+// ring placement, and emits push/retire actions. Sending the resulting
+// ReplicaPush frames, pulling bodies, and updating the directory are the
+// caller's job (internal/core), which keeps this logic trivially unit
+// testable without a cluster.
+package replctl
+
+import (
+	"repro/internal/stats"
+)
+
+// Action is one replication decision: push (or refresh) a replica of Key on
+// Node, or retire it.
+type Action struct {
+	Key    string
+	Node   uint32
+	Rate   float64
+	Retire bool
+}
+
+// Config tunes the control loop.
+type Config struct {
+	// HotRate is the decayed requests/second above which a self-owned key
+	// is replicated.
+	HotRate float64
+	// Hysteresis scales HotRate into the retire threshold: a replicated
+	// key retires only when its rate falls below HotRate*Hysteresis, so
+	// load hovering at the threshold does not flap replicas. Values
+	// outside (0, 1) default to 0.5.
+	Hysteresis float64
+	// Replicas is how many ring successors receive a copy of a hot key.
+	Replicas int
+	// MaxKeys bounds how many keys may be replicated at once; the hottest
+	// win. 0 means 64.
+	MaxKeys int
+}
+
+type repState struct {
+	holders []uint32
+	rate    float64
+}
+
+// Controller tracks which keys this node (as home owner) has replicated and
+// plans pushes and retirements. Not safe for concurrent use; drive it from
+// a single control-loop goroutine.
+type Controller struct {
+	cfg        Config
+	replicated map[string]*repState
+}
+
+// New creates a controller.
+func New(cfg Config) *Controller {
+	if cfg.Hysteresis <= 0 || cfg.Hysteresis >= 1 {
+		cfg.Hysteresis = 0.5
+	}
+	if cfg.MaxKeys <= 0 {
+		cfg.MaxKeys = 64
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	return &Controller{cfg: cfg, replicated: make(map[string]*repState)}
+}
+
+// RetireRate returns the rate below which a replicated key retires.
+func (c *Controller) RetireRate() float64 {
+	return c.cfg.HotRate * c.cfg.Hysteresis
+}
+
+// Replicated reports how many keys this controller currently has
+// replicated.
+func (c *Controller) Replicated() int { return len(c.replicated) }
+
+// Holders returns the holder set the controller last pushed for key (nil if
+// the key is not replicated).
+func (c *Controller) Holders(key string) []uint32 {
+	st := c.replicated[key]
+	if st == nil {
+		return nil
+	}
+	out := make([]uint32, len(st.holders))
+	copy(out, st.holders)
+	return out
+}
+
+// Plan consumes one tick's decayed load estimates (hottest first, as
+// returned by LoadTracker.Hot — call it with minRate no higher than
+// RetireRate so keys inside the hysteresis band are visible) and returns the
+// actions to take. owned reports whether this node is still the ring home
+// of key; successors returns the ring successor set for key with the home
+// excluded (may be shorter than Replicas on small rings, or nil when the
+// key is currently unplaceable).
+//
+// Pushes are emitted every tick for every key that should stay replicated —
+// holders treat a repeated push as a lease refresh and only pull the body
+// once — so a holder that missed the original push (or restarted) converges
+// on the next tick.
+func (c *Controller) Plan(hot []stats.KeyRate, owned func(string) bool, successors func(string) []uint32) []Action {
+	var acts []Action
+	seen := make(map[string]float64, len(hot))
+
+	for _, kr := range hot {
+		seen[kr.Key] = kr.Rate
+		st := c.replicated[kr.Key]
+		if st == nil {
+			// Not yet replicated: needs to clear the full threshold and
+			// the key-count budget.
+			if kr.Rate < c.cfg.HotRate || len(c.replicated) >= c.cfg.MaxKeys {
+				continue
+			}
+		} else if kr.Rate < c.RetireRate() {
+			continue // decayed: handled by the retire sweep below
+		}
+		if !owned(kr.Key) {
+			// Ring moved the key's home elsewhere; forget our claim. The
+			// new owner runs its own controller, and stale holders age
+			// out via the lease TTL.
+			delete(c.replicated, kr.Key)
+			continue
+		}
+		want := successors(kr.Key)
+		if len(want) > c.cfg.Replicas {
+			want = want[:c.cfg.Replicas]
+		}
+		if len(want) == 0 {
+			delete(c.replicated, kr.Key)
+			continue
+		}
+		if st == nil {
+			st = &repState{}
+			c.replicated[kr.Key] = st
+		}
+		// Retire holders the ring no longer names as successors.
+		for _, old := range st.holders {
+			if !containsNode(want, old) {
+				acts = append(acts, Action{Key: kr.Key, Node: old, Rate: kr.Rate, Retire: true})
+			}
+		}
+		for _, n := range want {
+			acts = append(acts, Action{Key: kr.Key, Node: n, Rate: kr.Rate})
+		}
+		st.holders = append(st.holders[:0], want...)
+		st.rate = kr.Rate
+	}
+
+	// Retire sweep: replicated keys that decayed below the hysteresis floor
+	// (or vanished from the tracker entirely, or changed home).
+	for key, st := range c.replicated {
+		rate, tracked := seen[key]
+		if tracked && rate >= c.RetireRate() && owned(key) {
+			continue
+		}
+		if owned(key) {
+			for _, n := range st.holders {
+				acts = append(acts, Action{Key: key, Node: n, Rate: rate, Retire: true})
+			}
+		}
+		delete(c.replicated, key)
+	}
+	return acts
+}
+
+// Forget drops controller state for every key held by a departed node and
+// returns how many holder records were dropped. The directory's holder
+// index is cleaned separately; this only stops future refreshes to the dead
+// node (the next Plan re-pushes to the key's new successor set).
+func (c *Controller) Forget(node uint32) int {
+	dropped := 0
+	for key, st := range c.replicated {
+		kept := st.holders[:0]
+		for _, h := range st.holders {
+			if h == node {
+				dropped++
+				continue
+			}
+			kept = append(kept, h)
+		}
+		st.holders = kept
+		if len(st.holders) == 0 {
+			delete(c.replicated, key)
+		}
+	}
+	return dropped
+}
+
+func containsNode(list []uint32, n uint32) bool {
+	for _, v := range list {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}

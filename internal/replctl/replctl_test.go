@@ -1,0 +1,139 @@
+package replctl
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func plan(c *Controller, hot []stats.KeyRate, succ []uint32) []Action {
+	return c.Plan(hot,
+		func(string) bool { return true },
+		func(string) []uint32 { return succ })
+}
+
+func pushesTo(acts []Action, key string) []uint32 {
+	var out []uint32
+	for _, a := range acts {
+		if a.Key == key && !a.Retire {
+			out = append(out, a.Node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func retiresTo(acts []Action, key string) []uint32 {
+	var out []uint32
+	for _, a := range acts {
+		if a.Key == key && a.Retire {
+			out = append(out, a.Node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestPlanThresholdAndLeaseRefresh(t *testing.T) {
+	c := New(Config{HotRate: 10, Replicas: 2})
+
+	// Below threshold: nothing replicates.
+	if acts := plan(c, []stats.KeyRate{{Key: "a", Rate: 5}}, []uint32{2, 3}); len(acts) != 0 {
+		t.Fatalf("below-threshold actions = %+v", acts)
+	}
+	// Above: push to the first Replicas successors.
+	acts := plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 3, 4})
+	if got := pushesTo(acts, "a"); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("pushes = %v, want [2 3]", got)
+	}
+	if c.Replicated() != 1 {
+		t.Fatalf("Replicated = %d", c.Replicated())
+	}
+	// Still hot next tick: pushes re-emitted as lease renewals.
+	acts = plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 3, 4})
+	if got := pushesTo(acts, "a"); len(got) != 2 {
+		t.Fatalf("renewal pushes = %v", got)
+	}
+}
+
+func TestPlanHysteresisAndRetire(t *testing.T) {
+	c := New(Config{HotRate: 10, Hysteresis: 0.5, Replicas: 2})
+	plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 3})
+
+	// Inside the hysteresis band (>= 5): stays replicated, keeps renewing.
+	acts := plan(c, []stats.KeyRate{{Key: "a", Rate: 7}}, []uint32{2, 3})
+	if got := pushesTo(acts, "a"); len(got) != 2 {
+		t.Fatalf("in-band pushes = %v", got)
+	}
+	// Below the retire floor: explicit retires to every holder.
+	acts = plan(c, []stats.KeyRate{{Key: "a", Rate: 1}}, []uint32{2, 3})
+	if got := retiresTo(acts, "a"); len(got) != 2 {
+		t.Fatalf("retires = %v, want both holders", got)
+	}
+	if c.Replicated() != 0 {
+		t.Fatalf("Replicated after retire = %d", c.Replicated())
+	}
+	// Vanished from the tracker entirely: same retirement.
+	plan(c, []stats.KeyRate{{Key: "b", Rate: 20}}, []uint32{2, 3})
+	acts = plan(c, nil, []uint32{2, 3})
+	if got := retiresTo(acts, "b"); len(got) != 2 {
+		t.Fatalf("vanished-key retires = %v", got)
+	}
+}
+
+func TestPlanSuccessorChangeRetiresOldHolder(t *testing.T) {
+	c := New(Config{HotRate: 10, Replicas: 2})
+	plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 3})
+	// Ring change swaps successor 3 for 4: retire 3, push 2 and 4.
+	acts := plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 4})
+	if got := retiresTo(acts, "a"); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("retires = %v, want [3]", got)
+	}
+	if got := pushesTo(acts, "a"); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("pushes = %v, want [2 4]", got)
+	}
+}
+
+func TestPlanOwnershipLossDropsSilently(t *testing.T) {
+	c := New(Config{HotRate: 10, Replicas: 2})
+	plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 3})
+	// The ring moved the key's home: no retires (stale holders age out via
+	// lease), just forget.
+	acts := c.Plan([]stats.KeyRate{{Key: "a", Rate: 20}},
+		func(string) bool { return false },
+		func(string) []uint32 { return []uint32{2, 3} })
+	if len(acts) != 0 {
+		t.Fatalf("actions after ownership loss = %+v", acts)
+	}
+	if c.Replicated() != 0 {
+		t.Fatalf("Replicated = %d", c.Replicated())
+	}
+}
+
+func TestPlanMaxKeysBudget(t *testing.T) {
+	c := New(Config{HotRate: 10, Replicas: 1, MaxKeys: 2})
+	hot := []stats.KeyRate{
+		{Key: "a", Rate: 50}, {Key: "b", Rate: 40}, {Key: "c", Rate: 30},
+	}
+	plan(c, hot, []uint32{2})
+	if c.Replicated() != 2 {
+		t.Fatalf("Replicated = %d, want budget cap 2", c.Replicated())
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := New(Config{HotRate: 10, Replicas: 2})
+	plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 3})
+	if n := c.Forget(3); n != 1 {
+		t.Fatalf("Forget = %d", n)
+	}
+	if got := c.Holders("a"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("holders after Forget = %v", got)
+	}
+	// Next tick re-pushes to the full successor set.
+	acts := plan(c, []stats.KeyRate{{Key: "a", Rate: 20}}, []uint32{2, 4})
+	if got := pushesTo(acts, "a"); len(got) != 2 {
+		t.Fatalf("pushes after Forget = %v", got)
+	}
+}

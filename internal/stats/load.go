@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadTracker measures per-key request rates (and optionally service
+// latency) with exponentially decayed windows. It feeds the adaptive
+// replication controller: the owner of a key bumps the tracker on every
+// serve, and the controller's periodic Tick folds the raw counts into a
+// decayed requests-per-second estimate, ranks keys, and replicates the ones
+// above threshold.
+//
+// The hot path (Bump) is a key-hashed stripe lock plus a map increment — no
+// global locks, and two concurrent requests for different keys almost never
+// touch the same stripe. Aggregation cost is paid only on Tick, off the
+// request path.
+type LoadTracker struct {
+	// alpha is the EWMA weight of the newest interval's observed rate,
+	// in (0, 1]: higher reacts faster, lower smooths more.
+	alpha  float64
+	shards [numShards]loadShard
+}
+
+type loadShard struct {
+	mu sync.Mutex
+	m  map[string]*loadEntry
+}
+
+type loadEntry struct {
+	count    int64   // raw hits since the last Tick
+	rate     float64 // decayed requests/second
+	latSum   time.Duration
+	latCount int64
+	latency  time.Duration // decayed mean service latency
+}
+
+// pruneBelow is the decayed rate under which an idle key's tracking state is
+// discarded on Tick, bounding tracker memory to keys with recent traffic.
+const pruneBelow = 0.01
+
+// NewLoadTracker creates a tracker with the given EWMA weight for new
+// samples; weights outside (0, 1] default to 0.5.
+func NewLoadTracker(alpha float64) *LoadTracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	l := &LoadTracker{alpha: alpha}
+	for i := range l.shards {
+		l.shards[i].m = make(map[string]*loadEntry)
+	}
+	return l
+}
+
+// loadStripe selects the shard for key (FNV-1a, as in the directory).
+func (l *LoadTracker) loadStripe(key string) *loadShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &l.shards[h%numShards]
+}
+
+// Bump records one request served for key.
+func (l *LoadTracker) Bump(key string) {
+	s := l.loadStripe(key)
+	s.mu.Lock()
+	e := s.m[key]
+	if e == nil {
+		e = &loadEntry{}
+		s.m[key] = e
+	}
+	e.count++
+	s.mu.Unlock()
+}
+
+// Observe records one request served for key together with the time it took
+// to produce (CGI execution or cache serve), feeding the decayed latency
+// estimate alongside the rate.
+func (l *LoadTracker) Observe(key string, latency time.Duration) {
+	s := l.loadStripe(key)
+	s.mu.Lock()
+	e := s.m[key]
+	if e == nil {
+		e = &loadEntry{}
+		s.m[key] = e
+	}
+	e.count++
+	e.latSum += latency
+	e.latCount++
+	s.mu.Unlock()
+}
+
+// Tick folds the counts accumulated since the previous Tick into the decayed
+// per-key rates, using elapsed as the interval length. Keys whose rate has
+// decayed to noise are forgotten. Call it from one goroutine (the
+// controller loop); it is safe against concurrent Bumps.
+func (l *LoadTracker) Tick(elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	secs := elapsed.Seconds()
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for key, e := range s.m {
+			inst := float64(e.count) / secs
+			e.rate = (1-l.alpha)*e.rate + l.alpha*inst
+			if e.latCount > 0 {
+				mean := e.latSum / time.Duration(e.latCount)
+				if e.latency == 0 {
+					e.latency = mean
+				} else {
+					e.latency = time.Duration((1-l.alpha)*float64(e.latency) + l.alpha*float64(mean))
+				}
+			}
+			e.count, e.latSum, e.latCount = 0, 0, 0
+			if e.rate < pruneBelow {
+				delete(s.m, key)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Rate returns the decayed requests/second estimate for key (0 if
+// untracked).
+func (l *LoadTracker) Rate(key string) float64 {
+	s := l.loadStripe(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.m[key]; e != nil {
+		return e.rate
+	}
+	return 0
+}
+
+// KeyRate is one tracked key's decayed load estimate.
+type KeyRate struct {
+	Key string
+	// Rate is the decayed requests/second.
+	Rate float64
+	// Latency is the decayed mean service time (0 when only Bump was used).
+	Latency time.Duration
+}
+
+// Hot returns every key whose decayed rate is at least minRate, hottest
+// first.
+func (l *LoadTracker) Hot(minRate float64) []KeyRate {
+	var out []KeyRate
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for key, e := range s.m {
+			if e.rate >= minRate {
+				out = append(out, KeyRate{Key: key, Rate: e.rate, Latency: e.latency})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Tracked reports how many keys currently have tracking state.
+func (l *LoadTracker) Tracked() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -141,6 +141,7 @@ const (
 	hitEviction
 	hitCoalesced
 	hitAbandoned
+	hitRemoteServe
 	numHitFields
 )
 
@@ -203,6 +204,13 @@ func (h *HitCounter) Coalesced() { h.add(hitCoalesced) }
 // shared execution.
 func (h *HitCounter) CoalescedAbandoned() { h.add(hitAbandoned) }
 
+// RemoteServe records this node serving one peer-routed fetch — a remote hit
+// served from its cache or a routed miss executed here as the ring owner.
+// The per-node spread of this counter is how the replication experiment
+// measures hot-key serve concentration, so it exists in every mode (the
+// baseline needs it too).
+func (h *HitCounter) RemoteServe() { h.add(hitRemoteServe) }
+
 func (h *HitCounter) add(f int) {
 	s := &h.shards[shardIndex()]
 	s.mu.Lock()
@@ -239,6 +247,7 @@ func (h *HitCounter) Snapshot() HitSnapshot {
 		Evictions:          c[hitEviction],
 		Coalesced:          c[hitCoalesced],
 		CoalescedAbandoned: c[hitAbandoned],
+		RemoteServes:       c[hitRemoteServe],
 	}
 }
 
@@ -253,6 +262,7 @@ type HitSnapshot struct {
 	Evictions          int64
 	Coalesced          int64
 	CoalescedAbandoned int64
+	RemoteServes       int64
 }
 
 // Hits returns local + remote hits.
@@ -283,6 +293,7 @@ func (s HitSnapshot) Add(o HitSnapshot) HitSnapshot {
 		Evictions:          s.Evictions + o.Evictions,
 		Coalesced:          s.Coalesced + o.Coalesced,
 		CoalescedAbandoned: s.CoalescedAbandoned + o.CoalescedAbandoned,
+		RemoteServes:       s.RemoteServes + o.RemoteServes,
 	}
 }
 

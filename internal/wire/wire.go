@@ -70,6 +70,13 @@ const (
 	// MsgRingUpdate gossips the sender's full membership view; receivers
 	// merge it by per-member incarnation so concurrent changes converge.
 	MsgRingUpdate
+	// MsgReplicaPush asks a ring successor to host (or retire) a replica of
+	// a hot entry; the holder pulls the body with a FetchReplica fetch
+	// (adaptive hot-entry replication, ring placement only).
+	MsgReplicaPush
+	// MsgReplicaEvent announces that a node now serves — or stopped serving
+	// — a replica of a key, so requesters can route reads to it.
+	MsgReplicaEvent
 )
 
 // String implements fmt.Stringer.
@@ -107,6 +114,10 @@ func (t MsgType) String() string {
 		return "leave"
 	case MsgRingUpdate:
 		return "ring-update"
+	case MsgReplicaPush:
+		return "replica-push"
+	case MsgReplicaEvent:
+		return "replica-event"
 	default:
 		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
 	}
@@ -208,6 +219,10 @@ const (
 	// FetchTakeover marks a handoff body pull: the requester is the key's
 	// new ring owner, and the sender should drop its local copy once served.
 	FetchTakeover uint8 = 1 << 1
+	// FetchReplica marks a replica body pull: the requester is hosting a
+	// replica of a hot entry and the sender (its home owner) serves the body
+	// but keeps its own copy — a takeover without the delete.
+	FetchReplica uint8 = 1 << 2
 )
 
 // Fetch asks the owner node for a cached body.
@@ -235,6 +250,11 @@ type FetchReply struct {
 	// request (a FetchExecute miss at the owner) rather than serving its
 	// cache — the requester counts a cluster-wide miss, not a remote hit.
 	Executed bool
+	// Stored is true when an Executed result was cached at the owner. An
+	// executed-but-not-stored reply marks an uncacheable-at-the-owner result
+	// (too short, policy-rejected, store failure): the requester may record
+	// a short-lived negative hint and skip the routed hop next time.
+	Stored bool
 }
 
 // Type implements Message.
@@ -298,6 +318,32 @@ type StatsReply struct {
 	// Ring reports consistent-hash membership (nil when the node runs
 	// replicate placement, or the sender predates the field).
 	Ring *RingStats
+	// Replicas reports adaptive hot-entry replication (nil when the feature
+	// is off, or the sender predates the field).
+	Replicas *ReplicaStats
+}
+
+// ReplicaStats reports adaptive hot-entry replication state inside a
+// StatsReply (ring placement with -replicate-hot only).
+type ReplicaStats struct {
+	// Tracked is how many keys currently have live load-tracking state.
+	Tracked uint64
+	// Hot is how many self-owned keys are currently replicated out.
+	Hot uint64
+	// Held is how many replicas this node currently hosts for other homes.
+	Held uint64
+	// Pushed / Retired count replica push and retire orders sent as home.
+	Pushed  uint64
+	Retired uint64
+	// Pulled counts replica bodies pulled and installed as a holder.
+	Pulled uint64
+	// Dropped counts replicas dropped as a holder (retire orders, TTL
+	// lapses, ownership changes).
+	Dropped uint64
+	// ReplicaServes counts fetches this node served from a held replica.
+	ReplicaServes uint64
+	// HintSkips counts routed hops skipped thanks to a negative hint.
+	HintSkips uint64
 }
 
 // RingMember is one live member inside a RingStats report.
@@ -457,6 +503,40 @@ type RingUpdate struct {
 
 // Type implements Message.
 func (*RingUpdate) Type() MsgType { return MsgRingUpdate }
+
+// ReplicaPush is sent by a hot entry's home owner to one of its ring
+// successors: host a replica of Key (Retire false) or drop it (Retire true).
+// The holder pulls the body itself with a FetchReplica fetch, so losing a
+// push costs nothing but replication coverage.
+type ReplicaPush struct {
+	// Home is the entry's ring owner (the sender); handlers need it
+	// explicitly because inbound frames carry no authenticated peer ID.
+	Home uint32
+	Key  string
+	// Size/ExecTime/Expires mirror the home's directory entry, so the
+	// holder can install meta-data before the body pull completes.
+	Size     int64
+	ExecTime time.Duration
+	Expires  time.Time
+	// Retire asks the holder to drop the replica (load decayed at home).
+	Retire bool
+}
+
+// Type implements Message.
+func (*ReplicaPush) Type() MsgType { return MsgReplicaPush }
+
+// ReplicaEvent is broadcast by a replica holder once a replica is live
+// (Retire false) or gone (Retire true), so every node can include — or stop
+// including — Holder in its read-routing choices for Key.
+type ReplicaEvent struct {
+	Key    string
+	Home   uint32
+	Holder uint32
+	Retire bool
+}
+
+// Type implements Message.
+func (*ReplicaEvent) Type() MsgType { return MsgReplicaEvent }
 
 // --- encoding ---
 
@@ -653,6 +733,7 @@ func (m *FetchReply) encode(e *encoder) {
 	e.str(m.ContentType)
 	e.bytes(m.Body)
 	e.boolean(m.Executed)
+	e.boolean(m.Stored)
 }
 
 func (m *FetchReply) decode(d *decoder) error {
@@ -665,6 +746,13 @@ func (m *FetchReply) decode(d *decoder) error {
 		return nil
 	}
 	m.Executed = d.boolean()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating negative hints. Report executed
+		// results as stored so old owners never trigger hints.
+		m.Stored = m.Executed
+		return nil
+	}
+	m.Stored = d.boolean()
 	return d.finish()
 }
 
@@ -735,6 +823,18 @@ func (m *StatsReply) encode(e *encoder) {
 			e.u8(rm.State)
 			e.u32(rm.OwnedPermille)
 		}
+	}
+	e.boolean(m.Replicas != nil)
+	if m.Replicas != nil {
+		e.u64(m.Replicas.Tracked)
+		e.u64(m.Replicas.Hot)
+		e.u64(m.Replicas.Held)
+		e.u64(m.Replicas.Pushed)
+		e.u64(m.Replicas.Retired)
+		e.u64(m.Replicas.Pulled)
+		e.u64(m.Replicas.Dropped)
+		e.u64(m.Replicas.ReplicaServes)
+		e.u64(m.Replicas.HintSkips)
 	}
 }
 
@@ -825,6 +925,23 @@ func (m *StatsReply) decode(d *decoder) error {
 			}
 		}
 		m.Ring = r
+	}
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating the replication report.
+		return nil
+	}
+	if d.boolean() {
+		m.Replicas = &ReplicaStats{
+			Tracked:       d.u64(),
+			Hot:           d.u64(),
+			Held:          d.u64(),
+			Pushed:        d.u64(),
+			Retired:       d.u64(),
+			Pulled:        d.u64(),
+			Dropped:       d.u64(),
+			ReplicaServes: d.u64(),
+			HintSkips:     d.u64(),
+		}
 	}
 	return d.finish()
 }
@@ -979,6 +1096,40 @@ func (m *RingUpdate) decode(d *decoder) error {
 	return d.finish()
 }
 
+func (m *ReplicaPush) encode(e *encoder) {
+	e.u32(m.Home)
+	e.str(m.Key)
+	e.i64(m.Size)
+	e.i64(int64(m.ExecTime))
+	e.timeVal(m.Expires)
+	e.boolean(m.Retire)
+}
+
+func (m *ReplicaPush) decode(d *decoder) error {
+	m.Home = d.u32()
+	m.Key = d.str()
+	m.Size = d.i64()
+	m.ExecTime = time.Duration(d.i64())
+	m.Expires = d.timeVal()
+	m.Retire = d.boolean()
+	return d.finish()
+}
+
+func (m *ReplicaEvent) encode(e *encoder) {
+	e.str(m.Key)
+	e.u32(m.Home)
+	e.u32(m.Holder)
+	e.boolean(m.Retire)
+}
+
+func (m *ReplicaEvent) decode(d *decoder) error {
+	m.Key = d.str()
+	m.Home = d.u32()
+	m.Holder = d.u32()
+	m.Retire = d.boolean()
+	return d.finish()
+}
+
 // maxPooledBuf caps the capacity of buffers returned to the encode/decode
 // pools: the occasional giant frame (a multi-megabyte FetchReply body) is
 // allocated and freed normally rather than pinned in the pool forever.
@@ -1047,6 +1198,10 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = &Leave{}
 	case MsgRingUpdate:
 		m = &RingUpdate{}
+	case MsgReplicaPush:
+		m = &ReplicaPush{}
+	case MsgReplicaEvent:
+		m = &ReplicaEvent{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, payload[0])
 	}

@@ -292,6 +292,35 @@ func HotSetURI(k, costMillis int) string {
 	return fmt.Sprintf("/cgi-bin/adl?q=hot%04d&cost=%d", k, costMillis)
 }
 
+// HotSetRangeSource is HotSetSource with the key range shifted to start at
+// offset: draws cover [offset, offset+keys). Shifting the offset between
+// phases moves the hotspot to a fresh key range — the adaptive-replication
+// experiment uses that to show replicas of the abandoned range retiring.
+func HotSetRangeSource(addrs []string, offset, keys, perClient, costMillis int, seed int64) Source {
+	if keys < 1 {
+		keys = 1
+	}
+	var mu sync.Mutex
+	rngs := map[int]*rand.Rand{}
+	getRNG := func(c int) *rand.Rand {
+		mu.Lock()
+		defer mu.Unlock()
+		r, ok := rngs[c]
+		if !ok {
+			r = rand.New(rand.NewSource(seed + int64(c)*7919))
+			rngs[c] = r
+		}
+		return r
+	}
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		k := offset + getRNG(client).Intn(keys)
+		return addrs[client%len(addrs)], HotSetURI(k, costMillis), true
+	}
+}
+
 // UncacheableSource issues unique uncacheable requests (path chosen to miss
 // the cacheability rules) — the Table 4 directory-maintenance load.
 func UncacheableSource(addr string, perClient int, costMillis int) Source {
