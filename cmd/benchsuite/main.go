@@ -125,6 +125,7 @@ func main() {
 		multicore  = flag.String("multicore", "", "run the GOMAXPROCS scaling sweep (closed-loop capacity + open-loop tail latency) and write JSON to this file instead of the paper suite")
 		scaleout   = flag.String("scaleout", "", "run the scale-out experiment (live 8->12 ring join and graceful leave under load vs the replicated directory) and write JSON to this file instead of the paper suite")
 		replicat   = flag.String("replication", "", "run the adaptive hot-entry replication experiment (viral key on an 8-node ring with and without -replicate-hot) and write JSON to this file instead of the paper suite")
+		inval      = flag.String("invalidation", "", "run the dependency-based invalidation coherence experiment (rw mix, replica retire, partition heal, SWR storm) and write JSON to this file instead of the paper suite")
 		gomaxprocs = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before running (0 = inherit), so the recorded meta value is controlled")
 	)
 	flag.Parse()
@@ -192,6 +193,13 @@ func main() {
 	if *replicat != "" {
 		if err := runReplication(*replicat, *quick, *seed); err != nil {
 			log.Fatalf("replication failed: %v", err)
+		}
+		return
+	}
+
+	if *inval != "" {
+		if err := runInvalidation(*inval, *quick, *seed); err != nil {
+			log.Fatalf("invalidation failed: %v", err)
 		}
 		return
 	}
@@ -374,6 +382,41 @@ func runReplication(path string, quick bool, seed int64) error {
 	if !r.GatesPassed() {
 		return fmt.Errorf("acceptance gates failed: spread=%v tail=%v retire=%v",
 			r.SpreadGate, r.TailGate, r.RetireGate)
+	}
+	return nil
+}
+
+// runInvalidation measures dependency-based invalidation: a read-write mix
+// whose writes originate versioned invalidation waves. The headline criteria:
+// after wave quiescence zero stale bodies are served anywhere (byte-compared
+// on every node, including with replica holders in play and across a
+// partition heal), and stale-while-revalidate keeps read p50 within 2x of
+// steady state through a write storm.
+func runInvalidation(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala invalidation-coherence experiment — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunInvalidation(experiments.Options{
+		Quick: quick, Seed: seed,
+		Scale: timescale.Scale{PerSecond: structuralScale},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(invalidation in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !r.GatesPassed() {
+		return fmt.Errorf("acceptance gates failed: coherence=%v replica=%v partition=%v swr=%v",
+			r.CoherenceGate, r.ReplicaGate, r.PartitionGate, r.SWRGate)
 	}
 	return nil
 }

@@ -30,11 +30,12 @@ func main() {
 		addrsFlag = flag.String("addrs", "localhost:8080", "comma-separated server addresses; client i targets addrs[i %% len]")
 		clients   = flag.Int("clients", 16, "concurrent client threads")
 		requests  = flag.Int("requests", 100, "requests per client")
-		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), insert (unique-key insert storm), hotset (fixed-key hit-ratio load), or empty for -uri")
+		mix       = flag.String("mix", "", "workload mix: webstone (file mix), adl (dynamic trace replay), insert (unique-key insert storm), hotset (fixed-key hit-ratio load), rw (read-write mix over a fixed item set), or empty for -uri")
 		uri       = flag.String("uri", "/cgi-bin/null", "URI to request when -mix is empty")
 		seed      = flag.Int64("seed", 1, "workload random seed")
 		cost      = flag.Int("cost", 0, "per-request CGI cost in paper milliseconds for -mix insert/hotset")
-		hotKeys   = flag.Int("hotkeys", 256, "size of the fixed key set for -mix hotset")
+		hotKeys   = flag.Int("hotkeys", 256, "size of the fixed key set for -mix hotset/rw")
+		writeFrac = flag.Float64("writefrac", 0.1, "fraction of requests that are writes for -mix rw")
 		openLoop  = flag.Bool("openloop", false, "Poisson open-loop mode: arrivals at -rate for -duration instead of -clients x -requests")
 		rate      = flag.Float64("rate", 100, "open-loop arrival rate in requests per second")
 		duration  = flag.Duration("duration", 10*time.Second, "open-loop run duration")
@@ -75,6 +76,12 @@ func main() {
 		// set, so the measured hit ratio tracks directory health through node
 		// failures and rejoins. Requires a cost-aware CGI at /cgi-bin/adl.
 		src = workload.HotSetSource(addrs, *hotKeys, *requests, *cost, *seed)
+	case "rw":
+		// Read-write mix: cacheable reads of /cgi-bin/report plus writes to
+		// /cgi-bin/update that mutate the shared resource. With swalad -inval
+		// the writes originate invalidation waves; the coherence experiment
+		// (benchsuite -invalidation) runs this mix with byte-compared reads.
+		src = workload.RWMixSource(addrs, *hotKeys, *requests, *cost, *writeFrac, *seed)
 	case "":
 		src = workload.RepeatSource(addrs, *uri, *requests)
 	default:
@@ -88,13 +95,15 @@ func main() {
 		// The open-loop driver pulls the source as a single request stream;
 		// the per-client request bound does not apply, so rebuild bounded
 		// sources with room for the whole run.
-		if *mix == "" || *mix == "hotset" || *mix == "insert" {
+		if *mix == "" || *mix == "hotset" || *mix == "insert" || *mix == "rw" {
 			need := int(*rate*duration.Seconds()) + 1
 			switch *mix {
 			case "hotset":
 				src = workload.HotSetSource(addrs, *hotKeys, need, *cost, *seed)
 			case "insert":
 				src = workload.InsertStormSource(addrs, need, *cost)
+			case "rw":
+				src = workload.RWMixSource(addrs, *hotKeys, need, *cost, *writeFrac, *seed)
 			case "":
 				src = workload.RepeatSource(addrs, *uri, need)
 			}

@@ -56,7 +56,7 @@ func main() {
 			}
 			switch msg.(type) {
 			case *wire.Insert, *wire.Delete, *wire.DirBatch, *wire.DirSync, *wire.DirSyncReq,
-				*wire.RingUpdate:
+				*wire.RingUpdate, *wire.InvalWave:
 				continue
 			}
 			return msg
@@ -155,16 +155,20 @@ func main() {
 		if pattern == "" {
 			log.Fatal("invalidate requires a key pattern, e.g. 'GET /cgi-bin/map*'")
 		}
-		if err := wc.Write(&wire.Invalidate{Origin: 0xFFFF, Pattern: pattern}); err != nil {
+		// Seq asks the node for an InvalAck instead of fire-and-forget, so a
+		// drop toward a still-dialing peer is visible here instead of silent.
+		if err := wc.Write(&wire.Invalidate{Origin: 0xFFFF, Pattern: pattern, Seq: 2}); err != nil {
 			log.Fatalf("invalidate: %v", err)
 		}
-		// Fire-and-forget like the cluster protocol; confirm liveness with a
-		// ping round trip so errors surface.
-		if err := wc.Write(&wire.Ping{Seq: 2}); err != nil {
-			log.Fatalf("invalidate: %v", err)
+		msg := readReply()
+		ack, ok := msg.(*wire.InvalAck)
+		if !ok {
+			log.Fatalf("unexpected reply %v", msg.Type())
 		}
-		readReply()
-		fmt.Printf("invalidation for %q delivered\n", pattern)
+		fmt.Printf("invalidated %d entries on %s; wave sent toward %d peers\n", ack.Matched, *addr, ack.Peers)
+		if ack.Unreached > 0 {
+			fmt.Printf("WARNING: %d peers had no usable link (down or still dialing); their copies heal via anti-entropy replay once connected\n", ack.Unreached)
+		}
 	case "ring":
 		sr := fetchStats(1)
 		if sr.Ring == nil {

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -80,6 +81,9 @@ func main() {
 		hotRPS    = flag.Float64("hot-rps", 0, "decayed remote-serve rate (req/s) above which an entry replicates (0 = default 50)")
 		hotRepl   = flag.Int("hot-replicas", 0, "ring successors that receive a copy of each hot entry (0 = default 2)")
 		handoffRt = flag.Int("handoff-rate", 0, "throttle rebalance handoff offers to this many entries/s (0 = unthrottled)")
+		invalOn   = flag.Bool("inval", false, "dependency-based invalidation: a CGI write to a declared resource originates a versioned invalidation wave that drops dependent cached results cluster-wide, with anti-entropy replay for peers that missed it; also mounts the demo rw pair /cgi-bin/report + /cgi-bin/update for loadgen -mix rw")
+		swrOn     = flag.Bool("swr", false, "stale-while-revalidate: serve a just-invalidated body once more while a single background refresh re-executes it (requires -inval)")
+		swrWindow = flag.Duration("swr-window", 0, "how long an invalidated body stays servable as stale under -swr (0 = default 2s)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -104,6 +108,9 @@ func main() {
 	}
 	if *replHot && !ringMode {
 		logger.Fatalf("-replicate-hot requires -placement=ring")
+	}
+	if *swrOn && !*invalOn {
+		logger.Fatalf("-swr requires -inval")
 	}
 
 	if *pprofAddr != "" {
@@ -139,6 +146,10 @@ func main() {
 		HotRPS:        *hotRPS,
 		HotReplicas:   *hotRepl,
 		HandoffRate:   *handoffRt,
+
+		Inval:     *invalOn,
+		SWR:       *swrOn,
+		SWRWindow: *swrWindow,
 
 		DisableBroadcastBatch: !*batch,
 		DisableDirSync:        !*dirSync,
@@ -222,6 +233,10 @@ func main() {
 	}
 	if err := mountCGI(srv, *cgiMounts); err != nil {
 		logger.Fatal(err)
+	}
+	if *invalOn {
+		mountDemoRW(srv)
+		logger.Printf("invalidation on: /cgi-bin/report reads and /cgi-bin/update writes the demo resource %q", demoResource)
 	}
 
 	if err := srv.Start(*httpAddr, *cluAddr); err != nil {
@@ -368,4 +383,61 @@ func mountCGI(srv *core.Server, mounts string) error {
 		}
 	}
 	return nil
+}
+
+// demoResource is the shared resource name the demo rw pair declares
+// dependencies on.
+const demoResource = "demo-db"
+
+// demoDB backs the demo read-write CGI pair: one version counter per item.
+type demoDB struct {
+	mu   sync.Mutex
+	vers map[string]int
+}
+
+// item pulls the item name out of a query like "q=item012&cost=5" or
+// "item=012"; the whole query string if no item parameter is present.
+func (db *demoDB) item(query string) string {
+	for _, kv := range strings.Split(query, "&") {
+		k, v, _ := strings.Cut(kv, "=")
+		if k == "item" || k == "q" {
+			return v
+		}
+	}
+	return query
+}
+
+type demoReport struct{ db *demoDB }
+
+func (p *demoReport) Run(_ context.Context, req cgi.Request) (cgi.Result, error) {
+	it := p.db.item(req.Query)
+	p.db.mu.Lock()
+	v := p.db.vers[it]
+	p.db.mu.Unlock()
+	return cgi.Result{Status: 200, ContentType: "text/plain",
+		Body: []byte(fmt.Sprintf("report %s v%06d\n", it, v))}, nil
+}
+
+type demoUpdate struct{ db *demoDB }
+
+func (p *demoUpdate) Run(_ context.Context, req cgi.Request) (cgi.Result, error) {
+	it := p.db.item(req.Query)
+	p.db.mu.Lock()
+	p.db.vers[it]++
+	v := p.db.vers[it]
+	p.db.mu.Unlock()
+	return cgi.Result{Status: 200, ContentType: "text/plain",
+		Body: []byte(fmt.Sprintf("updated %s -> v%06d\n", it, v))}, nil
+}
+
+// mountDemoRW installs the demo read-write pair with declared dependencies:
+// /cgi-bin/report reads the demo resource, /cgi-bin/update writes it, so a
+// completed update originates an invalidation wave covering cached reports
+// (drive it with loadgen -mix rw).
+func mountDemoRW(srv *core.Server) {
+	db := &demoDB{vers: make(map[string]int)}
+	srv.CGI().Register("/cgi-bin/report", &demoReport{db: db})
+	srv.CGI().RegisterDeps("/cgi-bin/report", cgi.Deps{Reads: []string{demoResource}})
+	srv.CGI().Register("/cgi-bin/update", &demoUpdate{db: db})
+	srv.CGI().RegisterDeps("/cgi-bin/update", cgi.Deps{Writes: []string{demoResource}})
 }

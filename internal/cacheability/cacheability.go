@@ -153,6 +153,18 @@ func Match(pattern, target string) bool {
 	return pi == len(pattern)
 }
 
+// MatchAny reports whether target matches any of the patterns. The
+// invalidation layer uses it to test a cache key against the patterns of
+// one wave batch.
+func MatchAny(patterns []string, target string) bool {
+	for _, p := range patterns {
+		if Match(p, target) {
+			return true
+		}
+	}
+	return false
+}
+
 // Parse reads a policy from the config-file format described in the package
 // documentation.
 func Parse(r io.Reader) (*Policy, error) {

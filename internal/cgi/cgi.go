@@ -69,6 +69,19 @@ type Engine struct {
 	mu       sync.RWMutex
 	programs map[string]Program // exact path -> program
 	prefixes []prefixProgram    // longest-prefix fallback
+	deps     map[string]Deps    // exact path -> declared dependencies
+	readers  map[string][]string
+}
+
+// Deps declares the resources a CGI program reads and writes — database
+// tables, files, or abstract names the deployment chooses. A program whose
+// output depends on a resource declares it in Reads; a program that mutates
+// it declares it in Writes. When the invalidation layer is enabled, a
+// successful execution of a writer originates one invalidation wave per
+// reader of each written resource.
+type Deps struct {
+	Reads  []string
+	Writes []string
 }
 
 type prefixProgram struct {
@@ -104,6 +117,54 @@ func (e *Engine) RegisterPrefix(prefix string, p Program) {
 	sort.Slice(e.prefixes, func(i, j int) bool {
 		return len(e.prefixes[i].prefix) > len(e.prefixes[j].prefix)
 	})
+}
+
+// RegisterDeps declares the read/write dependencies of the program mounted
+// at the exact path. Re-registering replaces the previous declaration.
+func (e *Engine) RegisterDeps(path string, d Deps) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deps == nil {
+		e.deps = make(map[string]Deps)
+		e.readers = make(map[string][]string)
+	}
+	if old, ok := e.deps[path]; ok {
+		for _, r := range old.Reads {
+			list := e.readers[r]
+			for i, p := range list {
+				if p == path {
+					e.readers[r] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	e.deps[path] = d
+	for _, r := range d.Reads {
+		e.readers[r] = append(e.readers[r], path)
+	}
+}
+
+// DepsFor returns the declared dependencies of the program at path.
+func (e *Engine) DepsFor(path string) (Deps, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.deps[path]
+	return d, ok
+}
+
+// ReadersOf returns the paths of every program that declared a read
+// dependency on resource, in registration order.
+func (e *Engine) ReadersOf(resource string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	list := e.readers[resource]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]string, len(list))
+	copy(out, list)
+	return out
 }
 
 // Lookup finds the program serving path.

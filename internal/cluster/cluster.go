@@ -93,6 +93,33 @@ type ReplicaHandler interface {
 	HandleReplicaEvent(m *wire.ReplicaEvent)
 }
 
+// WaveSyncer is implemented by handlers that ride versioned invalidation
+// waves on the directory replication channel: broadcast wave frames plus
+// anti-entropy replay of waves a peer missed. Optional — without it wave
+// frames are ignored and DirSync frames carry no waves.
+type WaveSyncer interface {
+	// HandleInvalWave applies one invalidation wave from a peer.
+	HandleInvalWave(m *wire.InvalWave)
+	// HandleWaveSync applies waves replayed inside a DirSync catch-up.
+	HandleWaveSync(origin uint32, waves []wire.InvalWave)
+	// WaveFloor reports the highest contiguous wave sequence applied from
+	// origin — the WaveSeq advertised in a DirSyncReq toward it.
+	WaveFloor(origin uint32) uint64
+	// BuildWaveSync returns this node's own waves that a peer whose applied
+	// floor is since still needs, in sequence order (nil when current).
+	BuildWaveSync(since uint64) []wire.InvalWave
+}
+
+// InvalidateAcker is implemented by handlers that account invalidation
+// fan-out. An administrative Invalidate carrying a Seq is dispatched here
+// and answered with an InvalAck, so the admin client can see how many peers
+// the wave could not reach instead of the drop being silent.
+type InvalidateAcker interface {
+	// HandleInvalidateCounted applies an invalidation and reports the local
+	// matches plus the fan-out accounting.
+	HandleInvalidateCounted(m *wire.Invalidate) (matched, peers, unreached int)
+}
+
 // NopHandler ignores all events; useful for tests and pseudo-servers.
 type NopHandler struct{}
 
@@ -181,6 +208,7 @@ type Node struct {
 	listener     net.Listener
 	peers        map[uint32]*peerLink // outbound links by peer ID
 	peerAddrs    map[uint32]string    // last known dial address per peer
+	intended     map[uint32]bool      // peers ConnectPeer was asked to reach
 	reconnecting map[uint32]bool
 	inbound      map[net.Conn]struct{}
 	closed       bool
@@ -256,6 +284,7 @@ func NewNode(cfg Config, handler Handler) *Node {
 		handler:      handler,
 		peers:        make(map[uint32]*peerLink),
 		peerAddrs:    make(map[uint32]string),
+		intended:     make(map[uint32]bool),
 		reconnecting: make(map[uint32]bool),
 		inbound:      make(map[net.Conn]struct{}),
 		needFullSync: make(map[uint32]bool),
@@ -370,10 +399,25 @@ func (n *Node) serveInbound(conn net.Conn) {
 	// Anti-entropy version exchange: tell a (re)connecting node how much of
 	// its directory we have, so it ships the catch-up we are missing. Only
 	// real cluster nodes announce a listen address; administrative clients
-	// (swalactl) do not and are left alone.
+	// (swalactl) do not and are left alone. Wave state rides the same
+	// request even when directory sync is off (ring mode disables the
+	// latter but invalidation waves must still heal across reconnects).
 	syncer, hasSyncer := n.handler.(DirSyncer)
-	if hasSyncer && !n.cfg.DisableSync && hello.Addr != "" {
-		reply(&wire.DirSyncReq{Version: syncer.DirVersion(hello.NodeID)})
+	waveSyncer, hasWaves := n.handler.(WaveSyncer)
+	if hello.Addr != "" {
+		req := &wire.DirSyncReq{}
+		send := false
+		if hasSyncer && !n.cfg.DisableSync {
+			req.Version = syncer.DirVersion(hello.NodeID)
+			send = true
+		}
+		if hasWaves {
+			req.WaveSeq = waveSyncer.WaveFloor(hello.NodeID)
+			send = true
+		}
+		if send {
+			reply(req)
+		}
 	}
 	// Membership anti-entropy: every link (re)establishment between ring
 	// nodes exchanges the full membership view, the same pattern DirSyncReq
@@ -411,6 +455,13 @@ func (n *Node) serveInbound(conn net.Conn) {
 				}
 			}
 		case *wire.DirSync:
+			// Wave replays bypass the DisableSync gate too: they are the
+			// invalidation layer's own anti-entropy and must converge even in
+			// ring mode. Applied before the directory updates so a healed
+			// entry can never outlive a wave that covered it.
+			if hasWaves && len(m.Waves) > 0 {
+				waveSyncer.HandleWaveSync(m.Owner, m.Waves)
+			}
 			// Handoff frames (ring rebalance offers) bypass the DisableSync
 			// gate: ring mode turns anti-entropy off but still moves entry
 			// metadata between owners on this message.
@@ -438,7 +489,21 @@ func (n *Node) serveInbound(conn net.Conn) {
 			sr.Seq = m.Seq
 			reply(&sr)
 		case *wire.Invalidate:
+			if m.Seq != 0 {
+				if acker, ok := n.handler.(InvalidateAcker); ok {
+					matched, peers, unreached := acker.HandleInvalidateCounted(m)
+					reply(&wire.InvalAck{
+						Seq: m.Seq, Matched: uint32(matched),
+						Peers: uint32(peers), Unreached: uint32(unreached),
+					})
+					break
+				}
+			}
 			n.handler.HandleInvalidate(m)
+		case *wire.InvalWave:
+			if hasWaves {
+				waveSyncer.HandleInvalWave(m)
+			}
 		case *wire.ReplicaPush:
 			if rh, ok := n.handler.(ReplicaHandler); ok {
 				rh.HandleReplicaPush(m)
@@ -512,6 +577,12 @@ type peerLink struct {
 	// have from us: seeded by its DirSyncReq, advanced as batches go out.
 	peerVer atomic.Uint64
 
+	// waveAck tracks the highest of our own invalidation waves the peer is
+	// believed to have: seeded by its DirSyncReq.WaveSeq, advanced as wave
+	// frames go out and as sync replays are sent. A wave dropped by a full
+	// queue leaves waveAck behind, so the next sync pass replays it.
+	waveAck atomic.Uint64
+
 	// flushes points at the owning node's flush counter so every real
 	// stream push on this link is accounted.
 	flushes *atomic.Uint64
@@ -532,6 +603,16 @@ func (p *peerLink) advancePeerVer(v uint64) {
 	for {
 		cur := p.peerVer.Load()
 		if v <= cur || p.peerVer.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// advanceWaveAck raises waveAck to v, never lowering it.
+func (p *peerLink) advanceWaveAck(v uint64) {
+	for {
+		cur := p.waveAck.Load()
+		if v <= cur || p.waveAck.CompareAndSwap(cur, v) {
 			return
 		}
 	}
@@ -584,6 +665,20 @@ func (n *Node) ConnectPeer(peerID uint32, addr string) error {
 // aborts as soon as ctx is canceled or the node is closed, so Close never
 // has to wait out the remainder of the retry window behind a pending dial.
 func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr string) error {
+	// Register the peer as intended before the first dial attempt, not
+	// after it succeeds: a peer whose link is still dialing is already part
+	// of the intended mesh, so fan-out accounting (BroadcastCounted) must
+	// count it as unreached rather than silently skipping it. (peerAddrs is
+	// deliberately left alone until the dial succeeds — it doubles as the
+	// failure detector's probe roster.)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.intended[peerID] = true
+	n.mu.Unlock()
+
 	window := time.NewTimer(n.cfg.DialRetry)
 	defer window.Stop()
 	var retry *time.Timer
@@ -819,6 +914,11 @@ func (n *Node) writeRun(link *peerLink, run []outMsg) error {
 		if err := link.wc.WriteBuffered(m); err != nil {
 			return err
 		}
+		if w, ok := m.(*wire.InvalWave); ok && w.Origin == n.cfg.NodeID {
+			// The peer now has (or has in the ordered pipe) every own wave
+			// up to this one; sync passes need not replay below it.
+			link.advanceWaveAck(w.Seq)
+		}
 		if om.isUpdate {
 			// One stream push per update, reproducing the pre-batching wire
 			// behaviour exactly (the baseline the -broadcast bench compares
@@ -839,8 +939,10 @@ func (n *Node) writeRun(link *peerLink, run []outMsg) error {
 // first so the catch-up's version covers every update already on the wire —
 // anything still queued behind it replays idempotently on top.
 func (n *Node) writeSync(link *peerLink) error {
-	syncer, ok := n.handler.(DirSyncer)
-	if !ok || n.cfg.DisableSync {
+	syncer, hasSyncer := n.handler.(DirSyncer)
+	ws, hasWaves := n.handler.(WaveSyncer)
+	dirSyncOn := hasSyncer && !n.cfg.DisableSync
+	if !dirSyncOn && !hasWaves {
 		return nil
 	}
 	select {
@@ -850,24 +952,35 @@ func (n *Node) writeSync(link *peerLink) error {
 		}
 	default:
 	}
-	n.mu.Lock()
-	full := n.needFullSync[link.id]
-	delete(n.needFullSync, link.id)
-	n.mu.Unlock()
 	since := link.peerVer.Load()
-	if full {
-		// Updates were dropped toward this peer, so versions alone cannot
-		// tell what it is missing: resend authoritative state.
-		since = 0
+	var msg *wire.DirSync
+	if dirSyncOn {
+		n.mu.Lock()
+		full := n.needFullSync[link.id]
+		delete(n.needFullSync, link.id)
+		n.mu.Unlock()
+		if full {
+			// Updates were dropped toward this peer, so versions alone cannot
+			// tell what it is missing: resend authoritative state.
+			since = 0
+		}
+		msg = syncer.BuildDirSync(since)
 	}
-	msg := syncer.BuildDirSync(since)
 	if msg == nil {
-		// The peer is already current. Still send an empty delta at the
-		// current version: a rejoining peer that quarantined our entries
-		// while we were gone needs a convergence signal to lift the
-		// quarantine, and with nothing to catch up this ack is the only
-		// DirSync it would ever see.
+		// The peer is already current (or directory sync is off and only
+		// waves ride this frame). Still send an empty delta at the current
+		// version: a rejoining peer that quarantined our entries while we
+		// were gone needs a convergence signal to lift the quarantine, and
+		// with nothing to catch up this ack is the only DirSync it would
+		// ever see.
 		msg = &wire.DirSync{Owner: n.cfg.NodeID, Version: since}
+	}
+	if hasWaves {
+		msg.Waves = ws.BuildWaveSync(link.waveAck.Load())
+	}
+	if !dirSyncOn && len(msg.Waves) == 0 {
+		// Nothing to say on a wave-only link.
+		return nil
 	}
 	link.sendMu.Lock()
 	defer link.sendMu.Unlock()
@@ -889,6 +1002,9 @@ func (n *Node) writeSync(link *peerLink) error {
 	}
 	n.syncUpdates.Add(uint64(len(msg.Updates)))
 	link.advancePeerVer(msg.Version)
+	if len(msg.Waves) > 0 {
+		link.advanceWaveAck(msg.Waves[len(msg.Waves)-1].Seq)
+	}
 	return nil
 }
 
@@ -921,12 +1037,19 @@ func (n *Node) linkReader(link *peerLink) {
 				close(ch)
 			}
 		case *wire.DirSyncReq:
-			// The peer told us how much of our directory it has; wake the
-			// sender to ship the difference.
-			if n.cfg.DisableSync {
+			// The peer told us how much of our directory (and wave journal)
+			// it has; wake the sender to ship the difference. Wave state is
+			// exchanged even when directory sync is disabled (ring mode).
+			_, hasWaves := n.handler.(WaveSyncer)
+			if n.cfg.DisableSync && !hasWaves {
 				break
 			}
-			link.advancePeerVer(m.Version)
+			if !n.cfg.DisableSync {
+				link.advancePeerVer(m.Version)
+			}
+			if hasWaves {
+				link.advanceWaveAck(m.WaveSeq)
+			}
 			select {
 			case link.syncCh <- struct{}{}:
 			default:
@@ -945,6 +1068,9 @@ func (n *Node) linkReader(link *peerLink) {
 			// A ring rebalance offer can arrive on either side of a link —
 			// whoever dialed first owns the connection, and the old owner
 			// pushes to the new one regardless of who that was.
+			if ws, ok := n.handler.(WaveSyncer); ok && len(m.Waves) > 0 {
+				ws.HandleWaveSync(m.Owner, m.Waves)
+			}
 			if m.Handoff {
 				if syncer, ok := n.handler.(DirSyncer); ok {
 					syncer.HandleDirSync(m)
@@ -1073,13 +1199,34 @@ func (n *Node) BroadcastUpdate(u wire.DirUpdate, version uint64) {
 	n.broadcast(outMsg{isUpdate: true, update: u, version: version})
 }
 
-func (n *Node) broadcast(om outMsg) {
+// BroadcastCounted enqueues m to every intended peer and reports the
+// fan-out: peers is how many peers the node was asked to reach (live links
+// plus peers still dialing or reconnecting), unreached how many of them did
+// not take the message — no usable link yet, or a full queue. Invalidation
+// waves heal unreached peers via anti-entropy once their links come up; for
+// other message kinds an unreached peer simply never sees the frame, which
+// is why callers surface the count instead of dropping it silently.
+func (n *Node) BroadcastCounted(m wire.Message) (peers, unreached int) {
+	return n.broadcast(outMsg{msg: m})
+}
+
+func (n *Node) broadcast(om outMsg) (peers, unreached int) {
+	_, isWave := om.msg.(*wire.InvalWave)
 	n.mu.Lock()
 	links := make([]*peerLink, 0, len(n.peers))
 	for _, l := range n.peers {
 		links = append(links, l)
 	}
+	// Peers an operator asked to connect (or that membership dialed) but
+	// that have no live link yet count as unreached, not as nonexistent.
+	for id := range n.intended {
+		if _, ok := n.peers[id]; !ok {
+			peers++
+			unreached++
+		}
+	}
 	n.mu.Unlock()
+	peers += len(links)
 	for _, l := range links {
 		select {
 		case l.queue <- om:
@@ -1087,6 +1234,7 @@ func (n *Node) broadcast(om outMsg) {
 				n.updates.Add(1)
 			}
 		default:
+			unreached++
 			n.dropped.Add(1)
 			n.dropCounter(l.id).Add(1)
 			if om.isUpdate && !n.cfg.DisableSync {
@@ -1095,6 +1243,11 @@ func (n *Node) broadcast(om outMsg) {
 				n.mu.Lock()
 				n.needFullSync[l.id] = true
 				n.mu.Unlock()
+			}
+			if (om.isUpdate && !n.cfg.DisableSync) || isWave {
+				// Wake the sender to heal the gap: dropped directory updates
+				// replay via BuildDirSync, dropped waves via BuildWaveSync
+				// (waveAck never advanced past the dropped wave).
 				select {
 				case l.syncCh <- struct{}{}:
 				default:
@@ -1103,6 +1256,7 @@ func (n *Node) broadcast(om outMsg) {
 			n.logf("broadcast queue full for peer %d; dropped %v", l.id, dropKind(om))
 		}
 	}
+	return peers, unreached
 }
 
 func dropKind(om outMsg) string {

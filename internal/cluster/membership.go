@@ -230,6 +230,7 @@ func (n *Node) forgetPeer(id uint32) {
 	link := n.peers[id]
 	delete(n.peers, id)
 	delete(n.peerAddrs, id)
+	delete(n.intended, id)
 	delete(n.needFullSync, id)
 	n.mu.Unlock()
 	n.healthMu.Lock()

@@ -38,6 +38,7 @@ import (
 	"repro/internal/fetchpipe"
 	"repro/internal/httpmsg"
 	"repro/internal/httpserver"
+	"repro/internal/inval"
 	"repro/internal/netx"
 	"repro/internal/replacement"
 	"repro/internal/singleflight"
@@ -211,6 +212,22 @@ type Config struct {
 	HotReplicas int
 	// HotInterval is the replication controller's tick period (default 1s).
 	HotInterval time.Duration
+	// Inval enables dependency-based invalidation waves (swalad -inval):
+	// CGI programs declare the resources they read and write
+	// (cgi.Engine.RegisterDeps), a successful writer execution originates a
+	// versioned invalidation wave per dependent reader, and waves ride the
+	// journaled directory channel so anti-entropy replays whatever a
+	// partitioned or reconnecting peer missed. Default off — the paper's
+	// TTL-expiry semantics are unchanged.
+	Inval bool
+	// SWR enables stale-while-revalidate on invalidation (requires Inval):
+	// the previous body of an invalidated entry is served for SWRWindow —
+	// flagged X-Swala-Cache: stale-revalidate — while one coalesced
+	// background flight refreshes the entry. Default off.
+	SWR bool
+	// SWRWindow bounds how long an invalidated body may be served stale
+	// (default 2s).
+	SWRWindow time.Duration
 	// HandoffRate, when >0, paces ring-rebalance handoff offers to roughly
 	// that many entries per second instead of offering everything at once,
 	// so a join against a large cache does not stampede the wire. Default 0
@@ -290,6 +307,11 @@ type Server struct {
 	// rep holds the adaptive hot-entry replication state (nil unless
 	// Config.ReplicateHot is set in ring mode); see replica.go.
 	rep *replicaState
+	// inv holds the invalidation-wave state (nil unless Config.Inval) and
+	// swr the stale-while-revalidate holding cell (nil unless Config.SWR);
+	// see inval.go.
+	inv *inval.State
+	swr *swrCell
 	handoffOut    atomic.Uint64 // entries taken over by new owners
 	handoffIn     atomic.Uint64 // entries pulled from old owners
 	handoffBytes  atomic.Uint64 // body bytes pulled during handoffs
@@ -362,6 +384,12 @@ func New(cfg Config) *Server {
 		purgeDone:  make(chan struct{}),
 	}
 	s.engine = cgi.NewEngine(s.node, cfg.Costs.SpawnCost)
+	if cfg.Inval {
+		s.inv = inval.NewState(cfg.NodeID)
+		if cfg.SWR {
+			s.swr = newSWRCell(cfg.SWRWindow)
+		}
+	}
 	s.http = httpserver.New(httpserver.HandlerFunc(s.serveHTTP), httpserver.Config{
 		RequestThreads: cfg.RequestThreads,
 		ErrorLog:       cfg.Logger,
@@ -589,6 +617,11 @@ func (s *Server) purgeDaemon() {
 // future work: a content application that knows its source data changed can
 // invalidate the affected results instead of waiting for TTL expiry.
 func (s *Server) Invalidate(pattern string) int {
+	if s.inv != nil {
+		// Wave mode: versioned, journaled, healed by anti-entropy replay.
+		n, _, _ := s.invalidateWave(pattern)
+		return n
+	}
 	n := s.invalidateLocal(pattern)
 	if s.cfg.Mode == Cooperative {
 		s.clu.Broadcast(&wire.Invalidate{Origin: s.dir.Self(), Pattern: pattern})
@@ -596,14 +629,26 @@ func (s *Server) Invalidate(pattern string) int {
 	return n
 }
 
-// invalidateLocal drops matching locally owned entries. The per-entry
-// deletions reach peers through the directory's update callback (which keeps
-// the replicated directories converging).
+// invalidateLocal drops every matching local entry: owned entries (whose
+// per-entry deletions reach peers through the directory's update callback),
+// held hot replicas — which retire in full, lease and announcement included,
+// instead of lingering until the replica controller's next tick notices the
+// entry vanished — and, for owned keys with announced replica holders, the
+// holder routes themselves, with a direct retire push as backstop for
+// holders that lost the invalidation frame. With SWR on, owned bodies move
+// to the stale holding cell instead of vanishing outright.
 func (s *Server) invalidateLocal(pattern string) int {
 	dropped := 0
+	for _, key := range s.matchHeldReplicas(pattern) {
+		s.dropHeldReplica(key)
+		dropped++
+	}
 	for _, e := range s.dir.SnapshotLocal() {
 		if !cacheability.Match(pattern, e.Key) {
 			continue
+		}
+		if !e.Replica {
+			s.parkStale(e.Key)
 		}
 		if !s.dir.RemoveLocal(e.Key) {
 			continue
@@ -611,6 +656,12 @@ func (s *Server) invalidateLocal(pattern string) int {
 		dropped++
 		if err := s.store.Delete(e.Key); err != nil {
 			s.logf("invalidate delete %q: %v", e.Key, err)
+		}
+		for _, hd := range s.dir.ReplicaHolders(e.Key) {
+			if err := s.clu.SendTo(hd, &wire.ReplicaPush{Home: s.dir.Self(), Key: e.Key, Retire: true}); err != nil {
+				s.logf("invalidate retire %q at %d: %v", e.Key, hd, err)
+			}
+			s.dir.RemoveReplica(e.Key, hd)
 		}
 	}
 	return dropped
@@ -750,6 +801,8 @@ func (s *Server) serveHTTP(ctx context.Context, req *httpmsg.Request) *httpmsg.R
 		entry.CacheSource = "remote"
 	case "coalesced":
 		entry.CacheSource = "coalesced"
+	case "stale-revalidate":
+		entry.CacheSource = "stale-revalidate"
 	default:
 		if _, ok := s.engine.Lookup(req.Path); ok {
 			entry.CacheSource = "executed"
@@ -980,14 +1033,30 @@ type execShare struct {
 }
 
 func (s *Server) execCGI(ctx context.Context, creq cgi.Request) (cgi.Result, time.Duration, error) {
-	return s.engine.Exec(ctx, creq)
+	res, execTime, err := s.engine.Exec(ctx, creq)
+	if err == nil && res.Status == 200 {
+		// A successful execution of a program with declared writes
+		// originates invalidation waves for its readers (no-op otherwise).
+		s.noteWrites(creq.Path)
+	}
+	return res, execTime, err
 }
 
 // insertResult files the result body and inserts directory meta-data;
 // evictions forced by the replacement policy are deleted from the store. The
 // insert broadcast and the eviction delete broadcasts ride the directory's
 // update callback.
-func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration, ttl time.Duration) {
+//
+// startVer is the invalidation apply-version the producing flight was
+// stamped with at launch (s.invVersion, 0 with invalidation off): a result
+// whose execution straddled a matching invalidation wave is already stale
+// and is discarded instead of stored — storing it would resurrect
+// invalidated content with a full TTL.
+func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration, ttl time.Duration, startVer uint64) {
+	if s.invStale(key, startVer) {
+		s.logf("discarding superseded in-flight result for %q", key)
+		return
+	}
 	// A concurrently executed identical request (or a peer's insert racing
 	// our broadcast) may have inserted the key already; the paper calls the
 	// redundant execution a false miss. Detect it for accounting.
@@ -1030,6 +1099,15 @@ func (s *Server) insertResult(key string, res cgi.Result, execTime time.Duration
 		s.counters.Eviction()
 		if err := s.store.Delete(victim); err != nil {
 			s.logf("evict delete %q: %v", victim, err)
+		}
+	}
+	if s.invStale(key, startVer) {
+		// A wave raced the insert itself (between the guard above and
+		// InsertLocal): undo rather than leave invalidated content cached.
+		if s.dir.RemoveLocal(key) {
+			if err := s.store.Delete(key); err != nil {
+				s.logf("superseded insert delete %q: %v", key, err)
+			}
 		}
 	}
 }

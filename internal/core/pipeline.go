@@ -43,6 +43,13 @@ func (s *Server) buildPipeline() {
 		stages = append(stages, &memStage{s: s, tier: tiered})
 	}
 	stages = append(stages, &localStage{s: s})
+	if s.swr != nil {
+		// Stale-while-revalidate sits right after local: a live entry always
+		// wins, but a key an invalidation wave just dropped serves its parked
+		// body while the background refresh runs, instead of paying a remote
+		// hop or a synchronous execution.
+		stages = append(stages, &swrStage{s: s})
+	}
 	if s.cfg.Mode == Cooperative {
 		if s.cfg.RingPlacement {
 			stages = append(stages, &ringStage{s: s})
@@ -374,6 +381,10 @@ func (st *originStage) Fetch(ctx context.Context, key string, _ any) (fetchpipe.
 	s.trackInflight(key, +1)
 	defer s.trackInflight(key, -1)
 
+	// Stamp the flight with the invalidation apply-version before executing:
+	// a wave that passes mid-flight supersedes the result (insertResult
+	// discards it).
+	startVer := s.invVersion()
 	res, execTime, err := s.execCGI(ctx, fs.creq)
 	if err != nil {
 		// The CGI return value is checked; failed executions are discarded,
@@ -387,7 +398,7 @@ func (st *originStage) Fetch(ctx context.Context, key string, _ any) (fetchpipe.
 	// placement, only keys this node owns: a fallback execution after an
 	// owner failure must not plant an entry placement will never route to.
 	if res.Status == 200 && s.ownsKey(key) && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
-		s.insertResult(key, res, execTime, fs.ttl)
+		s.insertResult(key, res, execTime, fs.ttl, startVer)
 	}
 	return fetchpipe.Result{Status: res.Status, ContentType: res.ContentType, Body: res.Body}, nil
 }
@@ -411,6 +422,7 @@ func (s *Server) coalescedOrigin(ctx context.Context, key string, fs fetchState)
 			fctx, cancel = context.WithTimeout(fctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
+		startVer := s.invVersion()
 		res, execTime, err := s.execCGI(fctx, fs.creq)
 		// Insert inside the singleflight window: by the time any waiter is
 		// released (or a new request becomes a fresh leader), the result is
@@ -418,7 +430,7 @@ func (s *Server) coalescedOrigin(ctx context.Context, key string, fs fetchState)
 		// between execution and insertion.
 		if err == nil && res.Status == 200 && s.ownsKey(key) &&
 			s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
-			s.insertResult(key, res, execTime, fs.ttl)
+			s.insertResult(key, res, execTime, fs.ttl, startVer)
 		}
 		return execShare{res: res, execTime: execTime, err: err}, nil
 	})

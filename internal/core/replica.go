@@ -359,6 +359,7 @@ func (s *Server) pullReplica(t replicaPull) {
 		rep.markHeld(key, t.home, now)
 		return
 	}
+	startVer := s.invVersion()
 	ct, body, ok, _, _, err := s.clu.FetchRing(context.Background(), t.home, key, wire.FetchReplica)
 	if err != nil {
 		s.logf("replica pull %q from %d: %v", key, t.home, err)
@@ -366,6 +367,11 @@ func (s *Server) pullReplica(t replicaPull) {
 	}
 	if !ok {
 		return // home no longer has it
+	}
+	if s.invStale(key, startVer) {
+		// An invalidation wave matching key passed while the body was on the
+		// wire from the home; installing it would plant a stale replica.
+		return
 	}
 	if err := store.PutWithMeta(s.store, key, ct, body, t.entry.ExecTime, t.entry.Expires); err != nil {
 		s.logf("replica put %q: %v", key, err)
@@ -376,6 +382,12 @@ func (s *Server) pullReplica(t replicaPull) {
 		Inserted: now, Expires: t.entry.Expires,
 	}, now)
 	rep.markHeld(key, t.home, now)
+	if s.invStale(key, startVer) {
+		// A wave raced the install itself; retire the copy before anyone is
+		// told to route here.
+		s.dropHeldReplica(key)
+		return
+	}
 	rep.pulled.Add(1)
 	s.clu.Broadcast(&wire.ReplicaEvent{Key: key, Home: t.home, Holder: s.dir.Self()})
 }

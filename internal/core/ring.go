@@ -330,6 +330,7 @@ func (s *Server) pullHandoff(t handoffTask) {
 		}
 		return
 	}
+	startVer := s.invVersion()
 	ct, body, ok, _, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover)
 	if err != nil {
 		s.logf("handoff pull %q from %d: %v", key, t.owner, err)
@@ -337,6 +338,13 @@ func (s *Server) pullHandoff(t handoffTask) {
 	}
 	if !ok {
 		return // old owner no longer has it (expired or evicted there)
+	}
+	if s.invStale(key, startVer) {
+		// An invalidation wave matching key passed while the body was on the
+		// wire; the old owner has relinquished it, but installing it here
+		// would resurrect an invalidated result. Drop it — the next request
+		// re-executes fresh.
+		return
 	}
 	if err := store.PutWithMeta(s.store, key, ct, body, t.entry.ExecTime, t.entry.Expires); err != nil {
 		s.logf("handoff put %q: %v", key, err)
@@ -351,6 +359,13 @@ func (s *Server) pullHandoff(t handoffTask) {
 		if err := s.store.Delete(victim); err != nil {
 			s.logf("evict delete %q: %v", victim, err)
 		}
+	}
+	if s.invStale(key, startVer) {
+		// A wave raced the install itself; undo rather than serve stale.
+		if s.dir.RemoveLocal(key) {
+			s.store.Delete(key)
+		}
+		return
 	}
 	s.handoffIn.Add(1)
 	s.handoffBytes.Add(uint64(len(body)))
@@ -424,6 +439,7 @@ func (s *Server) executeAsOwner(key string) (contentType string, body []byte, st
 	fs := s.fetchStateFrom(ctx, key)
 	s.trackInflight(key, +1)
 	defer s.trackInflight(key, -1)
+	startVer := s.invVersion()
 	res, execTime, err := s.execCGI(ctx, fs.creq)
 	if err != nil {
 		s.logf("owner execute %q: %v", key, err)
@@ -433,7 +449,7 @@ func (s *Server) executeAsOwner(key string) (contentType string, body []byte, st
 		return "", nil, false, false
 	}
 	if s.ownsKey(key) && s.cfg.Cacheability.ShouldInsert(execTime, int64(len(res.Body))) {
-		s.insertResult(key, res, execTime, fs.ttl)
+		s.insertResult(key, res, execTime, fs.ttl, startVer)
 		stored = true
 	}
 	// A routed execution concentrates load on the owner exactly like a remote

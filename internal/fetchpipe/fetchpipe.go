@@ -38,7 +38,8 @@ type Result struct {
 	Body []byte
 	// Source identifies how the result was produced, using the values the
 	// server exposes in the X-Swala-Cache response header: "local", "remote",
-	// "coalesced", or "" for a plain origin execution.
+	// "coalesced", "stale-revalidate" (an invalidated body served during its
+	// stale-while-revalidate window), or "" for a plain origin execution.
 	Source string
 
 	// hint carries per-walk scratch from a deferring stage to its successor

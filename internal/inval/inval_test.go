@@ -1,0 +1,146 @@
+package inval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cacheability"
+)
+
+func TestMarkExactlyOncePerWave(t *testing.T) {
+	s := NewState(1)
+	w := Wave{Origin: 2, Seq: 1, Pattern: "GET /a*"}
+	if !s.Mark(w) {
+		t.Fatal("first Mark = false")
+	}
+	if s.Mark(w) {
+		t.Fatal("duplicate Mark = true")
+	}
+	if got := s.Floor(2); got != 1 {
+		t.Fatalf("Floor = %d, want 1", got)
+	}
+}
+
+func TestMarkOutOfOrderCollapsesFloor(t *testing.T) {
+	s := NewState(1)
+	// Arrivals 3, 1, 2: each applies once, floor ends at 3.
+	for _, seq := range []uint64{3, 1, 2} {
+		if !s.Mark(Wave{Origin: 9, Seq: seq, Pattern: "*"}) {
+			t.Fatalf("Mark(seq=%d) = false", seq)
+		}
+	}
+	if got := s.Floor(9); got != 3 {
+		t.Fatalf("Floor = %d, want 3", got)
+	}
+	if s.Mark(Wave{Origin: 9, Seq: 2, Pattern: "*"}) {
+		t.Fatal("replay below floor applied")
+	}
+}
+
+func TestNextAndMissedReplay(t *testing.T) {
+	s := NewState(4)
+	for i := 0; i < 5; i++ {
+		w := s.Next(fmt.Sprintf("GET /k%d*", i))
+		if w.Origin != 4 || w.Seq != uint64(i+1) {
+			t.Fatalf("Next #%d = %+v", i, w)
+		}
+	}
+	missed := s.Missed(2)
+	if len(missed) != 3 || missed[0].Seq != 3 || missed[2].Seq != 5 {
+		t.Fatalf("Missed(2) = %+v", missed)
+	}
+	if got := s.Missed(5); got != nil {
+		t.Fatalf("Missed(5) = %+v, want nil", got)
+	}
+}
+
+func TestMissedBeyondJournalSendsFullWave(t *testing.T) {
+	s := NewState(4)
+	for i := 0; i < journalLimit+10; i++ {
+		s.Next("GET /k*")
+	}
+	missed := s.Missed(0)
+	if len(missed) != journalLimit+1 {
+		t.Fatalf("len(Missed) = %d, want %d", len(missed), journalLimit+1)
+	}
+	if missed[0].Pattern != "*" {
+		t.Fatalf("replay beyond journal did not start with a full wave: %+v", missed[0])
+	}
+	if missed[0].Seq+1 != missed[1].Seq {
+		t.Fatalf("synthetic wave seq %d not contiguous with journal start %d",
+			missed[0].Seq, missed[1].Seq)
+	}
+}
+
+func TestAdoptSeqResumesAbovePeers(t *testing.T) {
+	s := NewState(4)
+	s.AdoptSeq(100)
+	if w := s.Next("GET /a*"); w.Seq != 101 {
+		t.Fatalf("Next after AdoptSeq = seq %d, want 101", w.Seq)
+	}
+	// A peer at floor 100 gets only the new wave; one at floor 0 gets a
+	// full wave covering the unreplayable pre-restart range.
+	if missed := s.Missed(100); len(missed) != 1 || missed[0].Seq != 101 {
+		t.Fatalf("Missed(100) = %+v", missed)
+	}
+	missed := s.Missed(0)
+	if len(missed) != 2 || missed[0].Pattern != "*" || missed[0].Seq != 100 {
+		t.Fatalf("Missed(0) = %+v", missed)
+	}
+}
+
+func TestSupersededMatchesMidFlightWave(t *testing.T) {
+	s := NewState(1)
+	before := s.Version()
+	s.NoteApplied("GET /cgi-bin/rwread*")
+	if !s.Superseded("GET /cgi-bin/rwread?q=1", before) {
+		t.Fatal("flight started before a matching wave not superseded")
+	}
+	if s.Superseded("GET /cgi-bin/other?q=1", before) {
+		t.Fatal("non-matching key superseded")
+	}
+	if s.Superseded("GET /cgi-bin/rwread?q=1", s.Version()) {
+		t.Fatal("flight started after the wave superseded")
+	}
+}
+
+func TestSupersededConservativeBeyondHorizon(t *testing.T) {
+	s := NewState(1)
+	for i := 0; i < recentLimit+5; i++ {
+		s.NoteApplied("GET /narrow-pattern-that-matches-nothing")
+	}
+	// Version 0 predates the retained ring: must be presumed superseded.
+	if !s.Superseded("GET /anything", 0) {
+		t.Fatal("flight older than the ring horizon not superseded")
+	}
+}
+
+func TestAdvanceFloorAfterSyncBatch(t *testing.T) {
+	s := NewState(1)
+	s.Mark(Wave{Origin: 7, Seq: 5, Pattern: "*"}) // out of order: floor stays 0
+	if got := s.Floor(7); got != 0 {
+		t.Fatalf("Floor = %d, want 0 before sync", got)
+	}
+	s.AdvanceFloor(7, 5)
+	if got := s.Floor(7); got != 5 {
+		t.Fatalf("Floor = %d, want 5 after sync", got)
+	}
+	if s.Mark(Wave{Origin: 7, Seq: 4, Pattern: "*"}) {
+		t.Fatal("wave below advanced floor applied")
+	}
+}
+
+func TestKeyPattern(t *testing.T) {
+	p := KeyPattern("/cgi-bin/rwread")
+	for _, key := range []string{
+		"GET /cgi-bin/rwread?q=row0001&cost=5",
+		"GET /cgi-bin/rwread",
+	} {
+		if !cacheability.Match(p, key) {
+			t.Fatalf("KeyPattern %q does not match %q", p, key)
+		}
+	}
+	if cacheability.Match(p, "GET /cgi-bin/other?q=1") {
+		t.Fatalf("KeyPattern %q matches unrelated key", p)
+	}
+}

@@ -4,14 +4,16 @@
 // inputs of a CGI program are watched, and when a source changes, the cached
 // results that depend on it are invalidated.
 //
-// A Monitor polls the modification time and size of registered files on a
-// configurable interval (stat-based polling keeps the implementation
-// dependency-free and portable) and calls the bound invalidation function —
-// normally core.Server.Invalidate — with the dependent key pattern.
+// A Monitor polls the modification time, size, and content hash of registered
+// files on a configurable interval (polling keeps the implementation
+// dependency-free and portable; the hash catches same-size rewrites within
+// the mtime granularity) and calls the bound invalidation function — normally
+// core.Server.Invalidate — with the dependent key pattern.
 package monitor
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
 	"sync"
@@ -38,6 +40,24 @@ type watchState struct {
 	exists  bool
 	modTime time.Time
 	size    int64
+	// sum is an FNV-64a hash of the file contents. mtime+size alone misses a
+	// same-size rewrite landing within the filesystem's mtime granularity
+	// (coarse on ext3-era systems, and still a full second on some mounts), so
+	// every observation also compares content.
+	sum uint64
+}
+
+// hashFile returns the FNV-64a sum of the file contents, and whether the file
+// was readable. Watched sources are CGI inputs — small configuration and data
+// files — so reading them whole each poll is cheap.
+func hashFile(path string) (uint64, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), true
 }
 
 // Monitor polls watched files and fires invalidations.
@@ -125,19 +145,25 @@ func (st *watchState) observe() (changed bool) {
 		st.exists = false
 		st.modTime = time.Time{}
 		st.size = -1
+		st.sum = 0
 		return changed
 	}
+	sum, hashed := hashFile(st.watch.Path)
 	if !st.exists {
 		// Appearing counts as a change only if we had previously seen the
 		// file (handled above); first sight of a created file after a
 		// missing baseline is also a change.
 		changed = st.size == -1
 	} else {
-		changed = !info.ModTime().Equal(st.modTime) || info.Size() != st.size
+		changed = !info.ModTime().Equal(st.modTime) || info.Size() != st.size ||
+			(hashed && sum != st.sum)
 	}
 	st.exists = true
 	st.modTime = info.ModTime()
 	st.size = info.Size()
+	if hashed {
+		st.sum = sum
+	}
 	return changed
 }
 

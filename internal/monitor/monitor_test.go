@@ -102,6 +102,42 @@ func TestPollFiresOnModification(t *testing.T) {
 	}
 }
 
+// Regression: two same-size writes landing within the filesystem's mtime
+// granularity used to be invisible — observe() compared only mtime and size,
+// so the second write never fired an invalidation and caches served the old
+// result forever. The content hash must catch it. The test simulates the
+// granularity collision deterministically by pinning the rewritten file's
+// mtime back to the baseline's.
+func TestPollFiresOnSameSizeSameMtimeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "data.db")
+	writeFile(t, src, "balance=100")
+	pinned := time.Unix(1000000, 0)
+	if err := os.Chtimes(src, pinned, pinned); err != nil {
+		t.Fatal(err)
+	}
+
+	var rec recorder
+	m := New(rec.invalidate, time.Second, clock.NewFake(time.Unix(0, 0)))
+	m.Add(Watch{Path: src, Pattern: "GET /cgi-bin/balance*"})
+
+	// Same byte count, same mtime: only the content differs.
+	writeFile(t, src, "balance=999")
+	if err := os.Chtimes(src, pinned, pinned); err != nil {
+		t.Fatal(err)
+	}
+	if fired := m.Poll(); fired != 1 {
+		t.Fatalf("fired = %d, want 1 for same-size same-mtime rewrite", fired)
+	}
+	if rec.count() != 1 || rec.patterns[0] != "GET /cgi-bin/balance*" {
+		t.Fatalf("patterns = %v", rec.patterns)
+	}
+	// Stable afterwards: the new content is the baseline now.
+	if fired := m.Poll(); fired != 0 {
+		t.Fatalf("second poll fired %d", fired)
+	}
+}
+
 func TestPollFiresOnDeletion(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "data.db")

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripInvalWave(t *testing.T) {
+	in := &InvalWave{Origin: 3, Seq: 42, Pattern: "* /cgi-bin/rwread*"}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripInvalAck(t *testing.T) {
+	in := &InvalAck{Seq: 9, Matched: 12, Peers: 7, Unreached: 2}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestInvalidateSeqAndLegacyFrame(t *testing.T) {
+	in := &Invalidate{Origin: 0xFFFF, Pattern: "GET /cgi-bin/map*", Seq: 5}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+
+	// Pre-wave Invalidate ends at Pattern; it must decode with Seq 0.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgInvalidate))
+	e.u32(7)
+	e.str("GET /a*")
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	m, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if inv := m.(*Invalidate); inv.Seq != 0 || inv.Pattern != "GET /a*" {
+		t.Fatalf("legacy frame decoded as %+v", inv)
+	}
+}
+
+func TestDirSyncReqWaveSeqAndLegacyFrame(t *testing.T) {
+	in := &DirSyncReq{Version: 17, WaveSeq: 4}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+
+	// Pre-wave DirSyncReq ends at Version.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgDirSyncReq))
+	e.u64(17)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	m, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if req := m.(*DirSyncReq); req.Version != 17 || req.WaveSeq != 0 {
+		t.Fatalf("legacy frame decoded as %+v", req)
+	}
+}
+
+func TestDirSyncWavesAndLegacyFrame(t *testing.T) {
+	in := &DirSync{
+		Owner: 2, Version: 30,
+		Updates: []DirUpdate{{Owner: 2, Key: "GET /a", Size: 5}},
+		Waves: []InvalWave{
+			{Origin: 2, Seq: 1, Pattern: "GET /a*"},
+			{Origin: 2, Seq: 2, Pattern: "*"},
+		},
+	}
+	got := roundTrip(t, in).(*DirSync)
+	if !reflect.DeepEqual(got.Waves, in.Waves) || len(got.Updates) != 1 {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+
+	// Pre-wave DirSync ends at Handoff; it must decode with no waves.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgDirSync))
+	e.u32(2)
+	e.u64(30)
+	e.boolean(false)
+	e.u32(0)
+	e.boolean(true)
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	m, err := ReadMessage(bytes.NewReader(e.buf))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if ds := m.(*DirSync); len(ds.Waves) != 0 || !ds.Handoff {
+		t.Fatalf("legacy frame decoded as %+v", ds)
+	}
+}
+
+func TestDirSyncRejectsOversizedWaveCount(t *testing.T) {
+	// A corrupt frame claiming more waves than could possibly fit must be
+	// rejected before allocating.
+	e := &encoder{}
+	e.u32(0)
+	e.u8(uint8(MsgDirSync))
+	e.u32(2)
+	e.u64(30)
+	e.boolean(false)
+	e.u32(0)
+	e.boolean(false)
+	e.u32(1 << 30) // absurd wave count with no payload behind it
+	binary.BigEndian.PutUint32(e.buf[:4], uint32(len(e.buf)-4))
+	if _, err := ReadMessage(bytes.NewReader(e.buf)); err == nil {
+		t.Fatal("oversized wave count decoded without error")
+	}
+}

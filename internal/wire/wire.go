@@ -77,6 +77,16 @@ const (
 	// MsgReplicaEvent announces that a node now serves — or stopped serving
 	// — a replica of a key, so requesters can route reads to it.
 	MsgReplicaEvent
+	// MsgInvalWave carries one versioned invalidation: origin node, the
+	// origin's monotonically increasing wave sequence, and the key pattern to
+	// drop. Waves ride the same per-link update queues as directory batches
+	// and are journaled at the origin, so anti-entropy sync can replay waves
+	// a partitioned or reconnecting peer missed.
+	MsgInvalWave
+	// MsgInvalAck answers an administrative Invalidate that carries a Seq:
+	// how many local entries matched, and the fan-out accounting (peers the
+	// wave was sent toward, peers whose links could not take it).
+	MsgInvalAck
 )
 
 // String implements fmt.Stringer.
@@ -118,6 +128,10 @@ func (t MsgType) String() string {
 		return "replica-push"
 	case MsgReplicaEvent:
 		return "replica-event"
+	case MsgInvalWave:
+		return "inval-wave"
+	case MsgInvalAck:
+		return "inval-ack"
 	default:
 		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
 	}
@@ -133,8 +147,11 @@ const (
 	// ProtoRing adds MsgJoin/MsgLeave/MsgRingUpdate, ring placement flags
 	// on Fetch, and handoff DirSync frames.
 	ProtoRing uint32 = 2
+	// ProtoInval adds versioned invalidation waves: MsgInvalWave/MsgInvalAck,
+	// a Seq on Invalidate, a WaveSeq on DirSyncReq, and Waves on DirSync.
+	ProtoInval uint32 = 3
 	// ProtoCurrent is the version this build announces.
-	ProtoCurrent = ProtoRing
+	ProtoCurrent = ProtoInval
 )
 
 // Placement modes a node announces in Hello.
@@ -405,10 +422,42 @@ type Invalidate struct {
 	// invalidation.
 	Origin  uint32
 	Pattern string
+	// Seq, when non-zero, asks the receiver to answer with an InvalAck
+	// carrying the same Seq once the invalidation has been applied and
+	// fanned out. Zero (and frames from senders predating waves) keeps the
+	// legacy fire-and-forget behavior.
+	Seq uint64
 }
 
 // Type implements Message.
 func (*Invalidate) Type() MsgType { return MsgInvalidate }
+
+// InvalWave is one versioned invalidation: Origin's Seq-th wave drops every
+// cached entry whose key matches Pattern. Receivers apply each (Origin, Seq)
+// at most once; the origin journals its own waves so DirSync anti-entropy can
+// replay the ones a partitioned or reconnecting peer missed.
+type InvalWave struct {
+	Origin  uint32
+	Seq     uint64
+	Pattern string
+}
+
+// Type implements Message.
+func (*InvalWave) Type() MsgType { return MsgInvalWave }
+
+// InvalAck answers an Invalidate that carried a Seq: Matched local entries
+// were dropped, and the resulting wave was sent toward Peers peers of which
+// Unreached had no usable link (their copies heal via anti-entropy once the
+// link comes up).
+type InvalAck struct {
+	Seq       uint64
+	Matched   uint32
+	Peers     uint32
+	Unreached uint32
+}
+
+// Type implements Message.
+func (*InvalAck) Type() MsgType { return MsgInvalAck }
 
 // DirUpdate is one directory mutation inside a DirBatch or DirSync frame:
 // an Insert (Delete false) or a Delete (Delete true, meta fields unused).
@@ -440,6 +489,10 @@ type DirSyncReq struct {
 	// Version is the receiver's recorded version of the dialer's table;
 	// 0 means the receiver has never seen a versioned update from it.
 	Version uint64
+	// WaveSeq is the highest invalidation-wave sequence the receiver has
+	// applied from the dialer (0 when none, or the receiver predates waves);
+	// the dialer replays any of its own waves above it.
+	WaveSeq uint64
 }
 
 // Type implements Message.
@@ -458,6 +511,10 @@ type DirSync struct {
 	// ring owner is now the receiver, which adopts them into its own local
 	// table (and pulls the bodies from Owner) instead of a peer replica.
 	Handoff bool
+	// Waves replays invalidation waves of Owner's origin that the receiver
+	// missed (per its DirSyncReq.WaveSeq), in sequence order. Applied before
+	// Updates so a healed entry can never outlive a wave that covered it.
+	Waves []InvalWave
 }
 
 // Type implements Message.
@@ -949,11 +1006,49 @@ func (m *StatsReply) decode(d *decoder) error {
 func (m *Invalidate) encode(e *encoder) {
 	e.u32(m.Origin)
 	e.str(m.Pattern)
+	e.u64(m.Seq)
 }
 
 func (m *Invalidate) decode(d *decoder) error {
 	m.Origin = d.u32()
 	m.Pattern = d.str()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating invalidation waves: no ack wanted.
+		return nil
+	}
+	m.Seq = d.u64()
+	return d.finish()
+}
+
+// invalWaveMinSize is the smallest encoding of one InvalWave (empty
+// pattern); it bounds the wave count a DirSync frame can claim.
+const invalWaveMinSize = 4 + 8 + 4
+
+func (m *InvalWave) encode(e *encoder) {
+	e.u32(m.Origin)
+	e.u64(m.Seq)
+	e.str(m.Pattern)
+}
+
+func (m *InvalWave) decode(d *decoder) error {
+	m.Origin = d.u32()
+	m.Seq = d.u64()
+	m.Pattern = d.str()
+	return d.finish()
+}
+
+func (m *InvalAck) encode(e *encoder) {
+	e.u64(m.Seq)
+	e.u32(m.Matched)
+	e.u32(m.Peers)
+	e.u32(m.Unreached)
+}
+
+func (m *InvalAck) decode(d *decoder) error {
+	m.Seq = d.u64()
+	m.Matched = d.u32()
+	m.Peers = d.u32()
+	m.Unreached = d.u32()
 	return d.finish()
 }
 
@@ -1009,10 +1104,18 @@ func (m *DirBatch) decode(d *decoder) error {
 	return d.finish()
 }
 
-func (m *DirSyncReq) encode(e *encoder) { e.u64(m.Version) }
+func (m *DirSyncReq) encode(e *encoder) {
+	e.u64(m.Version)
+	e.u64(m.WaveSeq)
+}
 
 func (m *DirSyncReq) decode(d *decoder) error {
 	m.Version = d.u64()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating invalidation waves.
+		return nil
+	}
+	m.WaveSeq = d.u64()
 	return d.finish()
 }
 
@@ -1025,6 +1128,12 @@ func (m *DirSync) encode(e *encoder) {
 		e.dirUpdate(&m.Updates[i])
 	}
 	e.boolean(m.Handoff)
+	e.u32(uint32(len(m.Waves)))
+	for i := range m.Waves {
+		e.u32(m.Waves[i].Origin)
+		e.u64(m.Waves[i].Seq)
+		e.str(m.Waves[i].Pattern)
+	}
 }
 
 func (m *DirSync) decode(d *decoder) error {
@@ -1037,6 +1146,23 @@ func (m *DirSync) decode(d *decoder) error {
 		return nil
 	}
 	m.Handoff = d.boolean()
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating invalidation waves.
+		return nil
+	}
+	wn := int(d.u32())
+	if d.err != nil || wn < 0 || wn > (len(d.buf)-d.off)/invalWaveMinSize {
+		d.fail()
+		return d.err
+	}
+	if wn > 0 {
+		m.Waves = make([]InvalWave, wn)
+		for i := range m.Waves {
+			m.Waves[i].Origin = d.u32()
+			m.Waves[i].Seq = d.u64()
+			m.Waves[i].Pattern = d.str()
+		}
+	}
 	return d.finish()
 }
 
@@ -1202,6 +1328,10 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = &ReplicaPush{}
 	case MsgReplicaEvent:
 		m = &ReplicaEvent{}
+	case MsgInvalWave:
+		m = &InvalWave{}
+	case MsgInvalAck:
+		m = &InvalAck{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, payload[0])
 	}

@@ -321,6 +321,55 @@ func HotSetRangeSource(addrs []string, offset, keys, perClient, costMillis int, 
 	}
 }
 
+// --- read-write mix ---
+
+// RWReadURI returns the reader URI for item k in the read-write mix.
+func RWReadURI(k, costMillis int) string {
+	return fmt.Sprintf("/cgi-bin/report?q=item%03d&cost=%d", k, costMillis)
+}
+
+// RWWriteURI returns the writer URI for item k in the read-write mix.
+func RWWriteURI(k, costMillis int) string {
+	return fmt.Sprintf("/cgi-bin/update?item=%03d&cost=%d", k, costMillis)
+}
+
+// RWMixSource issues a read-write mix over a fixed item set: each request is
+// a write with probability writeFraction (hitting the update program, which
+// mutates the shared resource and — with dependency-based invalidation on —
+// originates an invalidation wave), otherwise a cacheable read of the report
+// program. The invalidation experiment's coherence gate runs this mix and
+// then byte-compares every read against the current item version. Client i
+// targets addrs[i % len(addrs)]; draws are deterministic given seed.
+func RWMixSource(addrs []string, keys, perClient, costMillis int, writeFraction float64, seed int64) Source {
+	if keys < 1 {
+		keys = 1
+	}
+	var mu sync.Mutex
+	rngs := map[int]*rand.Rand{}
+	getRNG := func(c int) *rand.Rand {
+		mu.Lock()
+		defer mu.Unlock()
+		r, ok := rngs[c]
+		if !ok {
+			r = rand.New(rand.NewSource(seed + int64(c)*7919))
+			rngs[c] = r
+		}
+		return r
+	}
+	return func(client, seq int) (string, string, bool) {
+		if seq >= perClient {
+			return "", "", false
+		}
+		rng := getRNG(client)
+		k := rng.Intn(keys)
+		uri := RWReadURI(k, costMillis)
+		if rng.Float64() < writeFraction {
+			uri = RWWriteURI(k, costMillis)
+		}
+		return addrs[client%len(addrs)], uri, true
+	}
+}
+
 // UncacheableSource issues unique uncacheable requests (path chosen to miss
 // the cacheability rules) — the Table 4 directory-maintenance load.
 func UncacheableSource(addr string, perClient int, costMillis int) Source {
