@@ -126,6 +126,7 @@ func main() {
 		scaleout   = flag.String("scaleout", "", "run the scale-out experiment (live 8->12 ring join and graceful leave under load vs the replicated directory) and write JSON to this file instead of the paper suite")
 		replicat   = flag.String("replication", "", "run the adaptive hot-entry replication experiment (viral key on an 8-node ring with and without -replicate-hot) and write JSON to this file instead of the paper suite")
 		inval      = flag.String("invalidation", "", "run the dependency-based invalidation coherence experiment (rw mix, replica retire, partition heal, SWR storm) and write JSON to this file instead of the paper suite")
+		grayfault  = flag.String("grayfault", "", "run the gray-failure & overload resilience schedule (slow peer with hedging/breakers, flash crowd with shedding) and write JSON to this file instead of the paper suite")
 		gomaxprocs = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before running (0 = inherit), so the recorded meta value is controlled")
 	)
 	flag.Parse()
@@ -200,6 +201,13 @@ func main() {
 	if *inval != "" {
 		if err := runInvalidation(*inval, *quick, *seed); err != nil {
 			log.Fatalf("invalidation failed: %v", err)
+		}
+		return
+	}
+
+	if *grayfault != "" {
+		if err := runGrayFault(*grayfault, *quick, *seed); err != nil {
+			log.Fatalf("grayfault failed: %v", err)
 		}
 		return
 	}
@@ -382,6 +390,44 @@ func runReplication(path string, quick bool, seed int64) error {
 	if !r.GatesPassed() {
 		return fmt.Errorf("acceptance gates failed: spread=%v tail=%v retire=%v",
 			r.SpreadGate, r.TailGate, r.RetireGate)
+	}
+	return nil
+}
+
+// runGrayFault measures gray-failure and overload resilience: a peer whose
+// cluster writes are delayed just under the probe timeout (hedged fetches +
+// breakers recover the hot-set p99; without them every request pays the
+// delay), and a 3x-capacity flash crowd against a single node (shedding
+// keeps goodput near capacity; without it the queue outlives the request
+// timeout and goodput collapses). The gates: converged slow-peer p99 within
+// 2x the healthy baseline, overload goodput with shedding at least 80% of
+// measured capacity, the hedge retry budget never exceeded on any node, and
+// the default-off configuration exposing no resilience surface.
+func runGrayFault(path string, quick bool, seed int64) error {
+	fmt.Printf("Swala gray-failure & overload schedule — quick=%v, seed=%d\n\n", quick, seed)
+	start := time.Now()
+	r, err := experiments.RunGrayFault(experiments.Options{
+		Quick: quick, Seed: seed,
+		Scale: timescale.Scale{PerSecond: latencyScale},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	fmt.Printf("(grayfault in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !r.GatesPassed() {
+		return fmt.Errorf("acceptance gates failed: p99within2x=%v budget=%v goodput=%v defaultoff=%v",
+			r.SlowOn.Within2x, r.Budget.Respected, r.Overload.ShedOn.GoodputOK, r.DefaultOff.Passed)
 	}
 	return nil
 }

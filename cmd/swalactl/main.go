@@ -126,6 +126,21 @@ func main() {
 			fmt.Printf("  replica serves: %d\n", rp.ReplicaServes)
 			fmt.Printf("  hint skips:     %d\n", rp.HintSkips)
 		}
+		if rs := sr.Resilience; rs != nil {
+			fmt.Printf("resilience:\n")
+			fmt.Printf("  hedges:         issued %d of %d primaries, won %d, abandoned %d, denied %d, local fallbacks %d\n",
+				rs.HedgesIssued, rs.FetchPrimaries, rs.HedgesWon, rs.HedgesAbandoned, rs.HedgesDenied, rs.HedgesLocal)
+			fmt.Printf("  retry budget:   %.1f%% full\n", float64(rs.BudgetPermille)/10)
+			fmt.Printf("  breaker fails:  %d fast-failed fetches\n", rs.BreakerFastFails)
+			fmt.Printf("  shed:           level %d, remote %d, local %d, stale served %d\n",
+				rs.ShedLevel, rs.ShedRemote, rs.ShedLocal, rs.ShedStale)
+			for _, b := range rs.Breakers {
+				fmt.Printf("  peer %-4d %-9s trips=%d samples=%d lat=%v base=%v p95=%v fail=%.1f%%\n",
+					b.Peer, breakerState(b.State), b.Trips, b.Samples,
+					b.Latency.Round(time.Microsecond), b.Baseline.Round(time.Microsecond),
+					b.P95.Round(time.Microsecond), float64(b.FailPermille)/10)
+			}
+		}
 	case "watch":
 		// One line per interval with deltas, like vmstat.
 		fmt.Printf("%8s %8s %8s %8s %8s %8s\n",
@@ -219,7 +234,20 @@ func ringMemberState(s uint8) string {
 	}
 }
 
-// healthState names the wire encoding of a peer's failure-detector state.
+// breakerState names the wire encoding of a peer's circuit-breaker state.
+func breakerState(s uint8) string {
+	switch s {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
 func healthState(s uint8) string {
 	switch s {
 	case 0:

@@ -84,6 +84,19 @@ func main() {
 		invalOn   = flag.Bool("inval", false, "dependency-based invalidation: a CGI write to a declared resource originates a versioned invalidation wave that drops dependent cached results cluster-wide, with anti-entropy replay for peers that missed it; also mounts the demo rw pair /cgi-bin/report + /cgi-bin/update for loadgen -mix rw")
 		swrOn     = flag.Bool("swr", false, "stale-while-revalidate: serve a just-invalidated body once more while a single background refresh re-executes it (requires -inval)")
 		swrWindow = flag.Duration("swr-window", 0, "how long an invalidated body stays servable as stale under -swr (0 = default 2s)")
+		hedgeOn   = flag.Bool("hedge", false, "hedged remote fetches: a routed fetch that outlives the peer's observed p95 launches one backup to a replica holder or falls back to local execution, first result wins; bounded by the retry budget (cooperative mode only)")
+		hedgeTrig = flag.Duration("hedge-trigger", 0, "static hedge delay used until a peer has enough latency samples for a p95 (0 = default 100ms)")
+		hedgeMin  = flag.Duration("hedge-min-trigger", 0, "floor under the dynamic p95 hedge trigger (0 = default 2ms)")
+		budgetRat = flag.Float64("retry-budget", 0, "hedge tokens earned per primary fetch; caps hedges at roughly this fraction of fetch traffic (0 = default 0.1)")
+		budgetCap = flag.Float64("retry-burst", 0, "retry-budget token bucket capacity (0 = default 10)")
+		breakerOn = flag.Bool("breaker", false, "per-peer circuit breakers: fetch latency and failure-rate scores trip a slow or failing peer open, its fetches fail fast to local execution, half-open probes close it again (cooperative mode only)")
+		brkFail   = flag.Float64("breaker-fail-rate", 0, "EWMA fetch failure rate that trips a peer's breaker (0 = default 0.5)")
+		brkLat    = flag.Float64("breaker-latency-factor", 0, "trip when the fast latency EWMA exceeds this multiple of the healthy baseline (0 = default 8, negative disables the latency trip)")
+		brkOpen   = flag.Duration("breaker-open-for", 0, "how long an open breaker rejects fetches before half-open probing (0 = default 2s)")
+		brkMin    = flag.Int("breaker-min-samples", 0, "recorded fetches a peer needs before its breaker may trip (0 = default 8)")
+		shedOn    = flag.Bool("shed", false, "adaptive load shedding: refuse peer-routed executions past the low CPU-queue watermark, peer serves and local would-execute requests past the high one (503 + Retry-After + X-Swala-Shed; stale SWR bodies serve as the degraded tier)")
+		shedLow   = flag.Duration("shed-low", 0, "queue-delay low watermark: above it peer-routed executions are refused (0 = default 100ms)")
+		shedHigh  = flag.Duration("shed-high", 0, "queue-delay high watermark: above it peer serves and local misses are refused too (0 = default 4x shed-low)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "swalad: ", log.LstdFlags)
@@ -111,6 +124,12 @@ func main() {
 	}
 	if *swrOn && !*invalOn {
 		logger.Fatalf("-swr requires -inval")
+	}
+	if *hedgeOn && mode != core.Cooperative {
+		logger.Fatalf("-hedge requires -mode=cooperative")
+	}
+	if *breakerOn && mode != core.Cooperative {
+		logger.Fatalf("-breaker requires -mode=cooperative")
 	}
 
 	if *pprofAddr != "" {
@@ -150,6 +169,20 @@ func main() {
 		Inval:     *invalOn,
 		SWR:       *swrOn,
 		SWRWindow: *swrWindow,
+
+		Hedge:                *hedgeOn,
+		HedgeTrigger:         *hedgeTrig,
+		HedgeMinTrigger:      *hedgeMin,
+		RetryBudgetRatio:     *budgetRat,
+		RetryBudgetBurst:     *budgetCap,
+		Breaker:              *breakerOn,
+		BreakerFailRate:      *brkFail,
+		BreakerLatencyFactor: *brkLat,
+		BreakerOpenFor:       *brkOpen,
+		BreakerMinSamples:    *brkMin,
+		Shed:                 *shedOn,
+		ShedLowWatermark:     *shedLow,
+		ShedHighWatermark:    *shedHigh,
 
 		DisableBroadcastBatch: !*batch,
 		DisableDirSync:        !*dirSync,

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Per-peer health scoring and circuit breaking.
+//
+// The PR 4 failure detector answers a binary question — is the peer
+// responding to pings at all? — which misses gray failures: a peer that is
+// alive but an order of magnitude slower (GC pause, disk stall, saturated
+// NIC) keeps its full share of fetches and drags the cluster tail toward
+// the straggler. The score tracks what the detector cannot see: observed
+// fetch latency (a fast EWMA against a slow baseline) and failure rate.
+// The breaker turns the score into an admission decision with the classic
+// three states: closed (normal), open (fail fast, like quarantine for dead
+// peers), half-open (admit a bounded number of probe fetches and close
+// again only if they succeed at healthy latency).
+
+// ScoreConfig tunes per-peer fetch scoring and the circuit breaker. The
+// zero value disables both (the paper's behaviour).
+type ScoreConfig struct {
+	// Enable turns on per-peer latency/failure scoring. Scoring is cheap
+	// (one mutex-guarded record per fetch) and is required for the hedging
+	// layer's dynamic p95 trigger even when the breaker itself is off.
+	Enable bool
+	// Breaker arms the circuit breaker on top of the score: fetches to a
+	// tripped peer fail fast with ErrPeerTripped.
+	Breaker bool
+	// FailRate is the EWMA failure-rate threshold that trips the breaker
+	// (default 0.5).
+	FailRate float64
+	// LatencyFactor trips the breaker when the fast latency EWMA exceeds
+	// LatencyFactor times the slow baseline (default 8; <= 0 disables the
+	// latency trip). The baseline only advances while the breaker is
+	// closed, so a brownout cannot drag the baseline up after itself.
+	LatencyFactor float64
+	// LatencyFloor is the minimum fast EWMA at which the latency trip may
+	// fire (default 5ms), so jitter around a microsecond-scale baseline
+	// never opens the breaker.
+	LatencyFloor time.Duration
+	// MinSamples is how many recorded fetches a peer needs before the
+	// breaker may trip (default 8).
+	MinSamples int
+	// OpenFor is how long an open breaker rejects fetches before admitting
+	// half-open probes (default 2s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive successful probe fetches
+	// close a half-open breaker (default 3). Probes are admitted one at a
+	// time; a single failure reopens.
+	HalfOpenProbes int
+}
+
+func (c *ScoreConfig) setDefaults() {
+	if c.FailRate <= 0 {
+		c.FailRate = 0.5
+	}
+	if c.LatencyFactor == 0 {
+		c.LatencyFactor = 8
+	}
+	if c.LatencyFloor <= 0 {
+		c.LatencyFloor = 5 * time.Millisecond
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 3
+	}
+}
+
+// ErrPeerTripped fails a fetch fast because the peer's circuit breaker is
+// open. Callers treat it like ErrNoPeer: degrade to local execution.
+var ErrPeerTripped = errors.New("cluster: peer breaker open")
+
+// BreakerState is a peer breaker's admission state.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// EWMA smoothing factors. The fast constant reacts within a handful of
+// fetches; the baseline drifts slowly and, because it only advances while
+// the breaker is closed, remembers what "healthy" looked like.
+const (
+	scoreFastAlpha = 0.3
+	scoreBaseAlpha = 0.05
+	scoreFailAlpha = 0.2
+	scoreWindow    = 64 // latency ring buffer for the p95 estimate
+	scoreP95Min    = 8  // samples before PeerP95 reports
+)
+
+// fetchOutcome classifies a finished fetch for the score.
+type fetchOutcome int
+
+const (
+	fetchOK fetchOutcome = iota
+	fetchFailed
+	// fetchNeutral is a fetch abandoned by the caller (hedge loser, client
+	// disconnect): it says nothing about the peer, so it must not move the
+	// score — a hedging requester would otherwise poison every peer it
+	// races.
+	fetchNeutral
+)
+
+// peerScore is one peer's health record. All fields are guarded by
+// Node.scoreMu.
+type peerScore struct {
+	samples  uint64
+	fastLat  float64 // seconds, fast EWMA over successful fetch latencies
+	baseLat  float64 // seconds, slow EWMA advanced only while closed
+	failRate float64 // EWMA over {0,1} outcomes
+
+	window [scoreWindow]float64 // recent successful latencies (seconds)
+	wlen   int
+	wpos   int
+
+	state       BreakerState
+	trippedAt   time.Time
+	probeBusy   bool // a half-open probe fetch is in flight
+	probeOK     int
+	trips       uint64
+	lastTripFor string
+}
+
+// PeerScoreInfo is a snapshot of one peer's score for stats reporting.
+type PeerScoreInfo struct {
+	Peer     uint32
+	Samples  uint64
+	Latency  time.Duration // fast EWMA
+	Baseline time.Duration // slow EWMA (healthy reference)
+	P95      time.Duration // 0 until enough samples
+	FailRate float64
+	State    BreakerState
+	Trips    uint64
+}
+
+func (n *Node) scoreFor(peer uint32) *peerScore {
+	s := n.scores[peer]
+	if s == nil {
+		s = &peerScore{}
+		n.scores[peer] = s
+	}
+	return s
+}
+
+// admitFetch asks the breaker whether a fetch to peer may proceed. probe
+// reports that the fetch was admitted as the half-open probe; the caller
+// must hand probe back to settleFetch. With scoring disabled both returns
+// are zero and every fetch proceeds.
+func (n *Node) admitFetch(peer uint32) (probe bool, err error) {
+	if !n.cfg.Score.Enable {
+		return false, nil
+	}
+	n.scoreMu.Lock()
+	defer n.scoreMu.Unlock()
+	s := n.scoreFor(peer)
+	if !n.cfg.Score.Breaker {
+		return false, nil
+	}
+	switch s.state {
+	case BreakerClosed:
+		return false, nil
+	case BreakerOpen:
+		if time.Since(s.trippedAt) < n.cfg.Score.OpenFor {
+			return false, fmt.Errorf("%w: %d (%s)", ErrPeerTripped, peer, s.lastTripFor)
+		}
+		// Cool-down over: admit this fetch as the first half-open probe.
+		s.state = BreakerHalfOpen
+		s.probeOK = 0
+		s.probeBusy = true
+		return true, nil
+	case BreakerHalfOpen:
+		if s.probeBusy {
+			return false, fmt.Errorf("%w: %d (probe in flight)", ErrPeerTripped, peer)
+		}
+		s.probeBusy = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// settleFetch records a finished fetch against peer's score and drives the
+// breaker state machine. dur is the observed latency (meaningful for
+// fetchOK only); probe is the value admitFetch returned.
+func (n *Node) settleFetch(peer uint32, probe bool, dur time.Duration, outcome fetchOutcome) {
+	if !n.cfg.Score.Enable {
+		return
+	}
+	cfg := &n.cfg.Score
+	n.scoreMu.Lock()
+	defer n.scoreMu.Unlock()
+	s := n.scoreFor(peer)
+	if probe {
+		s.probeBusy = false
+	}
+	if outcome == fetchNeutral {
+		return
+	}
+	s.samples++
+	fail := 0.0
+	if outcome == fetchFailed {
+		fail = 1.0
+	}
+	if s.samples == 1 {
+		s.failRate = fail
+	} else {
+		s.failRate += scoreFailAlpha * (fail - s.failRate)
+	}
+	if outcome == fetchOK {
+		sec := dur.Seconds()
+		if s.fastLat == 0 {
+			s.fastLat = sec
+		} else {
+			s.fastLat += scoreFastAlpha * (sec - s.fastLat)
+		}
+		if s.state == BreakerClosed {
+			// Samples beyond the trip envelope are evidence of the fault, not
+			// of a new normal: they must not drag the baseline up, or a large
+			// brownout would lift its own reference and never trip.
+			anomalous := cfg.LatencyFactor > 0 && s.baseLat > 0 &&
+				sec >= cfg.LatencyFloor.Seconds() && sec > cfg.LatencyFactor*s.baseLat
+			if s.baseLat == 0 {
+				s.baseLat = sec
+			} else if !anomalous {
+				s.baseLat += scoreBaseAlpha * (sec - s.baseLat)
+			}
+		}
+		s.window[s.wpos] = sec
+		s.wpos = (s.wpos + 1) % scoreWindow
+		if s.wlen < scoreWindow {
+			s.wlen++
+		}
+	}
+	if !cfg.Breaker {
+		return
+	}
+	switch s.state {
+	case BreakerClosed:
+		if s.samples < uint64(cfg.MinSamples) {
+			return
+		}
+		if s.failRate > cfg.FailRate {
+			n.tripLocked(peer, s, fmt.Sprintf("failure rate %.2f", s.failRate))
+			return
+		}
+		if cfg.LatencyFactor > 0 && s.baseLat > 0 &&
+			s.fastLat >= cfg.LatencyFloor.Seconds() &&
+			s.fastLat > cfg.LatencyFactor*s.baseLat {
+			n.tripLocked(peer, s, fmt.Sprintf("latency %.1fms vs baseline %.1fms",
+				s.fastLat*1e3, s.baseLat*1e3))
+		}
+	case BreakerHalfOpen:
+		if !probe {
+			// A non-probe fetch admitted before the trip finished late;
+			// let probes alone decide.
+			return
+		}
+		slow := cfg.LatencyFactor > 0 && s.baseLat > 0 &&
+			s.fastLat >= cfg.LatencyFloor.Seconds() &&
+			s.fastLat > cfg.LatencyFactor*s.baseLat
+		if outcome != fetchOK || slow {
+			n.tripLocked(peer, s, "half-open probe failed")
+			return
+		}
+		s.probeOK++
+		if s.probeOK >= cfg.HalfOpenProbes {
+			// Recovered: forget the episode so the stale slow tail cannot
+			// immediately re-trip or mis-trigger hedges.
+			s.state = BreakerClosed
+			s.failRate = 0
+			s.fastLat = s.baseLat
+			s.wlen, s.wpos = 0, 0
+			n.logf("cluster %d: breaker for peer %d closed", n.cfg.NodeID, peer)
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; the cool-down timer owns the
+		// transition out of open.
+	}
+}
+
+func (n *Node) tripLocked(peer uint32, s *peerScore, why string) {
+	s.state = BreakerOpen
+	s.trippedAt = time.Now()
+	s.trips++
+	s.probeBusy = false
+	s.lastTripFor = why
+	n.logf("cluster %d: breaker for peer %d opened (%s)", n.cfg.NodeID, peer, why)
+}
+
+// PeerP95 estimates the 95th-percentile fetch latency observed for peer.
+// ok is false until enough samples have been recorded (or scoring is off);
+// the hedging layer then falls back to its static trigger.
+func (n *Node) PeerP95(peer uint32) (p95 time.Duration, ok bool) {
+	if !n.cfg.Score.Enable {
+		return 0, false
+	}
+	n.scoreMu.Lock()
+	defer n.scoreMu.Unlock()
+	s := n.scores[peer]
+	if s == nil || s.wlen < scoreP95Min {
+		return 0, false
+	}
+	return p95Locked(s), true
+}
+
+func p95Locked(s *peerScore) time.Duration {
+	var buf [scoreWindow]float64
+	lat := buf[:s.wlen]
+	copy(lat, s.window[:s.wlen])
+	sort.Float64s(lat)
+	idx := (len(lat)*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return time.Duration(lat[idx] * float64(time.Second))
+}
+
+// PeerScores returns a snapshot of every scored peer, sorted by peer ID.
+func (n *Node) PeerScores() []PeerScoreInfo {
+	if !n.cfg.Score.Enable {
+		return nil
+	}
+	n.scoreMu.Lock()
+	defer n.scoreMu.Unlock()
+	out := make([]PeerScoreInfo, 0, len(n.scores))
+	for peer, s := range n.scores {
+		info := PeerScoreInfo{
+			Peer:     peer,
+			Samples:  s.samples,
+			Latency:  time.Duration(s.fastLat * float64(time.Second)),
+			Baseline: time.Duration(s.baseLat * float64(time.Second)),
+			FailRate: s.failRate,
+			State:    s.state,
+			Trips:    s.trips,
+		}
+		if s.wlen >= scoreP95Min {
+			info.P95 = p95Locked(s)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

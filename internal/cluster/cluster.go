@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -172,6 +173,9 @@ type Config struct {
 	// value enables it with conservative defaults; set Health.Disable for
 	// the paper's reactive-only failure handling.
 	Health HealthConfig
+	// Score tunes per-peer fetch latency/failure scoring and the circuit
+	// breaker (see ScoreConfig). The zero value disables both.
+	Score ScoreConfig
 	// OnPeerState, when set, observes failure-detector transitions (alive →
 	// suspect → dead and back). It runs with the detector lock held so one
 	// peer's transitions arrive in order; it must be fast and must not call
@@ -226,6 +230,10 @@ type Node struct {
 	healthMu sync.Mutex
 	health   map[uint32]*peerHealth
 
+	// scoreMu guards scores: per-peer fetch scoring and breaker state.
+	scoreMu sync.Mutex
+	scores  map[uint32]*peerScore
+
 	// memMu guards the dynamic membership table (ring mode only).
 	memMu   sync.Mutex
 	members map[uint32]memberInfo
@@ -273,6 +281,7 @@ func NewNode(cfg Config, handler Handler) *Node {
 		cfg.BatchLimit = 256
 	}
 	cfg.Health.setDefaults()
+	cfg.Score.setDefaults()
 	if cfg.VirtualNodes <= 0 {
 		cfg.VirtualNodes = ring.DefaultVirtualNodes
 	}
@@ -290,6 +299,7 @@ func NewNode(cfg Config, handler Handler) *Node {
 		needFullSync: make(map[uint32]bool),
 		peerDrops:    make(map[uint32]*atomic.Uint64),
 		health:       make(map[uint32]*peerHealth),
+		scores:       make(map[uint32]*peerScore),
 		done:         make(chan struct{}),
 	}
 	if cfg.RingMode {
@@ -468,6 +478,32 @@ func (n *Node) serveInbound(conn net.Conn) {
 			if hasSyncer && (!n.cfg.DisableSync || m.Handoff) {
 				syncer.HandleDirSync(m)
 				n.syncsApplied.Add(1)
+			}
+		case *wire.DirSyncReq:
+			// Mirror of the request we send on accept: the dialer asked for
+			// OUR table's catch-up over its link. Reply with the delta — or an
+			// explicit empty ack at its version, because "you are current" must
+			// be an affirmative signal: a peer whose failure detector flapped
+			// after it had already converged re-quarantines our entries, and
+			// with no new directory traffic this ack is the only convergence
+			// signal it will ever see.
+			var sync *wire.DirSync
+			if hasSyncer && !n.cfg.DisableSync {
+				sync = syncer.BuildDirSync(m.Version)
+				if sync == nil {
+					sync = &wire.DirSync{Owner: n.cfg.NodeID, Version: m.Version}
+				}
+			}
+			if hasWaves {
+				if sync == nil {
+					sync = &wire.DirSync{Owner: n.cfg.NodeID}
+				}
+				sync.Waves = waveSyncer.BuildWaveSync(m.WaveSeq)
+			}
+			if sync != nil && (hasSyncer && !n.cfg.DisableSync || len(sync.Waves) > 0) {
+				// With dir sync off (ring mode) and no waves to replay there
+				// is nothing to say; quarantine lifts on liveness alone there.
+				reply(sync)
 			}
 		case *wire.Fetch:
 			// One goroutine per fetch, as in the paper's cacher module.
@@ -714,7 +750,7 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 			break
 		}
 		if retry == nil {
-			retry = time.NewTimer(20 * time.Millisecond)
+			retry = time.NewTimer(jitter(20 * time.Millisecond))
 		} else {
 			// Drain a fired-but-unread timer before Reset; a stale tick
 			// would make the next wait fire immediately and turn the retry
@@ -725,7 +761,7 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 				default:
 				}
 			}
-			retry.Reset(20 * time.Millisecond)
+			retry.Reset(jitter(20 * time.Millisecond))
 		}
 		select {
 		case <-ctx.Done():
@@ -783,6 +819,29 @@ func (n *Node) ConnectPeerContext(ctx context.Context, peerID uint32, addr strin
 		select {
 		case link.syncCh <- struct{}{}:
 		default:
+		}
+	}
+	// Anti-entropy is requested in both directions on every link
+	// establishment: the accept side asks the dialer for its table (see
+	// serveConn), and here the dialer asks the accept side for *its* table.
+	// Without the dialer-side request, a node that re-quarantines an
+	// already-converged peer (an asymmetric detector flap — only our probes
+	// failed, the peer's links to us never died) would recycle its link,
+	// reconnect, and then wait forever: no version gap means no directory
+	// traffic, and the convergence ack that lifts the quarantine would never
+	// be provoked.
+	syncer, hasSyncer := n.handler.(DirSyncer)
+	waveSyncer, hasWaves := n.handler.(WaveSyncer)
+	if hasSyncer && !n.cfg.DisableSync || hasWaves {
+		req := &wire.DirSyncReq{}
+		if hasSyncer && !n.cfg.DisableSync {
+			req.Version = syncer.DirVersion(peerID)
+		}
+		if hasWaves {
+			req.WaveSeq = waveSyncer.WaveFloor(peerID)
+		}
+		if err := link.send(req); err != nil {
+			n.logf("sync request to peer %d: %v", peerID, err)
 		}
 	}
 	return nil
@@ -1067,15 +1126,17 @@ func (n *Node) linkReader(link *peerLink) {
 		case *wire.DirSync:
 			// A ring rebalance offer can arrive on either side of a link —
 			// whoever dialed first owns the connection, and the old owner
-			// pushes to the new one regardless of who that was.
+			// pushes to the new one regardless of who that was. A regular
+			// (non-handoff) sync here is the peer answering the DirSyncReq we
+			// sent when this link came up; it applies exactly as it would on
+			// the inbound side, and even an empty ack matters (it is the
+			// convergence signal that lifts a rejoined peer's quarantine).
 			if ws, ok := n.handler.(WaveSyncer); ok && len(m.Waves) > 0 {
 				ws.HandleWaveSync(m.Owner, m.Waves)
 			}
-			if m.Handoff {
-				if syncer, ok := n.handler.(DirSyncer); ok {
-					syncer.HandleDirSync(m)
-					n.syncsApplied.Add(1)
-				}
+			if syncer, ok := n.handler.(DirSyncer); ok && (!n.cfg.DisableSync || m.Handoff) {
+				syncer.HandleDirSync(m)
+				n.syncsApplied.Add(1)
 			}
 		case *wire.ReplicaPush:
 			// Like handoff offers, replica control traffic rides whichever
@@ -1096,6 +1157,19 @@ func (n *Node) linkReader(link *peerLink) {
 // scheduleReconnect redials a failed peer link with exponential backoff so a
 // restarted node rejoins the mesh without operator action. At most one
 // redial loop runs per peer, and intentional shutdown never reconnects.
+// jitter spreads a backoff wait uniformly over [d/2, d]. Deterministic
+// exponential backoff makes every link that died in the same partition
+// redial in lockstep after a heal — a reconnect thundering herd that lands
+// N simultaneous dials (and N Hello/DirSync exchanges) on the recovered
+// peer. Randomizing each wait de-synchronizes the herd while keeping the
+// same expected pace.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 func (n *Node) scheduleReconnect(dead *peerLink) {
 	if n.cfg.DisableReconnect {
 		return
@@ -1126,7 +1200,7 @@ func (n *Node) scheduleReconnect(dead *peerLink) {
 			select {
 			case <-n.done:
 				return
-			case <-time.After(backoff):
+			case <-time.After(jitter(backoff)):
 			}
 			err := n.ConnectPeer(dead.id, addr)
 			if err == nil {
@@ -1344,10 +1418,17 @@ func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags ui
 		// marked alive again without fetch traffic.)
 		return "", nil, false, false, false, fmt.Errorf("%w: %d (peer dead)", ErrNoPeer, owner)
 	}
+	probe, admitErr := n.admitFetch(owner)
+	if admitErr != nil {
+		// Breaker open: fail fast like the dead-peer path so the caller
+		// degrades to local execution without paying FetchTimeout.
+		return "", nil, false, false, false, admitErr
+	}
 	n.mu.Lock()
 	link := n.peers[owner]
 	n.mu.Unlock()
 	if link == nil {
+		n.settleFetch(owner, probe, 0, fetchNeutral)
 		return "", nil, false, false, false, fmt.Errorf("%w: %d", ErrNoPeer, owner)
 	}
 	if n.cfg.FetchTimeout > 0 {
@@ -1359,6 +1440,7 @@ func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags ui
 	link.mu.Lock()
 	if link.closed {
 		link.mu.Unlock()
+		n.settleFetch(owner, probe, 0, fetchFailed)
 		return "", nil, false, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 	}
 	link.nextSeq++
@@ -1367,23 +1449,36 @@ func (n *Node) FetchRing(ctx context.Context, owner uint32, key string, flags ui
 	link.pending[seq] = ch
 	link.mu.Unlock()
 
+	start := time.Now()
 	if err := link.send(&wire.Fetch{Seq: seq, Key: key, Flags: flags}); err != nil {
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
+		n.settleFetch(owner, probe, 0, fetchFailed)
 		return "", nil, false, false, false, fmt.Errorf("cluster: fetch from %d: %w", owner, err)
 	}
 
 	select {
 	case reply, open := <-ch:
 		if !open {
+			n.settleFetch(owner, probe, 0, fetchFailed)
 			return "", nil, false, false, false, fmt.Errorf("%w: %d (link closed)", ErrNoPeer, owner)
 		}
+		n.settleFetch(owner, probe, time.Since(start), fetchOK)
 		return reply.ContentType, reply.Body, reply.OK, reply.Executed, reply.Stored, nil
 	case <-ctx.Done():
 		link.mu.Lock()
 		delete(link.pending, seq)
 		link.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// A fetch that ran into its deadline says the peer is slow or
+			// unresponsive: count it against the score. A cancellation by
+			// the caller (hedge loser, client disconnect) says nothing
+			// about the peer and must stay neutral.
+			n.settleFetch(owner, probe, 0, fetchFailed)
+		} else {
+			n.settleFetch(owner, probe, 0, fetchNeutral)
+		}
 		return "", nil, false, false, false, ctxFetchErr(ctx.Err())
 	}
 }

@@ -257,6 +257,54 @@ type Config struct {
 	// a 504. Default 0 preserves the paper's behavior (no deadline; work
 	// is only abandoned when the client disconnects or the server stops).
 	RequestTimeout time.Duration
+	// Hedge enables hedged remote fetches (swalad -hedge): a routed fetch
+	// that has not returned by the target peer's observed p95 launches one
+	// backup — to the home owner or another replica holder when one exists,
+	// otherwise abandoning the wait and executing locally — and the first
+	// result wins; the loser is cancelled through the usual context
+	// plumbing. Hedges draw from a retry budget (RetryBudgetRatio) so a
+	// brownout cannot amplify into a retry storm. Default off.
+	Hedge bool
+	// HedgeTrigger is the static hedge delay used while a peer has too few
+	// latency samples for a p95 estimate (default 100ms).
+	HedgeTrigger time.Duration
+	// HedgeMinTrigger floors the dynamic p95 trigger so a very fast peer
+	// cannot make every fetch hedge (default 2ms).
+	HedgeMinTrigger time.Duration
+	// RetryBudgetRatio is the hedge token earned per primary fetch: hedges
+	// are capped at roughly this fraction of fetch traffic (default 0.1).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the retry-budget token bucket's capacity
+	// (default 10).
+	RetryBudgetBurst float64
+	// Breaker enables per-peer circuit breakers (swalad -breaker): observed
+	// fetch latency (fast EWMA judged against a slowly-advancing healthy
+	// baseline) and failure rate trip a peer open — its fetches then fail
+	// fast to local execution, the way quarantine handles dead peers — and
+	// half-open probes decide when it closes again. This is the gray-failure
+	// complement to the PR 4 detector, which only sees peers that stop
+	// answering pings entirely. Default off.
+	Breaker bool
+	// BreakerFailRate, BreakerLatencyFactor, BreakerOpenFor, and
+	// BreakerMinSamples tune the breaker (zero = the cluster.ScoreConfig
+	// defaults).
+	BreakerFailRate      float64
+	BreakerLatencyFactor float64
+	BreakerOpenFor       time.Duration
+	BreakerMinSamples    int
+	// Shed enables adaptive load shedding (swalad -shed): a watermark
+	// controller over the CPU queue delay refuses cheap-to-refuse work
+	// first — peer-routed executions above ShedLowWatermark; peer serves
+	// and local requests that would execute above ShedHighWatermark (503 +
+	// Retry-After + X-Swala-Shed, degraded to a parked SWR stale body when
+	// one exists). Cache hits are never shed: under overload the node keeps
+	// doing the cheap work it is good at. Default off.
+	Shed bool
+	// ShedLowWatermark / ShedHighWatermark are the queue-delay watermarks
+	// (defaults 100ms / 400ms). A level is left again only when the queue
+	// delay falls below half its entry watermark (hysteresis).
+	ShedLowWatermark  time.Duration
+	ShedHighWatermark time.Duration
 	// AccessLog, when non-nil, receives one extended-CLF entry per served
 	// request (see internal/accesslog).
 	AccessLog *accesslog.Writer
@@ -312,6 +360,13 @@ type Server struct {
 	// see inval.go.
 	inv *inval.State
 	swr *swrCell
+	// hedge holds the hedged-fetch state and retry budget (nil unless
+	// Config.Hedge) and shed the load-shedding controller (nil unless
+	// Config.Shed); see hedge.go and shed.go. breakerFastFails counts
+	// fetches the pipeline saw rejected by an open peer breaker.
+	hedge            *hedgeState
+	shed             *shedState
+	breakerFastFails atomic.Uint64
 	handoffOut    atomic.Uint64 // entries taken over by new owners
 	handoffIn     atomic.Uint64 // entries pulled from old owners
 	handoffBytes  atomic.Uint64 // body bytes pulled during handoffs
@@ -370,6 +425,24 @@ func New(cfg Config) *Server {
 	if cfg.HotInterval <= 0 {
 		cfg.HotInterval = time.Second
 	}
+	if cfg.HedgeTrigger <= 0 {
+		cfg.HedgeTrigger = 100 * time.Millisecond
+	}
+	if cfg.HedgeMinTrigger <= 0 {
+		cfg.HedgeMinTrigger = 2 * time.Millisecond
+	}
+	if cfg.RetryBudgetRatio <= 0 {
+		cfg.RetryBudgetRatio = 0.1
+	}
+	if cfg.RetryBudgetBurst <= 0 {
+		cfg.RetryBudgetBurst = 10
+	}
+	if cfg.ShedLowWatermark <= 0 {
+		cfg.ShedLowWatermark = 100 * time.Millisecond
+	}
+	if cfg.ShedHighWatermark <= cfg.ShedLowWatermark {
+		cfg.ShedHighWatermark = 4 * cfg.ShedLowWatermark
+	}
 
 	s := &Server{
 		cfg:        cfg,
@@ -384,6 +457,12 @@ func New(cfg Config) *Server {
 		purgeDone:  make(chan struct{}),
 	}
 	s.engine = cgi.NewEngine(s.node, cfg.Costs.SpawnCost)
+	if cfg.Hedge {
+		s.hedge = newHedgeState(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst)
+	}
+	if cfg.Shed {
+		s.shed = newShedState(cfg.ShedLowWatermark, cfg.ShedHighWatermark)
+	}
 	if cfg.Inval {
 		s.inv = inval.NewState(cfg.NodeID)
 		if cfg.SWR {
@@ -408,6 +487,16 @@ func New(cfg Config) *Server {
 			ProbeTimeout:  cfg.HealthProbeTimeout,
 			SuspectAfter:  cfg.HealthSuspectAfter,
 			DeadAfter:     cfg.HealthDeadAfter,
+		},
+		// Scoring feeds both the breaker and hedging's dynamic p95 trigger,
+		// so either feature turns it on.
+		Score: cluster.ScoreConfig{
+			Enable:        cfg.Hedge || cfg.Breaker,
+			Breaker:       cfg.Breaker,
+			FailRate:      cfg.BreakerFailRate,
+			LatencyFactor: cfg.BreakerLatencyFactor,
+			OpenFor:       cfg.BreakerOpenFor,
+			MinSamples:    cfg.BreakerMinSamples,
 		},
 		Logger: cfg.Logger,
 	}
@@ -937,6 +1026,31 @@ func (s *Server) serveStatus() *httpmsg.Response {
 		}
 		fmt.Fprintf(&b, "</table>\n")
 	}
+	if res := s.ResilienceSnapshot(); res != nil {
+		fmt.Fprintf(&b, "<h2>Resilience</h2><ul>\n")
+		if s.hedge != nil {
+			fmt.Fprintf(&b, "<li>hedges issued: %d | won: %d | abandoned: %d | denied: %d | local fallbacks: %d</li>\n",
+				res.HedgesIssued, res.HedgesWon, res.HedgesAbandoned, res.HedgesDenied, res.HedgesLocal)
+			fmt.Fprintf(&b, "<li>retry budget fill: %.1f%%</li>\n", float64(res.BudgetPermille)/10)
+		}
+		if s.cfg.Breaker {
+			fmt.Fprintf(&b, "<li>breaker fast fails: %d</li>\n", res.BreakerFastFails)
+		}
+		if s.shed != nil {
+			fmt.Fprintf(&b, "<li>shed level: %d | shed remote: %d | shed local: %d | stale served: %d</li>\n",
+				res.ShedLevel, res.ShedRemote, res.ShedLocal, res.ShedStale)
+		}
+		fmt.Fprintf(&b, "</ul>\n")
+		if len(res.Breakers) > 0 {
+			fmt.Fprintf(&b, "<table border=1><tr><th>peer</th><th>breaker</th><th>trips</th><th>samples</th><th>latency</th><th>baseline</th><th>p95</th><th>fail rate</th></tr>\n")
+			for _, pb := range res.Breakers {
+				fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%v</td><td>%v</td><td>%v</td><td>%.1f%%</td></tr>\n",
+					pb.Peer, cluster.BreakerState(pb.State), pb.Trips, pb.Samples,
+					pb.Latency, pb.Baseline, pb.P95, float64(pb.FailPermille)/10)
+			}
+			fmt.Fprintf(&b, "</table>\n")
+		}
+	}
 	if reps := s.ReplicaStats(); reps != nil {
 		fmt.Fprintf(&b, "<h2>Adaptive replication</h2><ul>\n")
 		fmt.Fprintf(&b, "<li>tracked keys: %d | replicated as home: %d | held for peers: %d</li>\n",
@@ -995,6 +1109,11 @@ func (s *Server) serveDynamic(ctx context.Context, req *httpmsg.Request) *httpms
 
 	// Unable (uncacheable) request: execute without touching the cacher.
 	if !cacheable {
+		if s.shedLevel() >= shedLevelServe {
+			// An uncacheable request is pure execution work; at the high
+			// watermark that is exactly what must not be admitted.
+			return s.shedResponse()
+		}
 		res, _, err := s.execCGI(ctx, creq)
 		if err != nil {
 			return fetchErrorResponse(originErr(err))
@@ -1003,6 +1122,20 @@ func (s *Server) serveDynamic(ctx context.Context, req *httpmsg.Request) *httpms
 	}
 
 	key := req.CacheKey()
+	if s.shedLevel() >= shedLevelServe {
+		// Past the high watermark, only requests the cache can answer are
+		// admitted. A directory hit (local or peer) serves normally — hits
+		// are the cheap work. A miss would execute: degrade to a parked
+		// stale body when SWR has one, else refuse with 503 + Retry-After.
+		if _, ok := s.dir.Lookup(key, s.clk.Now()); !ok {
+			if s.swr != nil {
+				if e, ok := s.swr.take(key, s.clk.Now()); ok {
+					return s.shedStaleResponse(e.contentType, e.body)
+				}
+			}
+			return s.shedResponse()
+		}
+	}
 	// The origin stage reconstructs the CGI request and TTL from the
 	// canonical key (fetchStateFrom), which is lossless for the common shape:
 	// an empty body and a path with no literal '?'. Only the exceptional
@@ -1177,6 +1310,13 @@ func (h *clusterHandler) HandleDelete(m *wire.Delete) {
 // manager on the node that owns the item updates meta-data statistics").
 func (h *clusterHandler) HandleFetch(key string) (string, []byte, bool) {
 	s := h.server()
+	if s.shedLevel() >= shedLevelServe {
+		// Past the high watermark even remote serves are refused: the
+		// requester falls back to executing locally (a false hit), moving
+		// the work to a node with headroom.
+		s.shed.shedRemote.Add(1)
+		return "", nil, false
+	}
 	e, ok := s.dir.LookupLocal(key, s.clk.Now())
 	if !ok {
 		return "", nil, false
@@ -1264,6 +1404,7 @@ func (h *clusterHandler) HandleStats() wire.StatsReply {
 	}
 	reply.Ring = s.ringStats()
 	reply.Replicas = s.ReplicaStats()
+	reply.Resilience = s.ResilienceSnapshot()
 	return reply
 }
 

@@ -245,7 +245,14 @@ func (st *remoteStage) Fetch(ctx context.Context, key string, hint any) (fetchpi
 		}
 		return fetchpipe.Defer(hint)
 	}
-	ct, body, found, err := s.clu.Fetch(ctx, e.Owner, key)
+	// In replicate mode there is no second copy to hedge to; a hedge
+	// trigger abandons the wait in favour of local execution (alt nil).
+	r := s.fetchRemote(ctx, key, remoteCall{target: e.Owner}, nil)
+	if r.localFallback {
+		s.counters.FalseHit()
+		return fetchpipe.Defer(dirMiss{})
+	}
+	ct, body, found, err := r.ct, r.body, r.found, r.err
 	if err != nil {
 		if ctx.Err() != nil {
 			return fetchpipe.Result{}, fetchpipe.CtxErr(ctx.Err())
@@ -318,13 +325,30 @@ func (st *ringStage) Fetch(ctx context.Context, key string, hint any) (fetchpipe
 		// the home owner below rather than executing off-placement.
 		flags = 0
 	}
-	ct, body, found, executed, stored, err := s.clu.FetchRing(ctx, target, key, flags)
+	r := s.fetchRemote(ctx, key, remoteCall{target: target, flags: flags},
+		s.hedgeAltFor(e, target, viaReplica))
+	if r.localFallback {
+		s.counters.FalseHit()
+		return fetchpipe.Defer(dirMiss{})
+	}
+	if r.hedged {
+		// The backup won (or carried the final result): the post-processing
+		// below is relative to the node that actually answered.
+		target = r.from
+		viaReplica = target != e.Owner
+	}
+	ct, body, found, executed, stored, err := r.ct, r.body, r.found, r.executed, r.stored, r.err
 	if viaReplica && (err != nil || !found) && ctx.Err() == nil {
 		// The holder is gone or already dropped its copy: stop routing there
 		// and retry once at the home owner, which can always execute.
 		s.dir.RemoveReplica(key, target)
 		target, viaReplica = e.Owner, false
-		ct, body, found, executed, stored, err = s.clu.FetchRing(ctx, target, key, wire.FetchExecute)
+		r = s.fetchRemote(ctx, key, remoteCall{target: target, flags: wire.FetchExecute}, nil)
+		if r.localFallback {
+			s.counters.FalseHit()
+			return fetchpipe.Defer(dirMiss{})
+		}
+		ct, body, found, executed, stored, err = r.ct, r.body, r.found, r.executed, r.stored, r.err
 	}
 	if err != nil {
 		if ctx.Err() != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/cluster"
@@ -303,6 +304,30 @@ func (s *Server) handoffWorker() {
 	}
 }
 
+// takeoverFetch is pullHandoff's FetchRing with a short retry on ErrNoPeer:
+// a rebalance offer often lands before our dial back to the old owner has
+// registered (the joiner learns addresses from the same ring update that
+// triggered the offer), and without the retry every queued pull would fail
+// instantly and the entries would strand at the old owner until a routed
+// miss re-executes them. Any other error stays fatal to the pull — those
+// returns are benign (the body remains serveable at the old owner).
+func (s *Server) takeoverFetch(owner uint32, key string) (string, []byte, bool, error) {
+	for attempt := 0; ; attempt++ {
+		ct, body, ok, _, _, err := s.clu.FetchRing(context.Background(), owner, key, wire.FetchTakeover)
+		if err == nil || !errors.Is(err, cluster.ErrNoPeer) || attempt >= 40 {
+			return ct, body, ok, err
+		}
+		if r := s.clu.Ring(); r == nil || !r.Contains(owner) {
+			return ct, body, ok, err
+		}
+		select {
+		case <-s.purgeStop:
+			return ct, body, ok, err
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 // pullHandoff fetches one handed-off body from its old owner and installs it
 // locally. Every early return is benign: the entry either no longer matters
 // (expired, ring moved again, already present) or stays at the old owner.
@@ -325,13 +350,13 @@ func (s *Server) pullHandoff(t handoffTask) {
 		// A routed miss already executed here before the pull ran — we have a
 		// fresher body than the old owner's. Still send the takeover so the
 		// old owner relinquishes its now-misplaced copy; discard the body.
-		if _, _, _, _, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover); err != nil {
+		if _, _, _, err := s.takeoverFetch(t.owner, key); err != nil {
 			s.logf("handoff release %q at %d: %v", key, t.owner, err)
 		}
 		return
 	}
 	startVer := s.invVersion()
-	ct, body, ok, _, _, err := s.clu.FetchRing(context.Background(), t.owner, key, wire.FetchTakeover)
+	ct, body, ok, err := s.takeoverFetch(t.owner, key)
 	if err != nil {
 		s.logf("handoff pull %q from %d: %v", key, t.owner, err)
 		return
@@ -393,6 +418,14 @@ func (h *clusterHandler) HandleFetchRing(key string, flags uint8) (contentType s
 	if _, cached := s.dir.LookupLocal(key, s.clk.Now()); cached {
 		ct, b, served := h.HandleFetch(key)
 		return ct, b, false, false, served
+	}
+	if s.shedLevel() >= shedLevelExecute {
+		// Routed executions are the cheapest work to refuse: the requester
+		// already has the request and can execute it locally, so shedding
+		// here spreads a hot owner's overload across the cluster instead
+		// of queueing it all on one node.
+		s.shed.shedRemote.Add(1)
+		return "", nil, false, false, false
 	}
 	ct, b, stored, served := s.executeAsOwner(key)
 	return ct, b, true, stored, served

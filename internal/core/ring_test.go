@@ -45,7 +45,31 @@ func startRing(t *testing.T, n int, mutate func(i int, cfg *Config)) *harness {
 		}
 	}
 	waitRingSize(t, h.servers, n)
+	// Ring convergence means every node knows every member — not that the
+	// dial-back links are registered yet. A routed fetch that races the dial
+	// fails fast and degrades to local execution by design, so tests that
+	// assert on fetch sources right away also need pairwise connectivity.
+	waitMeshConnected(t, h.servers)
 	return h
+}
+
+// waitMeshConnected waits until every server can round-trip a ping to every
+// other server.
+func waitMeshConnected(t *testing.T, servers []*Server) {
+	t.Helper()
+	waitUntil(t, "full mesh connectivity", func() bool {
+		for i, s := range servers {
+			for j := range servers {
+				if i == j {
+					continue
+				}
+				if err := s.Cluster().Ping(context.Background(), uint32(j+1)); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	})
 }
 
 // waitRingSize waits for every given server to see a ring of size want.

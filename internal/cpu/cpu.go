@@ -104,6 +104,31 @@ func (n *Node) Run(ctx context.Context, service time.Duration) (queued time.Dura
 	}
 }
 
+// QueueDelay reports how long a job submitted now would wait before
+// starting: the gap until the earliest core frees up (zero when any core
+// is idle). This is the overload signal the load-shedding controller
+// watches — it is the exact queueing delay the virtual-time model will
+// charge the next admitted request, including reservations wasted by
+// cancelled jobs.
+func (n *Node) QueueDelay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped || len(n.nextFree) == 0 {
+		return 0
+	}
+	now := n.clk.Now()
+	earliest := n.nextFree[0]
+	for _, t := range n.nextFree[1:] {
+		if t.Before(earliest) {
+			earliest = t
+		}
+	}
+	if d := earliest.Sub(now); d > 0 {
+		return d
+	}
+	return 0
+}
+
 // Charge models a cheap operation that consumes wall-clock time without
 // occupying a core.
 func (n *Node) Charge(cost time.Duration) {

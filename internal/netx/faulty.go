@@ -23,14 +23,17 @@ import (
 type Faulty struct {
 	inner Network
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	delay    time.Duration
-	failProb float64
-	killed   map[string]bool
-	hung     map[string]bool
-	cut      map[[2]string]bool // unordered pair, stored sorted
-	conns    map[*faultyConn]struct{}
+	mu        sync.Mutex
+	rng       *rand.Rand
+	delay     time.Duration
+	delayTo   map[string]time.Duration // extra delay on writes toward addr
+	delayFrom map[string]time.Duration // extra delay on writes made by addr
+	jitter    float64                  // ± fraction applied to each delay
+	failProb  float64
+	killed    map[string]bool
+	hung      map[string]bool
+	cut       map[[2]string]bool // unordered pair, stored sorted
+	conns     map[*faultyConn]struct{}
 }
 
 // NewFaulty wraps inner with fault injection. seed drives the probabilistic
@@ -38,12 +41,14 @@ type Faulty struct {
 // deterministic.
 func NewFaulty(inner Network, seed int64) *Faulty {
 	return &Faulty{
-		inner:  inner,
-		rng:    rand.New(rand.NewSource(seed)),
-		killed: make(map[string]bool),
-		hung:   make(map[string]bool),
-		cut:    make(map[[2]string]bool),
-		conns:  make(map[*faultyConn]struct{}),
+		inner:     inner,
+		rng:       rand.New(rand.NewSource(seed)),
+		delayTo:   make(map[string]time.Duration),
+		delayFrom: make(map[string]time.Duration),
+		killed:    make(map[string]bool),
+		hung:      make(map[string]bool),
+		cut:       make(map[[2]string]bool),
+		conns:     make(map[*faultyConn]struct{}),
 	}
 }
 
@@ -150,6 +155,51 @@ func (f *Faulty) SetDelay(d time.Duration) {
 	f.mu.Unlock()
 }
 
+// SetDelayTo adds a delay to every write traveling toward addr: writes on
+// connections dialed to addr (an asymmetric slow inbound path — requests
+// reach addr late, its replies return at full speed). Zero removes the
+// entry. Stacks with SetDelay and SetDelayFrom.
+func (f *Faulty) SetDelayTo(addr string, d time.Duration) {
+	f.mu.Lock()
+	if d <= 0 {
+		delete(f.delayTo, addr)
+	} else {
+		f.delayTo[addr] = d
+	}
+	f.mu.Unlock()
+}
+
+// SetDelayFrom adds a delay to every write made by addr — fetch replies it
+// serves and requests it originates. This is the gray-failure "slow peer":
+// unlike SetDelay's symmetric link delay, only the named node limps, and
+// unlike Hang it still answers (eventually), so a liveness prober keeps
+// calling it healthy. Zero removes the entry.
+func (f *Faulty) SetDelayFrom(addr string, d time.Duration) {
+	f.mu.Lock()
+	if d <= 0 {
+		delete(f.delayFrom, addr)
+	} else {
+		f.delayFrom[addr] = d
+	}
+	f.mu.Unlock()
+}
+
+// SetDelayJitter spreads every injected delay uniformly over ±frac of its
+// nominal value (clamped to [0, 1]), drawn from the seeded source — real
+// stragglers wobble, and deterministic delays can resonate with pollers.
+// Zero restores fixed delays.
+func (f *Faulty) SetDelayJitter(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	f.mu.Lock()
+	f.jitter = frac
+	f.mu.Unlock()
+}
+
 // SetWriteFailProb makes each write fail (and sever its connection) with
 // probability p, drawn from the seeded source — a link-flap generator. Zero
 // disables.
@@ -249,7 +299,18 @@ func (c *faultyConn) verdict() (dead, blackhole bool, delay time.Duration, flap 
 		return false, true, 0, false
 	}
 	flap = c.f.failProb > 0 && c.f.rng.Float64() < c.f.failProb
-	return false, false, c.f.delay, flap
+	delay = c.f.delay
+	if c.remote != "" {
+		delay += c.f.delayTo[c.remote]
+	}
+	if c.local != "" {
+		delay += c.f.delayFrom[c.local]
+	}
+	if delay > 0 && c.f.jitter > 0 {
+		// Uniform over [d·(1−j), d·(1+j)] from the seeded source.
+		delay = time.Duration(float64(delay) * (1 + c.f.jitter*(2*c.f.rng.Float64()-1)))
+	}
+	return false, false, delay, flap
 }
 
 func (c *faultyConn) Write(p []byte) (int, error) {

@@ -402,3 +402,135 @@ func TestFaultyConcurrentChaos(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// dialPair dials srv through the named endpoint and returns both conn ends.
+func dialPair(t *testing.T, f *Faulty, from, srv string, accepted <-chan net.Conn) (c, s net.Conn) {
+	t.Helper()
+	c, err := f.Endpoint(from).Dial(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	s = <-accepted
+	t.Cleanup(func() { s.Close() })
+	return c, s
+}
+
+// timedWrite reports how long one small write took.
+func timedWrite(t *testing.T, c net.Conn) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func TestFaultyDelayToIsDirectional(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+	c, s := dialPair(t, f, "cli", "srv", accepted)
+
+	f.SetDelayTo("srv", 30*time.Millisecond)
+	// Toward srv: slow. From srv (the accept side's replies): full speed.
+	if d := timedWrite(t, c); d < 25*time.Millisecond {
+		t.Fatalf("write toward srv took only %v under SetDelayTo", d)
+	}
+	if d := timedWrite(t, s); d > 20*time.Millisecond {
+		t.Fatalf("reply from srv took %v; SetDelayTo must not slow the return path", d)
+	}
+	f.SetDelayTo("srv", 0)
+	if d := timedWrite(t, c); d > 20*time.Millisecond {
+		t.Fatalf("write toward srv took %v after clearing the delay", d)
+	}
+}
+
+func TestFaultyDelayFromSlowsOnlyTheNamedHost(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	mkAccept := func(name string) <-chan net.Conn {
+		l, err := f.Listen(name + "-l")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return acceptOne(t, l)
+	}
+	accSlow := mkAccept("slow")
+	accFast := mkAccept("fast")
+	cSlow, sSlow := dialPair(t, f, "cli", "slow-l", accSlow)
+	cFast, sFast := dialPair(t, f, "cli", "fast-l", accFast)
+
+	f.SetDelayFrom("slow-l", 30*time.Millisecond)
+	// The slow host limps on writes it makes; everything else is untouched:
+	// requests toward it, and both directions of the healthy host.
+	if d := timedWrite(t, sSlow); d < 25*time.Millisecond {
+		t.Fatalf("write by the slow host took only %v under SetDelayFrom", d)
+	}
+	for what, conn := range map[string]net.Conn{
+		"request toward slow host": cSlow,
+		"request toward fast host": cFast,
+		"reply from fast host":     sFast,
+	} {
+		if d := timedWrite(t, conn); d > 20*time.Millisecond {
+			t.Fatalf("%s took %v; SetDelayFrom must only slow the named host", what, d)
+		}
+	}
+
+	// A conn dialed BY the slow host limps too (it originates the writes).
+	cOut, _ := dialPair(t, f, "slow-l", "fast-l", accFast)
+	if d := timedWrite(t, cOut); d < 25*time.Millisecond {
+		t.Fatalf("write originated by the slow host took only %v", d)
+	}
+}
+
+func TestFaultyDelayJitterSpreadsAndBounds(t *testing.T) {
+	f := NewFaulty(NewMem(), 7)
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+	c, _ := dialPair(t, f, "cli", "srv", accepted)
+
+	const base = 20 * time.Millisecond
+	f.SetDelay(base)
+	f.SetDelayJitter(0.5)
+	var min, max time.Duration
+	for i := 0; i < 8; i++ {
+		d := timedWrite(t, c)
+		if d < base/2-2*time.Millisecond {
+			t.Fatalf("jittered delay %v below the -50%% bound", d)
+		}
+		if i == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < 2*time.Millisecond {
+		t.Fatalf("8 jittered delays spanned only %v; jitter must vary per write", max-min)
+	}
+
+	// Out-of-range fractions clamp instead of inverting or amplifying.
+	f.SetDelayJitter(5)
+	f.mu.Lock()
+	frac := f.jitter
+	f.mu.Unlock()
+	if frac != 1 {
+		t.Fatalf("jitter clamped to %v, want 1", frac)
+	}
+	f.SetDelayJitter(-1)
+	f.mu.Lock()
+	frac = f.jitter
+	f.mu.Unlock()
+	if frac != 0 {
+		t.Fatalf("jitter clamped to %v, want 0", frac)
+	}
+}

@@ -338,6 +338,59 @@ type StatsReply struct {
 	// Replicas reports adaptive hot-entry replication (nil when the feature
 	// is off, or the sender predates the field).
 	Replicas *ReplicaStats
+	// Resilience reports gray-failure/overload handling (nil when hedging,
+	// breakers, and shedding are all off, or the sender predates the field).
+	Resilience *ResilienceStats
+}
+
+// BreakerInfo reports one peer's fetch score and circuit-breaker state
+// inside a ResilienceStats.
+type BreakerInfo struct {
+	Peer uint32
+	// State is the cluster.BreakerState ordinal (0 closed, 1 open,
+	// 2 half-open).
+	State   uint8
+	Trips   uint64
+	Samples uint64
+	// Latency is the fast EWMA over observed fetch latencies; Baseline the
+	// slow "healthy" reference it is judged against; P95 the windowed tail
+	// estimate that triggers hedges (0 until enough samples).
+	Latency  time.Duration
+	Baseline time.Duration
+	P95      time.Duration
+	// FailPermille is the EWMA fetch failure rate in 1/1000ths.
+	FailPermille uint32
+}
+
+// ResilienceStats reports the gray-failure and overload resilience layer
+// inside a StatsReply.
+type ResilienceStats struct {
+	// FetchPrimaries counts hedge-eligible primary fetches — the base rate
+	// the retry budget accrues against.
+	FetchPrimaries uint64
+	// Hedge counters: Issued hedge fetches launched, Won served the
+	// request, Abandoned were cancelled as losers, Denied were wanted but
+	// refused by the retry budget, Local are trigger firings that fell back
+	// to local execution because no alternate target existed.
+	HedgesIssued    uint64
+	HedgesWon       uint64
+	HedgesAbandoned uint64
+	HedgesDenied    uint64
+	HedgesLocal     uint64
+	// BudgetPermille is the retry-budget token bucket's fill in 1/1000ths.
+	BudgetPermille uint32
+	// BreakerFastFails counts fetches rejected because a breaker was open.
+	BreakerFastFails uint64
+	// ShedLevel is the current shed watermark level (0 none, 1 remote
+	// executes refused, 2 also remote serves and local misses).
+	ShedLevel uint32
+	// Shed counts by class: remote peer work, local client requests (503),
+	// and local requests degraded to a stale body instead of refused.
+	ShedRemote uint64
+	ShedLocal  uint64
+	ShedStale  uint64
+	// Breakers lists per-peer scores (empty when scoring is off).
+	Breakers []BreakerInfo
 }
 
 // ReplicaStats reports adaptive hot-entry replication state inside a
@@ -893,6 +946,34 @@ func (m *StatsReply) encode(e *encoder) {
 		e.u64(m.Replicas.ReplicaServes)
 		e.u64(m.Replicas.HintSkips)
 	}
+	e.boolean(m.Resilience != nil)
+	if m.Resilience != nil {
+		r := m.Resilience
+		e.u64(r.FetchPrimaries)
+		e.u64(r.HedgesIssued)
+		e.u64(r.HedgesWon)
+		e.u64(r.HedgesAbandoned)
+		e.u64(r.HedgesDenied)
+		e.u64(r.HedgesLocal)
+		e.u32(r.BudgetPermille)
+		e.u64(r.BreakerFastFails)
+		e.u32(r.ShedLevel)
+		e.u64(r.ShedRemote)
+		e.u64(r.ShedLocal)
+		e.u64(r.ShedStale)
+		e.u32(uint32(len(r.Breakers)))
+		for i := range r.Breakers {
+			b := &r.Breakers[i]
+			e.u32(b.Peer)
+			e.u8(b.State)
+			e.u64(b.Trips)
+			e.u64(b.Samples)
+			e.i64(int64(b.Latency))
+			e.i64(int64(b.Baseline))
+			e.i64(int64(b.P95))
+			e.u32(b.FailPermille)
+		}
+	}
 }
 
 func (m *StatsReply) decode(d *decoder) error {
@@ -999,6 +1080,47 @@ func (m *StatsReply) decode(d *decoder) error {
 			ReplicaServes: d.u64(),
 			HintSkips:     d.u64(),
 		}
+	}
+	if d.err == nil && d.off == len(d.buf) {
+		// Frame from a sender predating the resilience report.
+		return nil
+	}
+	if d.boolean() {
+		r := &ResilienceStats{
+			FetchPrimaries:   d.u64(),
+			HedgesIssued:     d.u64(),
+			HedgesWon:        d.u64(),
+			HedgesAbandoned:  d.u64(),
+			HedgesDenied:     d.u64(),
+			HedgesLocal:      d.u64(),
+			BudgetPermille:   d.u32(),
+			BreakerFastFails: d.u64(),
+			ShedLevel:        d.u32(),
+			ShedRemote:       d.u64(),
+			ShedLocal:        d.u64(),
+			ShedStale:        d.u64(),
+		}
+		bn := int(d.u32())
+		// 49 = encoding of one BreakerInfo.
+		if d.err != nil || bn < 0 || bn > (len(d.buf)-d.off)/49 {
+			d.fail()
+			return d.err
+		}
+		if bn > 0 {
+			r.Breakers = make([]BreakerInfo, bn)
+			for i := range r.Breakers {
+				b := &r.Breakers[i]
+				b.Peer = d.u32()
+				b.State = d.u8()
+				b.Trips = d.u64()
+				b.Samples = d.u64()
+				b.Latency = time.Duration(d.i64())
+				b.Baseline = time.Duration(d.i64())
+				b.P95 = time.Duration(d.i64())
+				b.FailPermille = d.u32()
+			}
+		}
+		m.Resilience = r
 	}
 	return d.finish()
 }

@@ -478,3 +478,28 @@ func TestMsgTypeString(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsReplyResilience(t *testing.T) {
+	in := &StatsReply{
+		Seq: 17, Entries: 3,
+		Resilience: &ResilienceStats{
+			FetchPrimaries: 420, HedgesIssued: 31, HedgesWon: 12, HedgesAbandoned: 30,
+			HedgesDenied: 4, HedgesLocal: 9, BudgetPermille: 730, BreakerFastFails: 55,
+			ShedLevel: 2, ShedRemote: 17, ShedLocal: 41, ShedStale: 6,
+			Breakers: []BreakerInfo{
+				{Peer: 2, State: 1, Trips: 3, Samples: 900, Latency: 80 * time.Millisecond,
+					Baseline: 2 * time.Millisecond, P95: 120 * time.Millisecond, FailPermille: 412},
+				{Peer: 3, State: 0, Samples: 1200, Latency: time.Millisecond,
+					Baseline: time.Millisecond, P95: 3 * time.Millisecond},
+			},
+		},
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	// An absent section must decode back to nil (default-off byte compat).
+	plain := &StatsReply{Seq: 18, Entries: 1}
+	if got := roundTrip(t, plain).(*StatsReply); got.Resilience != nil {
+		t.Fatalf("default-off reply grew a resilience section: %+v", got)
+	}
+}
